@@ -1,0 +1,65 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (§4).  Absolute numbers come from a Python stack on
+container hardware, so they are not comparable to the paper's; each
+benchmark therefore *prints* the paper-style rows and *asserts the shape*
+(who wins, monotonicity, crossover positions).
+
+Set ``REPRO_FULL=1`` to run the paper-scale parameter sweeps; the default
+sizes keep the whole directory comfortably runnable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "..", "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+_CAPMAN = []
+_SIDE_FILE = os.path.join(os.path.dirname(__file__), "..",
+                          "bench_figures.txt")
+
+
+def pytest_configure(config):
+    _CAPMAN.append(config.pluginmanager.getplugin("capturemanager"))
+    try:
+        os.remove(_SIDE_FILE)
+    except OSError:
+        pass
+
+
+def _emit(line: str) -> None:
+    """Emit a regenerated-figure line past pytest's fd-level capture, so it
+    appears in `pytest benchmarks/ --benchmark-only | tee bench_output.txt`
+    (and, belt-and-braces, in bench_figures.txt)."""
+    if _CAPMAN and _CAPMAN[0] is not None:
+        with _CAPMAN[0].global_and_fixture_disabled():
+            sys.stdout.write(line + "\n")
+            sys.stdout.flush()
+    else:
+        sys.stdout.write(line + "\n")
+        sys.stdout.flush()
+    with open(_SIDE_FILE, "a") as fh:
+        fh.write(line + "\n")
+
+
+def emit(line: str) -> None:
+    _emit(line)
+
+
+def banner(title: str) -> None:
+    _emit(f"\n=== {title} " + "=" * max(0, 66 - len(title)))
+
+
+def table(headers, rows) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows
+              else len(str(h)) for i, h in enumerate(headers)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    _emit(line)
+    _emit("-" * len(line))
+    for r in rows:
+        _emit("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,126 @@
+"""Ablations of the design choices DESIGN.md calls out (§3.1, §3.3).
+
+* context pruning on/off — query sizes,
+* trigger policy conservative vs broad — instantiation counts,
+* by(bit_vector) isolation vs attempting the same fact in default mode.
+"""
+
+import pytest
+
+from conftest import banner, table
+from repro.lang import *
+from repro.vc.wp import VcGen
+
+
+def _module_with_unused_context(n_spec_fns: int = 30) -> Module:
+    mod = Module("ablate_prune")
+    x = var("x", INT)
+    for i in range(n_spec_fns):
+        spec_fn(mod, f"helper_{i}", [("x", INT)], INT, body=x + i)
+    spec_fn(mod, "double", [("x", INT)], INT, body=x * 2)
+    exec_fn(mod, "use_double", [("x", INT)], ret=("r", INT),
+            requires=[x >= 0, x < 100000],
+            ensures=[var("r", INT).eq(call(mod, "double", x))],
+            body=[ret(x + x)])
+    return mod
+
+
+def test_ablation_context_pruning(benchmark):
+    mod = _module_with_unused_context()
+    pruned = VcGen(mod, VcConfig(prune_context=True)).verify_module()
+    full = VcGen(mod, VcConfig(prune_context=False)).verify_module()
+    banner("Ablation: context pruning (§3.1)")
+    table(["config", "verified", "query bytes"],
+          [["pruned", "yes" if pruned.ok else "NO", pruned.query_bytes],
+           ["unpruned", "yes" if full.ok else "NO", full.query_bytes]])
+    assert pruned.ok and full.ok
+    assert pruned.query_bytes < full.query_bytes / 2, \
+        (pruned.query_bytes, full.query_bytes)
+    benchmark.pedantic(
+        lambda: VcGen(mod, VcConfig(prune_context=True)).verify_module(),
+        rounds=1, iterations=1)
+
+
+def _seq_module() -> Module:
+    mod = Module("ablate_triggers")
+    SeqI = SeqType(INT)
+    s = var("s", SeqI)
+    exec_fn(mod, "chain", [("s", SeqI)],
+            requires=[s.length() >= 2],
+            body=[
+                let_("t", s.update(0, lit(1)).update(1, lit(2))),
+                assert_(var("t", SeqI).index(0).eq(1)),
+                assert_(var("t", SeqI).index(1).eq(2)),
+                assert_(var("t", SeqI).length().eq(s.length())),
+            ])
+    return mod
+
+
+def test_ablation_trigger_policy(benchmark):
+    results = {}
+    for policy in (CONSERVATIVE, BROAD):
+        mod = _seq_module()
+        res = VcGen(mod, VcConfig(trigger_policy=policy)).verify_module()
+        insts = sum(o.stats.get("instantiations", 0)
+                    for f in res.functions for o in f.obligations)
+        results[policy] = (res.ok, insts, res.seconds)
+    banner("Ablation: trigger policy (§3.1)")
+    table(["policy", "verified", "instantiations", "time (s)"],
+          [[p, "yes" if ok else "NO", i, f"{t:.2f}"]
+           for p, (ok, i, t) in results.items()])
+    assert results[CONSERVATIVE][0] and results[BROAD][0]
+    # broad triggers instantiate at least as much as conservative ones
+    assert results[BROAD][1] >= results[CONSERVATIVE][1]
+    benchmark.pedantic(
+        lambda: VcGen(_seq_module()).verify_module(),
+        rounds=1, iterations=1)
+
+
+def test_ablation_bit_vector_isolation(benchmark):
+    # In default mode the mask/mod identity is out of reach (bit ops are
+    # uninterpreted); the by(bit_vector) dispatch proves it instantly.
+    x = var("x", U64)
+
+    def build(use_bv):
+        mod = Module(f"ablate_bv_{use_bv}")
+        exec_fn(mod, "mask", [("x", U64)],
+                body=[assert_((x & lit(511)).eq(x % 512),
+                              by=BY_BIT_VECTOR if use_bv else None)])
+        return mod
+
+    with_bv = VcGen(build(True)).verify_module()
+    without = VcGen(build(False)).verify_module()
+    banner("Ablation: by(bit_vector) isolation (§3.3)")
+    table(["mode", "verified"],
+          [["by(bit_vector)", "yes" if with_bv.ok else "NO"],
+           ["default mode", "yes" if without.ok else "NO"]])
+    assert with_bv.ok
+    assert not without.ok  # uninterpreted in the main encoding, as designed
+    benchmark.pedantic(lambda: VcGen(build(True)).verify_module(),
+                       rounds=1, iterations=1)
+
+
+def test_ablation_nonlinear_isolation(benchmark):
+    # The §3.3 predictability property: the isolated query sees only the
+    # premises the developer forwards.
+    q, a = var("q", U64), var("a", U64)
+
+    def build(forward_premise):
+        mod = Module(f"ablate_nl_{forward_premise}")
+        goal = ((a * a + 1) * q) >= ((a * a + 1) * 2)
+        expr = (q > 2).implies(goal) if forward_premise else goal
+        exec_fn(mod, "f", [("q", U64), ("a", U64)],
+                requires=[q > 2],
+                body=[assert_(expr, by=BY_NONLINEAR)])
+        return mod
+
+    with_premise = VcGen(build(True)).verify_module()
+    without = VcGen(build(False)).verify_module()
+    banner("Ablation: by(nonlinear_arith) isolation (§3.3)")
+    table(["premise forwarded", "verified"],
+          [["yes", "yes" if with_premise.ok else "NO"],
+           ["no", "yes" if without.ok else "NO"]])
+    assert with_premise.ok
+    assert not without.ok
+    benchmark.pedantic(lambda: VcGen(build(True)).verify_module(),
+                       rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""Figure 14: persistent-log append throughput vs libpmemlog.
+
+Paper result: the initial verified log is slow on small appends (extra
+DRAM copying); the latest version matches libpmemlog across sizes — even
+while computing CRCs, because it takes no locks.
+
+Throughput here is measured in *simulated device time* (the pmem model
+charges per-byte write cost and per-flush latency) plus the real Python
+overhead of each implementation's extra work, which is what reproduces
+the crossover shape deterministically.
+"""
+
+import time
+
+import pytest
+
+from conftest import FULL, banner, table
+from repro.runtime.pmem import PmemDevice
+from repro.systems.plog.log import (PmdkLikeLog, VerifiedLogInitial,
+                                    VerifiedLogLatest)
+
+SIZES = [128, 256, 512, 1024, 4096, 8192, 65536]
+TOTAL_BYTES = (1 << 22) if not FULL else (1 << 26)
+
+VARIANTS = [("PMDK", PmdkLikeLog), ("initial", VerifiedLogInitial),
+            ("latest", VerifiedLogLatest)]
+
+
+def _throughput(cls, append_size: int) -> float:
+    """MiB/s of appends, with device time from the pmem cost model."""
+    device = PmemDevice(1 << 20)
+    log = cls(device)
+    payload = bytes(append_size)
+    count = max(TOTAL_BYTES // append_size, 1)
+    wall0 = time.perf_counter()
+    for _ in range(count):
+        if log.free_space() < append_size:
+            log.advance_head(log.tail)
+        log.append(payload)
+    wall = time.perf_counter() - wall0
+    total = wall + device.elapsed_ns / 1e9
+    return (count * append_size) / total / (1 << 20)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return {name: [_throughput(cls, s) for s in SIZES]
+            for name, cls in VARIANTS}
+
+
+def test_fig14_throughput(curves, benchmark):
+    banner("Figure 14: log append throughput (MiB/s)")
+    rows = [[f"{s}B"] + [f"{curves[name][i]:.1f}"
+                         for name, _ in VARIANTS]
+            for i, s in enumerate(SIZES)]
+    table(["append size"] + [name for name, _ in VARIANTS], rows)
+    pmdk = curves["PMDK"]
+    initial = curves["initial"]
+    latest = curves["latest"]
+    # Shape 1: the initial version loses to the latest on small appends
+    # (the staging copy dominates when records are small).
+    small = SIZES.index(128)
+    assert initial[small] < latest[small]
+    # Shape 2: the latest version is comparable to PMDK everywhere
+    # (within 2x at every size, despite computing CRCs).
+    for i, s in enumerate(SIZES):
+        assert latest[i] > pmdk[i] / 2.0, (s, latest[i], pmdk[i])
+    # Shape 3: throughput grows with append size for every variant.
+    for name, _ in VARIANTS:
+        assert curves[name][-1] > curves[name][0]
+    benchmark.pedantic(lambda: _throughput(VerifiedLogLatest, 1024),
+                       rounds=1, iterations=1)
+
+
+def test_fig14_crc_detects_what_pmdk_misses(benchmark):
+    # the qualitative columns behind the figure: same throughput class,
+    # strictly more protection
+    from repro.systems.plog.log import LogCorruption
+    dev = PmemDevice(1 << 14)
+    log = VerifiedLogLatest(dev)
+    log.append(b"payload")
+    dev.corrupt(9, 1)
+    try:
+        VerifiedLogLatest.recover(dev)
+        raise AssertionError("corruption missed")
+    except LogCorruption:
+        pass
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,104 @@
+"""Figure 8: time to report *failure* (error feedback).
+
+Paper result: Verus, Dafny, and Prusti pinpoint failures about as fast as
+they report success; Low* degrades ~4× (fuel retries) and Creusot ~20×
+(the prover portfolio must be exhausted).
+"""
+
+import pytest
+
+from conftest import banner, table
+from repro.baselines.pipelines import PIPELINES, time_pipeline
+from repro.lang import *
+
+TOOLS = ["verus", "dafny", "prusti", "fstar", "creusot"]
+U64_MAX = (1 << 64) - 1
+SeqU = SeqType(U64)
+
+
+def _list_module(break_pop: bool = False, break_index: bool = False):
+    """The singly-linked-list pop/index pair, optionally 'broken' by
+    removing a precondition — the paper's exact failure-injection recipe."""
+    mod = Module("fig8_list")
+    List = StructType("SList").declare([("cells", SeqU)])
+    mod.datatype(List)
+    l = var("l", List)
+    spec_fn(mod, "view", [("l", List)], SeqU, body=l.field("cells"))
+
+    pop_requires = [] if break_pop else [call(mod, "view", l).length() > 0]
+    PopOut = StructType("F8Pop").declare([("value", U64), ("rest", List)])
+    mod.datatype(PopOut)
+    exec_fn(mod, "pop_tail", [("l", List)], ret=("out", PopOut),
+            requires=pop_requires,
+            ensures=[
+                var("out", PopOut).field("value").eq(
+                    call(mod, "view", l).index(
+                        call(mod, "view", l).length() - 1)),
+            ],
+            body=[
+                let_("n", l.field("cells").length()),
+                ret(struct(PopOut,
+                           value=l.field("cells").index(var("n", INT) - 1),
+                           rest=struct(List,
+                                       cells=l.field("cells").take(
+                                           var("n", INT) - 1)))),
+            ])
+
+    i = var("i", U64)
+    idx_requires = [] if break_index else \
+        [i < call(mod, "view", l).length()]
+    exec_fn(mod, "index", [("l", List), ("i", U64)], ret=("r", U64),
+            requires=idx_requires,
+            ensures=[] if break_index else
+            [var("r", U64).eq(call(mod, "view", l).index(i))],
+            body=[ret(l.field("cells").index(i))])
+    return mod
+
+
+@pytest.fixture(scope="module")
+def timings():
+    out = {}
+    for tool in TOOLS:
+        ok_res, ok_secs = time_pipeline(PIPELINES[tool], _list_module())
+        assert ok_res is not None and ok_res.ok
+        fail = {}
+        for label, kwargs in [("pop", {"break_pop": True}),
+                              ("index", {"break_index": True})]:
+            res, secs = time_pipeline(PIPELINES[tool],
+                                      _list_module(**kwargs))
+            assert res is not None and not res.ok, \
+                f"{tool}: broken {label} not detected"
+            fail[label] = secs
+        out[tool] = (ok_secs, fail)
+    return out
+
+
+def test_fig8_error_feedback(timings, benchmark):
+    banner("Figure 8: success vs error-report time (seconds)")
+    rows = []
+    for tool in TOOLS:
+        ok_secs, fail = timings[tool]
+        rows.append([tool, f"{ok_secs:.2f}",
+                     f"{fail['pop']:.2f}", f"{fail['index']:.2f}"])
+    table(["tool", "success", "error: pop", "error: index"], rows)
+    # Shape: Verus reports errors about as fast as success (within 4x —
+    # failed obligations spend their instantiation budget).
+    ok, fail = timings["verus"]
+    assert fail["pop"] < max(ok, 0.05) * 8
+    # Creusot's portfolio makes failure its slow path: failure is slower
+    # than ITS success by a larger factor than Verus's.
+    c_ok, c_fail = timings["creusot"]
+    assert c_fail["pop"] / max(c_ok, 1e-6) >= \
+        fail["pop"] / max(ok, 1e-6)
+    benchmark.pedantic(
+        lambda: time_pipeline(PIPELINES["verus"],
+                              _list_module(break_pop=True)),
+        rounds=1, iterations=1)
+
+
+def test_fig8_failures_localized(timings):
+    # the failing obligation names the broken function
+    res, _ = time_pipeline(PIPELINES["verus"], _list_module(break_pop=True))
+    failures = res.failures()
+    assert failures
+    assert any("pop_tail" in fn_name for fn_name, _ in failures)

@@ -1,0 +1,13 @@
+"""Ensure `src/` is importable even without an installed package.
+
+The offline environment lacks the `wheel` package, which breaks pip's
+PEP 660 editable-install path; `python setup.py develop` works, but this
+shim makes `pytest` self-sufficient either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

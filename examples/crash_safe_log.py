@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The persistent log (§4.2.5): crash injection, recovery, corruption.
+
+Demonstrates the full §4.2.5 story on the simulated pmem device:
+
+1. the VerusSync crash-safety protocol verifies,
+2. the executable log survives a random crash (committed appends recover),
+3. CRC protection detects metadata corruption that the libpmemlog-style
+   baseline silently accepts.
+
+Run:  python examples/crash_safe_log.py
+"""
+
+import os
+import random
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime.pmem import PmemCrash, PmemDevice       # noqa: E402
+from repro.systems.plog.log import (LogCorruption,          # noqa: E402
+                                    PmdkLikeLog, VerifiedLogLatest)
+from repro.systems.plog.model import (                      # noqa: E402
+    build_crash_safety_system)
+
+
+def verify_protocol() -> None:
+    print("== verifying the crash-safety protocol (VerusSync) ==")
+    result = build_crash_safety_system().check()
+    print(result.report())
+    assert result.ok
+
+
+def crash_and_recover() -> None:
+    print("\n== crash injection and recovery ==")
+    rng = random.Random(42)
+    device = PmemDevice(1 << 15, seed=42)
+    log = VerifiedLogLatest(device)
+    committed = []
+    device.schedule_crash(after_writes=25)
+    try:
+        while True:
+            payload = bytes([rng.randrange(256)]) * rng.randrange(10, 200)
+            offset = log.append(payload)
+            committed.append((offset, payload))
+    except PmemCrash:
+        print(f"crash! {len(committed)} appends had returned")
+    recovered = VerifiedLogLatest.recover(device)
+    intact = 0
+    for offset, payload in committed:
+        if offset + len(payload) <= recovered.tail:
+            assert recovered._read_circular(offset, len(payload)) == payload
+            intact += 1
+    print(f"recovery: tail={recovered.tail}, {intact} committed records "
+          f"read back intact")
+
+
+def corruption_detection() -> None:
+    print("\n== CRC-protected metadata ==")
+    device = PmemDevice(1 << 14)
+    log = VerifiedLogLatest(device)
+    log.append(b"important metadata")
+    device.corrupt(offset=10, nbytes=2)  # media error in the header
+    try:
+        VerifiedLogLatest.recover(device)
+        raise AssertionError("corruption went undetected!")
+    except LogCorruption as err:
+        print(f"verified log detects the media error: {err}")
+
+    device2 = PmemDevice(1 << 14)
+    baseline = PmdkLikeLog(device2)
+    baseline.append(b"important metadata")
+    device2.corrupt(offset=10, nbytes=2)
+    PmdkLikeLog.recover(device2)
+    print("libpmemlog-style baseline silently accepts the damaged header")
+
+
+if __name__ == "__main__":
+    verify_protocol()
+    crash_and_recover()
+    corruption_detection()
+    print("\ncrash_safe_log: all demonstrations passed")

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The distributed-lock millibenchmark (§4.1), both proof styles.
+
+Default mode proves the inductive invariant with trigger-based
+semi-automation over integer epochs; EPR mode abstracts epochs into a
+totally ordered sort and gets a fully automatic, decidable check at the
+cost of spelling out the order boilerplate.
+
+Run:  python examples/distributed_lock.py
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.epr import verify_epr_module          # noqa: E402
+from repro.millibench.distlock import (build_default_module,  # noqa: E402
+                                       build_epr_module)
+from repro.vc.wp import VcGen                    # noqa: E402
+
+
+def main() -> None:
+    print("== default mode (integer epochs, explicit invariant) ==")
+    t0 = time.perf_counter()
+    default = VcGen(build_default_module()).verify_module()
+    print(default.report())
+    print(f"default mode: {time.perf_counter() - t0:.2f}s")
+    assert default.ok
+
+    print("\n== EPR mode (abstract ordered epochs, automatic check) ==")
+    t0 = time.perf_counter()
+    epr = verify_epr_module(build_epr_module())
+    print(epr.report())
+    print(f"epr mode: {time.perf_counter() - t0:.2f}s")
+    assert epr.ok
+
+    print("\nBoth proofs establish per-epoch mutual exclusion:")
+    print("  locked(e, n1) ∧ locked(e, n2)  ==>  n1 = n2")
+    print("\ndistributed_lock: all demonstrations passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The verified lemma library: prove once, call everywhere.
+
+Verus ships vstd, a standard library of verified utilities whose lemmas
+user proofs invoke instead of re-deriving facts inline.  This example
+builds the analogue (`repro.lang.stdlib`), re-verifies it, and then uses
+two of its lemmas from a user module:
+
+* a nonlinear product ordering that the default (linear) encoding cannot
+  prove by itself, discharged by calling ``lemma_mul_strictly_ordered``
+  — the paper's §3.3 workflow of isolating nonlinear facts;
+* sequence push/index facts combined into a round-trip property.
+
+Run:  python examples/lemma_library.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.lang import *  # noqa: E402
+from repro.lang.stdlib import SeqI, build_stdlib  # noqa: E402
+
+
+def main() -> None:
+    std = build_stdlib()
+    result = verify_module(std)
+    print(f"stdlib: {len(result.functions)} lemmas verified "
+          f"in {result.seconds:.2f}s")
+    assert result.ok
+
+    i, n, k = var("i", INT), var("n", INT), var("k", INT)
+    s, v = var("s", SeqI), var("v", INT)
+
+    user = Module("user")
+    user.import_module(std)
+
+    # Without the lemma call this goal fails (products are uninterpreted
+    # in the default encoding); with it, the obligation is propositional.
+    proof_fn(user, "scaled_ordering", [("i", INT), ("n", INT), ("k", INT)],
+             requires=[i < n, k > 0],
+             ensures=[i * k < n * k],
+             body=[call_stmt("lemma_mul_strictly_ordered", [i, n, k])])
+
+    proof_fn(user, "push_roundtrip", [("s", SeqI), ("v", INT)],
+             ensures=[s.push(v).index(s.length()).eq(v),
+                      s.push(v).length().eq(s.length() + 1)],
+             body=[call_stmt("lemma_seq_push_last", [s, v]),
+                   call_stmt("lemma_seq_push_len", [s, v])])
+
+    user_result = verify_module(user)
+    print(user_result.report())
+    assert user_result.ok
+
+    # The same user module WITHOUT lemma calls does not verify — the
+    # library is doing real work, not decorating provable goals.
+    bare = Module("user_bare")
+    proof_fn(bare, "scaled_ordering", [("i", INT), ("n", INT), ("k", INT)],
+             requires=[i < n, k > 0],
+             ensures=[i * k < n * k], body=[])
+    assert not verify_module(bare).ok
+    print("without the lemma call the nonlinear goal fails, as expected")
+
+    print("lemma_library example passed")
+
+
+if __name__ == "__main__":
+    main()

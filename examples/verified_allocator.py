@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Verus-mimalloc (§4.2.4): ghost-accounted allocation.
+
+Verifies the allocator's bit-trick lemmas and block-lifecycle protocol,
+then runs the executable allocator with the ghost ledger on — showing the
+non-aliasing guarantee in action, including a double-free and a
+cross-thread free flowing through the atomic delayed list.
+
+Run:  python examples/verified_allocator.py
+"""
+
+import os
+import sys
+import threading
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.systems.mimalloc.alloc import Allocator          # noqa: E402
+from repro.systems.mimalloc.verified import (               # noqa: E402
+    build_bit_tricks_module, build_disjointness_module,
+    build_lifecycle_system)
+from repro.vc.wp import VcGen                               # noqa: E402
+
+
+def verify_facets() -> None:
+    print("== verifying allocator lemmas ==")
+    for name, build in [("bit tricks (by(bit_vector))",
+                         build_bit_tricks_module),
+                        ("block disjointness (by(nonlinear_arith))",
+                         build_disjointness_module)]:
+        result = VcGen(build()).verify_module()
+        print(f"  {'ok' if result.ok else 'FAILED'}: {name}")
+        assert result.ok
+    lifecycle = build_lifecycle_system().check()
+    print(f"  {'ok' if lifecycle.ok else 'FAILED'}: "
+          f"block lifecycle protocol (VerusSync)")
+    assert lifecycle.ok
+
+
+def run_allocator() -> None:
+    print("\n== ghost-accounted allocation ==")
+    alloc = Allocator(ghost=True)
+    blocks = [alloc.malloc(size) for size in (8, 100, 1000, 30000)]
+    print(f"allocated 4 blocks: {[hex(b) for b in blocks]}")
+    for b in blocks:
+        alloc.free(b)
+    print("freed all 4; the ghost ledger is empty:",
+          not alloc.ghost.live)
+
+    print("\n== double free is caught ==")
+    p = alloc.malloc(64)
+    alloc.free(p)
+    try:
+        alloc.free(p)
+        raise AssertionError("double free went uncaught!")
+    except AssertionError as err:
+        if "uncaught" in str(err):
+            raise
+        print(f"caught: {err}")
+
+    print("\n== cross-thread free through the atomic delayed list ==")
+    block = alloc.malloc(128, thread_id=1)
+    alloc.free(block, thread_id=2)          # lands on page.thread_free
+    reused = {alloc.malloc(128, thread_id=1) for _ in range(64)}
+    print("owner thread collected and reused the delayed block:",
+          block in reused)
+
+
+def worker_stress() -> None:
+    print("\n== 4-thread stress with the ledger on ==")
+    alloc = Allocator(ghost=True)
+    errors = []
+
+    def worker(tid: int) -> None:
+        try:
+            mine = []
+            for i in range(400):
+                if mine and i % 3 == 0:
+                    alloc.free(mine.pop(), thread_id=tid)
+                else:
+                    mine.append(alloc.malloc(16 + (i % 200),
+                                             thread_id=tid))
+            for p in mine:
+                alloc.free(p, thread_id=tid)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    assert not alloc.ghost.live
+    print("1600 operations, zero aliasing violations, ledger empty")
+
+
+if __name__ == "__main__":
+    verify_facets()
+    run_allocator()
+    worker_stress()
+    print("\nverified_allocator: all demonstrations passed")

@@ -1,0 +1,9 @@
+"""Baseline verifier pipelines (§4.1): dafny/fstar/creusot/prusti/ivy."""
+
+from .pipelines import (PIPELINES, CreusotPipeline, DafnyPipeline,
+                        FStarPipeline, IvyPipeline, Pipeline, PrustiPipeline,
+                        Unsupported, VerusPipeline, time_pipeline)
+
+__all__ = ["PIPELINES", "Pipeline", "VerusPipeline", "DafnyPipeline",
+           "FStarPipeline", "CreusotPipeline", "PrustiPipeline",
+           "IvyPipeline", "Unsupported", "time_pipeline"]

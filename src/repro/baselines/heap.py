@@ -1,0 +1,187 @@
+"""Explicit-heap encoding, as used by Dafny/F*/Prusti-style verifiers.
+
+Verus leans on Rust ownership so collections are plain SMT values.  Tools
+without an ownership type system must encode the *heap*: every collection
+variable becomes a reference, reads go through ``read(H, r)``, writes
+produce a new heap ``write(H, r, v)``, and knowing that *other* objects
+are unaffected requires instantiating quantified *frame axioms* — one
+chain per intervening write.  This file implements that encoding on top
+of the shared WP engine; it is what makes the Figure 7 gaps appear for
+structural (not artificial) reasons: the solver genuinely performs the
+aliasing reasoning the paper attributes to Dafny and Low*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..smt import terms as T
+from ..smt.sorts import INT as SINT, uninterpreted
+from ..vc import ast as A
+from ..vc import types as VT
+from ..vc.wp import VcGen, _ExprTranslator, _FnCtx, _State
+
+HEAP = uninterpreted("Heap")
+
+
+def _is_heap_type(vtype: VT.VType) -> bool:
+    # Sequences, maps, and structs (Dafny classes) live on the heap;
+    # scalars and enum datatypes are values in both encodings.
+    return isinstance(vtype, (VT.SeqType, VT.MapType, VT.StructType))
+
+
+class HeapExprTranslator(_ExprTranslator):
+    """Reads of heap-allocated variables go through read(H, ref)."""
+
+    def _is_ref(self, name: str, env: dict, vtype: VT.VType) -> bool:
+        # Guard against name collisions with callee parameters bound to
+        # values: only treat as a reference when the env really holds one.
+        term = env.get(name)
+        return (name in self.ctx.heap_refs and term is not None
+                and term.sort is SINT and _is_heap_type(vtype))
+
+    def _tr_VarE(self, e: A.VarE) -> T.Term:
+        if self._is_ref(e.name, self.env, e.vtype):
+            return self.ctx.heap_read(e.vtype, self.env["$heap"],
+                                      self.env[e.name])
+        return super()._tr_VarE(e)
+
+    def _tr_Old(self, e: A.Old) -> T.Term:
+        if self._is_ref(e.name, self.old_env, e.vtype):
+            return self.ctx.heap_read(e.vtype, self.old_env["$heap"],
+                                      self.old_env[e.name])
+        return super()._tr_Old(e)
+
+
+class HeapFnCtx(_FnCtx):
+    """Per-function symbolic execution with an explicit heap."""
+
+    TRANSLATOR_CLS = HeapExprTranslator
+
+    def __init__(self, gen, fn, encoder):
+        super().__init__(gen, fn, encoder)
+        self.heap_refs: set[str] = set()
+        self._all_refs: list[T.Term] = []
+        self._ref_counter = [0]
+        self._heap_fn_tags: set[str] = set()
+
+    # -- heap vocabulary ------------------------------------------------------
+
+    def heap_read(self, vtype: VT.VType, heap: T.Term, ref: T.Term) -> T.Term:
+        tag = self._tag(vtype)
+        return self.encoder.fn(f"heap.read.{tag}", [HEAP, SINT],
+                               self.encoder.sort_of(vtype))(heap, ref)
+
+    def heap_write(self, vtype: VT.VType, heap: T.Term, ref: T.Term,
+                   value: T.Term) -> T.Term:
+        tag = self._tag(vtype)
+        return self.encoder.fn(f"heap.write.{tag}",
+                               [HEAP, SINT, self.encoder.sort_of(vtype)],
+                               HEAP)(heap, ref, value)
+
+    def _tag(self, vtype: VT.VType) -> str:
+        tag = (vtype.name.replace("<", "_").replace(">", "")
+               .replace(",", "_"))
+        if tag not in self._heap_fn_tags:
+            self._heap_fn_tags.add(tag)
+            self._emit_heap_axioms(vtype, tag)
+        return tag
+
+    def _emit_heap_axioms(self, vtype: VT.VType, tag: str) -> None:
+        s = self.encoder.sort_of(vtype)
+        read = self.encoder.fn(f"heap.read.{tag}", [HEAP, SINT], s)
+        write = self.encoder.fn(f"heap.write.{tag}", [HEAP, SINT, s], HEAP)
+        h = T.Var("hp!h", HEAP)
+        r, r2 = T.Var("hp!r", SINT), T.Var("hp!r2", SINT)
+        v = T.Var("hp!v", s)
+        w = write(h, r, v)
+        # Select-of-store.
+        self.encoder.axioms.append(
+            T.ForAll([h, r, v], T.Eq(read(w, r), v), triggers=[[w]]))
+        # Frame axiom: the source of aliasing reasoning cost.  The trigger
+        # matches every read over every write, so refuting interference
+        # walks the whole write chain.
+        self.encoder.axioms.append(
+            T.ForAll([h, r, v, r2],
+                     T.Implies(T.Ne(r, r2), T.Eq(read(w, r2), read(h, r2))),
+                     triggers=[[read(w, r2)]]))
+        # Cross-type frames: a write at one type never changes reads at
+        # another (typed references are disjoint).
+        for other_tag, other_sort in list(self._cross_types(tag)):
+            oread = self.encoder.fn(f"heap.read.{other_tag}", [HEAP, SINT],
+                                    other_sort)
+            self.encoder.axioms.append(
+                T.ForAll([h, r, v, r2],
+                         T.Eq(oread(w, r2), oread(h, r2)),
+                         triggers=[[oread(w, r2)]]))
+            owrite_args = [HEAP, SINT, other_sort]
+            owrite = self.encoder.fn(f"heap.write.{other_tag}", owrite_args,
+                                     HEAP)
+            ov = T.Var(f"hp!ov!{other_tag}", other_sort)
+            ow = owrite(h, r, ov)
+            self.encoder.axioms.append(
+                T.ForAll([h, r, ov, r2],
+                         T.Eq(read(ow, r2), read(h, r2)),
+                         triggers=[[read(ow, r2)]]))
+        self._sorts_by_tag = getattr(self, "_sorts_by_tag", {})
+        self._sorts_by_tag[tag] = s
+
+    def _cross_types(self, new_tag: str):
+        sorts = getattr(self, "_sorts_by_tag", {})
+        for tag, sort in sorts.items():
+            if tag != new_tag:
+                yield tag, sort
+
+    def _alloc_ref(self, name: str, state_assumptions: list) -> T.Term:
+        self._ref_counter[0] += 1
+        ref = T.Var(f"ref!{self.fn.name}!{name}!{self._ref_counter[0]}", SINT)
+        for other in self._all_refs:
+            state_assumptions.append(T.Ne(ref, other))
+        self._all_refs.append(ref)
+        return ref
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def setup_params(self, env: dict, assumptions: list) -> None:
+        heap0 = T.Var(f"heap0!{self.fn.name}", HEAP)
+        env["$heap"] = heap0
+        for p in self.fn.params:
+            if _is_heap_type(p.vtype):
+                ref = self._alloc_ref(p.name, assumptions)
+                env[p.name] = ref
+                self.heap_refs.add(p.name)
+            else:
+                v = T.Var(f"{self.fn.name}!{p.name}",
+                          self.encoder.sort_of(p.vtype))
+                env[p.name] = v
+                rng = self.encoder.range_assumption(p.vtype, v)
+                if rng is not None:
+                    assumptions.append(rng)
+
+    def assign_var(self, state: _State, name: str, term: T.Term,
+                   vtype: VT.VType) -> None:
+        if _is_heap_type(vtype):
+            ref = state.env.get(name)
+            if name not in self.heap_refs or ref is None:
+                ref = self._alloc_ref(name, state.assumptions)
+                self.heap_refs.add(name)
+            state.env[name] = ref
+            state.env["$heap"] = self.heap_write(
+                vtype, state.env["$heap"], ref, term)
+            self._local_types.setdefault(name, vtype)
+        else:
+            super().assign_var(state, name, term, vtype)
+
+    def _havoc(self, state: _State, names: set[str]) -> None:
+        heap_touched = any(n in self.heap_refs for n in names)
+        scalar_names = {n for n in names if n not in self.heap_refs}
+        super()._havoc(state, scalar_names)
+        if heap_touched:
+            fresh = T.Var(self.gen.fresh("havoc!heap"), HEAP)
+            state.env["$heap"] = fresh
+
+
+class HeapVcGen(VcGen):
+    """VcGen with the explicit-heap encoding."""
+
+    CTX_CLS = HeapFnCtx

@@ -1,0 +1,185 @@
+"""`#[epr_mode]` — selective use of EPR for full proof automation (§3.2).
+
+A module marked EPR gets three things, mirroring the paper:
+
+1. **Well-formedness checking** (:func:`check_epr_module`): the module's
+   vocabulary must stay inside EPR — no arithmetic (integers are abstracted
+   as totally ordered uninterpreted sorts), and the quantifier-alternation /
+   function graph over sorts must be acyclic (Padon et al.'s criterion,
+   checked with networkx).
+2. **A complete decision procedure**: obligations are dispatched with MBQI
+   (complete instantiation), so inductive invariants check *fully
+   automatically* — no manual proof.
+3. **Sound composition**: results are ordinary postconditions, so
+   default-mode modules can consume them; the abstraction obligations
+   connecting implementation to EPR model are ordinary default-mode proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from ..smt.solver import SolverConfig
+from ..vc import ast as A
+from ..vc import types as VT
+from ..vc.errors import ModuleResult
+from ..vc.wp import VcConfig, VcGen
+
+_ARITH_OPS = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+              "<", "<=", ">", ">="}
+
+
+class EprViolation:
+    """One reason a module is not in EPR."""
+
+    def __init__(self, where: str, reason: str):
+        self.where = where
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return f"<EprViolation {self.where}: {self.reason}>"
+
+
+class EprError(Exception):
+    def __init__(self, violations: list[EprViolation]):
+        lines = [f"  {v.where}: {v.reason}" for v in violations]
+        super().__init__("module is not in EPR:\n" + "\n".join(lines))
+        self.violations = violations
+
+
+def _is_epr_type(t: VT.VType) -> bool:
+    if isinstance(t, VT.BoolType):
+        return True
+    if isinstance(t, (VT.StructType, VT.EnumType)):
+        return True  # uninterpreted carriers
+    return False
+
+
+def _expr_violations(e: A.Expr, where: str, out: list[EprViolation]) -> None:
+    for sub in _walk(e):
+        if isinstance(sub, A.BinOp) and sub.op in _ARITH_OPS:
+            out.append(EprViolation(
+                where, f"arithmetic operator {sub.op!r} is outside EPR "
+                       f"(abstract numbers as a totally ordered sort)"))
+        if isinstance(sub, A.Lit) and not isinstance(sub.vtype, VT.BoolType):
+            out.append(EprViolation(
+                where, "integer literal is outside EPR"))
+        if isinstance(sub, (A.SeqLen, A.SeqIndex, A.SeqUpdate, A.SeqConcat,
+                            A.SeqSkip, A.SeqTake, A.SeqLit)):
+            out.append(EprViolation(
+                where, "Seq operations require integer indices, outside EPR"))
+
+
+def _walk(e: A.Expr):
+    stack = [e]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for attr in ("lhs", "rhs", "operand", "cond", "then", "els", "base",
+                     "seq", "idx", "value", "n", "m", "key", "body"):
+            child = getattr(cur, attr, None)
+            if isinstance(child, A.Expr):
+                stack.append(child)
+        for attr in ("args", "items"):
+            children = getattr(cur, attr, None)
+            if children:
+                stack.extend(c for c in children if isinstance(c, A.Expr))
+        fields = getattr(cur, "fields", None)
+        if isinstance(fields, dict):
+            stack.extend(v for v in fields.values() if isinstance(v, A.Expr))
+
+
+def _quantifier_edges(e: A.Expr, positive: bool, graph: nx.DiGraph,
+                      univ_in_scope: tuple) -> None:
+    """Add quantifier-alternation edges: ∀x..∃y ⇒ sort(x) → sort(y)."""
+    if isinstance(e, A.UnOp) and e.op == "!":
+        _quantifier_edges(e.operand, not positive, graph, univ_in_scope)
+        return
+    if isinstance(e, A.BinOp):
+        if e.op == "==>":
+            _quantifier_edges(e.lhs, not positive, graph, univ_in_scope)
+            _quantifier_edges(e.rhs, positive, graph, univ_in_scope)
+            return
+        if e.op in ("&&", "||"):
+            _quantifier_edges(e.lhs, positive, graph, univ_in_scope)
+            _quantifier_edges(e.rhs, positive, graph, univ_in_scope)
+            return
+        if e.op == "<==>":
+            for pol in (positive, not positive):
+                _quantifier_edges(e.lhs, pol, graph, univ_in_scope)
+                _quantifier_edges(e.rhs, pol, graph, univ_in_scope)
+            return
+    if isinstance(e, (A.ForAllE, A.ExistsE)):
+        is_univ = isinstance(e, A.ForAllE) == positive
+        if is_univ:
+            scope = univ_in_scope + tuple(t for _, t in e.bound)
+            _quantifier_edges(e.body, positive, graph, scope)
+        else:
+            for _, exist_t in e.bound:
+                for univ_t in univ_in_scope:
+                    graph.add_edge(univ_t.name, exist_t.name)
+            _quantifier_edges(e.body, positive, graph, univ_in_scope)
+        return
+    # Atoms: our language nests quantifiers only through boolean structure.
+
+
+def check_epr_module(mod: A.Module) -> list[EprViolation]:
+    """All EPR violations of a module (empty list = well-formed)."""
+    violations: list[EprViolation] = []
+    graph = nx.DiGraph()
+    for fn in mod.functions.values():
+        where = f"{mod.name}.{fn.name}"
+        for p in fn.params:
+            if not _is_epr_type(p.vtype):
+                violations.append(EprViolation(
+                    where, f"parameter {p.name}: type {p.vtype.name} is not "
+                           f"an uninterpreted EPR sort"))
+        if fn.ret is not None and not _is_epr_type(fn.ret[1]):
+            violations.append(EprViolation(
+                where, f"return type {fn.ret[1].name} is not an EPR sort"))
+        exprs = list(fn.requires) + list(fn.ensures)
+        if isinstance(fn.body, A.Expr):
+            exprs.append(fn.body)
+        for e in exprs:
+            _expr_violations(e, where, violations)
+            _quantifier_edges(e, True, graph, ())
+        # Function edges: non-boolean spec functions map argument sorts to
+        # the result sort; a sort cycle breaks decidability.
+        if fn.is_spec and fn.ret is not None:
+            ret_t = fn.ret[1]
+            if not isinstance(ret_t, VT.BoolType):
+                for p in fn.params:
+                    if not isinstance(p.vtype, VT.BoolType):
+                        graph.add_edge(p.vtype.name, ret_t.name)
+    try:
+        cycle = nx.find_cycle(graph)
+        path = " -> ".join(str(a) for a, _ in cycle) + f" -> {cycle[-1][1]}"
+        violations.append(EprViolation(
+            mod.name,
+            f"quantifier-alternation/function graph has a cycle: {path}"))
+    except nx.NetworkXNoCycle:
+        pass
+    return violations
+
+
+def epr_config() -> VcConfig:
+    """Verifier configuration for EPR modules: MBQI on, generous budgets."""
+    return VcConfig(mbqi=True,
+                    solver_config=SolverConfig(mbqi=True, max_rounds=200,
+                                               max_instantiations=60000,
+                                               mbqi_max_universe=14))
+
+
+def verify_epr_module(mod: A.Module,
+                      config: Optional[VcConfig] = None) -> ModuleResult:
+    """Check EPR well-formedness, then verify with complete instantiation.
+
+    Raises :class:`EprError` if the module steps outside EPR — the paper's
+    `#[epr_mode]` attribute check.
+    """
+    violations = check_epr_module(mod)
+    if violations:
+        raise EprError(violations)
+    return VcGen(mod, config or epr_config()).verify_module()

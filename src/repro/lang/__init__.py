@@ -1,0 +1,299 @@
+"""The developer-facing surface of the verifier (the `verus!{}` macro's role).
+
+Typical usage::
+
+    from repro.lang import *
+
+    mod = Module("demo")
+    a, b = var("a", U64), var("b", U64)
+    res = var("res", U64)
+
+    spec_fn(mod, "max2", [("a", INT), ("b", INT)], INT,
+            body=ite(var("a", INT) >= var("b", INT),
+                     var("a", INT), var("b", INT)))
+
+    exec_fn(mod, "max_exec", [("a", U64), ("b", U64)], ret=("res", U64),
+            ensures=[res.eq(call(mod, "max2", a, b))],
+            body=[if_(a >= b, [ret(a)], [ret(b)])])
+
+    verify(mod)   # raises VerificationFailure on failure
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..vc import ast as A
+from ..vc import types as VT
+from ..vc.errors import ModuleResult, VerificationFailure
+from ..vc.wp import VcConfig, VcGen
+from ..smt.quant import BROAD, CONSERVATIVE
+
+# Re-export the type vocabulary.
+INT = VT.INT
+NAT = VT.NAT
+BOOL = VT.BOOL
+U8 = VT.U8
+U16 = VT.U16
+U32 = VT.U32
+U64 = VT.U64
+USIZE = VT.USIZE
+SeqType = VT.SeqType
+MapType = VT.MapType
+StructType = VT.StructType
+EnumType = VT.EnumType
+
+Module = A.Module
+Function = A.Function
+Param = A.Param
+
+BY_BIT_VECTOR = A.BY_BIT_VECTOR
+BY_NONLINEAR = A.BY_NONLINEAR
+BY_INTEGER_RING = A.BY_INTEGER_RING
+BY_COMPUTE = A.BY_COMPUTE
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def var(name: str, vtype: VT.VType) -> A.VarE:
+    return A.VarE(name, vtype)
+
+
+def old(name: str, vtype: VT.VType) -> A.Old:
+    return A.Old(name, vtype)
+
+
+def lit(value: Union[int, bool], vtype: Optional[VT.VType] = None) -> A.Lit:
+    if vtype is None:
+        vtype = VT.BOOL if isinstance(value, bool) else VT.INT
+    return A.Lit(value, vtype)
+
+
+def ite(cond, then, els) -> A.IteE:
+    return A.IteE(A.coerce(cond), A.coerce(then), A.coerce(els))
+
+
+def call(mod: A.Module, fn_name: str, *args) -> A.Call:
+    fn = mod.lookup(fn_name)
+    if fn.ret is None:
+        raise ValueError(f"{fn_name} has no return value")
+    return A.Call(fn_name, [A.coerce(a) for a in args], fn.ret[1])
+
+
+def rec_call(fn_name: str, ret_type: VT.VType, *args) -> A.Call:
+    """Call by name with an explicit return type.
+
+    Needed for recursive spec functions, whose body is built before the
+    function is registered in the module.
+    """
+    return A.Call(fn_name, [A.coerce(a) for a in args], ret_type)
+
+
+def forall(bound: Sequence[tuple[str, VT.VType]], body,
+           triggers=None) -> A.ForAllE:
+    return A.ForAllE(bound, A.coerce(body), triggers)
+
+
+def exists(bound: Sequence[tuple[str, VT.VType]], body,
+           triggers=None) -> A.ExistsE:
+    return A.ExistsE(bound, A.coerce(body), triggers)
+
+
+def let(name: str, value, body) -> A.LetE:
+    return A.LetE(name, A.coerce(value), A.coerce(body))
+
+
+def seq_lit(elem: VT.VType, *items) -> A.SeqLit:
+    return A.SeqLit(elem, [A.coerce(i) for i in items])
+
+
+def seq_empty(elem: VT.VType) -> A.SeqLit:
+    return A.SeqLit(elem, [])
+
+
+def map_empty(key: VT.VType, value: VT.VType) -> A.MapEmpty:
+    return A.MapEmpty(VT.MapType(key, value))
+
+
+def struct(vtype: VT.StructType, **fields) -> A.StructLit:
+    return A.StructLit(vtype, fields)
+
+
+def struct_update(base, **updates) -> A.StructUpdate:
+    return A.StructUpdate(A.coerce(base), updates)
+
+
+def enum(vtype: VT.EnumType, variant: str, **fields) -> A.EnumLit:
+    return A.EnumLit(vtype, variant, fields)
+
+
+def ext_eq(a, b) -> A.BinOp:
+    """`a =~= b`: extensional equality (invokes the ext axiom for Seq)."""
+    return A.BinOp("=~=", A.coerce(a), A.coerce(b))
+
+
+def and_all(*parts) -> A.Expr:
+    parts = [A.coerce(p) for p in parts]
+    if not parts:
+        return lit(True)
+    out = parts[0]
+    for p in parts[1:]:
+        out = out.and_(p)
+    return out
+
+
+def or_all(*parts) -> A.Expr:
+    parts = [A.coerce(p) for p in parts]
+    if not parts:
+        return lit(False)
+    out = parts[0]
+    for p in parts[1:]:
+        out = out.or_(p)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+def let_(name: str, value) -> A.SLet:
+    return A.SLet(name, A.coerce(value))
+
+
+def assign(name: str, value) -> A.SAssign:
+    return A.SAssign(name, A.coerce(value))
+
+
+def if_(cond, then: Sequence[A.Stmt], els: Sequence[A.Stmt] = ()) -> A.SIf:
+    return A.SIf(A.coerce(cond), then, els)
+
+
+def while_(cond, invariants: Sequence, body: Sequence[A.Stmt],
+           decreases=None) -> A.SWhile:
+    return A.SWhile(A.coerce(cond), [A.coerce(i) for i in invariants], body,
+                    A.coerce(decreases) if decreases is not None else None)
+
+
+def assert_(expr, by: Optional[str] = None, premises: Sequence = (),
+            label: str = "") -> A.SAssert:
+    return A.SAssert(A.coerce(expr), by,
+                     [A.coerce(p) for p in premises], label)
+
+
+def assume_(expr) -> A.SAssume:
+    return A.SAssume(A.coerce(expr))
+
+
+def call_stmt(fn_name: str, args: Sequence = (), binds: Sequence[str] = (),
+              mut_args: Sequence[str] = ()) -> A.SCall:
+    return A.SCall(fn_name, [A.coerce(a) for a in args], binds, mut_args)
+
+
+def ret(expr=None) -> A.SReturn:
+    return A.SReturn(A.coerce(expr) if expr is not None else None)
+
+
+# ---------------------------------------------------------------------------
+# Function declaration helpers
+# ---------------------------------------------------------------------------
+
+def _params(params: Sequence, mut: Sequence[str] = ()) -> list[A.Param]:
+    out = []
+    for p in params:
+        if isinstance(p, A.Param):
+            out.append(p)
+        else:
+            name, vtype = p
+            out.append(A.Param(name, vtype, mutable=name in mut))
+    return out
+
+
+def spec_fn(mod: A.Module, name: str, params: Sequence, ret_type: VT.VType,
+            body: A.Expr, decreases=None) -> A.Function:
+    fn = A.Function(name, A.SPEC, _params(params), ("result", ret_type),
+                    body=A.coerce(body),
+                    decreases=A.coerce(decreases) if decreases is not None
+                    else None)
+    return mod.add(fn)
+
+
+def exec_fn(mod: A.Module, name: str, params: Sequence,
+            ret: Optional[tuple[str, VT.VType]] = None,
+            requires: Sequence = (), ensures: Sequence = (),
+            body: Optional[Sequence[A.Stmt]] = None,
+            mut: Sequence[str] = (), attrs: Optional[dict] = None
+            ) -> A.Function:
+    fn = A.Function(name, A.EXEC, _params(params, mut), ret,
+                    requires=[A.coerce(r) for r in requires],
+                    ensures=[A.coerce(e) for e in ensures],
+                    body=body, attrs=attrs)
+    return mod.add(fn)
+
+
+def proof_fn(mod: A.Module, name: str, params: Sequence,
+             requires: Sequence = (), ensures: Sequence = (),
+             body: Optional[Sequence[A.Stmt]] = None,
+             ret: Optional[tuple[str, VT.VType]] = None) -> A.Function:
+    fn = A.Function(name, A.PROOF, _params(params), ret,
+                    requires=[A.coerce(r) for r in requires],
+                    ensures=[A.coerce(e) for e in ensures],
+                    body=body if body is not None else [])
+    return mod.add(fn)
+
+
+# ---------------------------------------------------------------------------
+# Verification entry points
+# ---------------------------------------------------------------------------
+
+def verify_module(mod: A.Module, config: Optional[VcConfig] = None
+                  ) -> ModuleResult:
+    """Verify a module, returning the detailed result."""
+    return VcGen(mod, config).verify_module()
+
+
+def verify(mod: A.Module, config: Optional[VcConfig] = None) -> ModuleResult:
+    """Verify a module; raise VerificationFailure if anything fails."""
+    result = verify_module(mod, config)
+    if not result.ok:
+        raise VerificationFailure(result)
+    return result
+
+
+def count_idioms(mod: A.Module) -> dict[str, int]:
+    """Count by(...) idiom invocations in a module (paper reports these)."""
+    counts = {A.BY_BIT_VECTOR: 0, A.BY_NONLINEAR: 0,
+              A.BY_INTEGER_RING: 0, A.BY_COMPUTE: 0}
+
+    def scan(stmts):
+        for s in stmts or ():
+            if isinstance(s, A.SAssert) and s.by in counts:
+                counts[s.by] += 1
+            elif isinstance(s, A.SIf):
+                scan(s.then)
+                scan(s.els)
+            elif isinstance(s, A.SWhile):
+                scan(s.body)
+
+    for fn in mod.functions.values():
+        if isinstance(fn.body, list):
+            scan(fn.body)
+    return counts
+
+
+__all__ = [
+    "INT", "NAT", "BOOL", "U8", "U16", "U32", "U64", "USIZE",
+    "SeqType", "MapType", "StructType", "EnumType",
+    "Module", "Function", "Param", "VcConfig", "ModuleResult",
+    "VerificationFailure", "BROAD", "CONSERVATIVE",
+    "BY_BIT_VECTOR", "BY_NONLINEAR", "BY_INTEGER_RING", "BY_COMPUTE",
+    "var", "old", "lit", "ite", "call", "rec_call", "forall", "exists",
+    "let",
+    "seq_lit", "seq_empty", "map_empty", "struct", "struct_update", "enum",
+    "ext_eq", "and_all", "or_all",
+    "let_", "assign", "if_", "while_", "assert_", "assume_", "call_stmt",
+    "ret",
+    "spec_fn", "exec_fn", "proof_fn",
+    "verify", "verify_module", "count_idioms",
+]

@@ -1,0 +1,169 @@
+"""A vstd-style library of verified utility lemmas.
+
+Verus ships a "standard library" of verified utility code and lemmas that
+user proofs call (the paper mentions it when wiring VerusSync tokens to
+atomics).  This module provides the analogue for our surface: a module of
+proof functions over Seq/Map/arithmetic, each verified once by the default
+pipeline and callable from user code via ``call_stmt`` (lemma invocation).
+
+Build it with :func:`build_stdlib` and import it into user modules:
+
+    std = build_stdlib()
+    my_module.import_module(std)
+    ...
+    call_stmt("lemma_seq_push_len", [s, v])
+"""
+
+from __future__ import annotations
+
+from . import (INT, MapType, Module, SeqType, and_all, assert_, ext_eq,
+               forall, lit, proof_fn, var)
+
+SeqI = SeqType(INT)
+MapII = MapType(INT, INT)
+
+
+def build_stdlib() -> Module:
+    """The verified lemma library (verify once, import everywhere)."""
+    std = Module("vstd")
+    s, t = var("s", SeqI), var("t", SeqI)
+    v, i, n = var("v", INT), var("i", INT), var("n", INT)
+    m = var("m", MapII)
+    k, k2, val = var("k", INT), var("k2", INT), var("val", INT)
+
+    # ---- Seq lemmas --------------------------------------------------------
+
+    proof_fn(std, "lemma_seq_push_len", [("s", SeqI), ("v", INT)],
+             ensures=[s.push(v).length().eq(s.length() + 1)], body=[])
+
+    proof_fn(std, "lemma_seq_push_last", [("s", SeqI), ("v", INT)],
+             ensures=[s.push(v).index(s.length()).eq(v)], body=[])
+
+    proof_fn(std, "lemma_seq_push_prefix", [("s", SeqI), ("v", INT),
+                                            ("i", INT)],
+             requires=[lit(0) <= i, i < s.length()],
+             ensures=[s.push(v).index(i).eq(s.index(i))], body=[])
+
+    proof_fn(std, "lemma_seq_update_same", [("s", SeqI), ("i", INT),
+                                            ("v", INT)],
+             requires=[lit(0) <= i, i < s.length()],
+             ensures=[s.update(i, v).index(i).eq(v),
+                      s.update(i, v).length().eq(s.length())], body=[])
+
+    proof_fn(std, "lemma_seq_update_other", [("s", SeqI), ("i", INT),
+                                             ("n", INT), ("v", INT)],
+             requires=[lit(0) <= i, i < s.length(),
+                       lit(0) <= n, n < s.length(), i.ne(n)],
+             ensures=[s.update(i, v).index(n).eq(s.index(n))], body=[])
+
+    proof_fn(std, "lemma_seq_concat_len", [("s", SeqI), ("t", SeqI)],
+             ensures=[s.concat(t).length().eq(s.length() + t.length())],
+             body=[])
+
+    proof_fn(std, "lemma_seq_concat_index_left",
+             [("s", SeqI), ("t", SeqI), ("i", INT)],
+             requires=[lit(0) <= i, i < s.length()],
+             ensures=[s.concat(t).index(i).eq(s.index(i))], body=[])
+
+    proof_fn(std, "lemma_seq_concat_index_right",
+             [("s", SeqI), ("t", SeqI), ("i", INT)],
+             requires=[s.length() <= i,
+                       i < s.length() + t.length()],
+             ensures=[s.concat(t).index(i).eq(t.index(i - s.length()))],
+             body=[])
+
+    proof_fn(std, "lemma_seq_take_skip_cover",
+             [("s", SeqI), ("n", INT), ("i", INT)],
+             requires=[lit(0) <= n, n <= s.length()],
+             ensures=[
+                 s.take(n).length().eq(n),
+                 s.skip(n).length().eq(s.length() - n),
+                 and_all(lit(0) <= i, i < n).implies(
+                     s.take(n).index(i).eq(s.index(i))),
+                 and_all(lit(0) <= i, i < s.length() - n).implies(
+                     s.skip(n).index(i).eq(s.index(i + n))),
+             ], body=[])
+
+    proof_fn(std, "lemma_seq_take_full", [("s", SeqI)],
+             ensures=[ext_eq(s.take(s.length()), s)], body=[])
+
+    proof_fn(std, "lemma_seq_skip_zero", [("s", SeqI)],
+             ensures=[ext_eq(s.skip(0), s)], body=[])
+
+    proof_fn(std, "lemma_seq_ext_symmetric", [("s", SeqI), ("t", SeqI)],
+             requires=[s.length().eq(t.length()),
+                       forall([("q", INT)],
+                              and_all(lit(0) <= var("q", INT),
+                                      var("q", INT) < s.length()).implies(
+                                  s.index(var("q", INT)).eq(
+                                      t.index(var("q", INT)))))],
+             # s == t follows from s =~= t only once the `ext` term exists
+             # in the query — the body's assert introduces it, the same way
+             # Verus proofs write `assert(s =~= t)` before using `s == t`.
+             ensures=[ext_eq(s, t), s.eq(t)],
+             body=[assert_(ext_eq(s, t))])
+
+    # ---- Map lemmas -----------------------------------------------------------
+
+    proof_fn(std, "lemma_map_insert_same", [("m", MapII), ("k", INT),
+                                            ("val", INT)],
+             ensures=[m.insert(k, val).contains_key(k),
+                      m.insert(k, val).map_index(k).eq(val)], body=[])
+
+    proof_fn(std, "lemma_map_insert_other",
+             [("m", MapII), ("k", INT), ("k2", INT), ("val", INT)],
+             requires=[k.ne(k2)],
+             ensures=[
+                 m.insert(k, val).contains_key(k2).eq(m.contains_key(k2)),
+                 m.contains_key(k2).implies(
+                     m.insert(k, val).map_index(k2).eq(m.map_index(k2))),
+             ], body=[])
+
+    proof_fn(std, "lemma_map_remove", [("m", MapII), ("k", INT),
+                                       ("k2", INT)],
+             requires=[k.ne(k2)],
+             ensures=[
+                 m.remove(k).contains_key(k).not_(),
+                 m.remove(k).contains_key(k2).eq(m.contains_key(k2)),
+             ], body=[])
+
+    proof_fn(std, "lemma_map_insert_remove_roundtrip",
+             [("m", MapII), ("k", INT), ("val", INT), ("k2", INT)],
+             requires=[m.contains_key(k).not_(), k.ne(k2)],
+             ensures=[
+                 m.insert(k, val).remove(k).contains_key(k2).eq(
+                     m.contains_key(k2)),
+             ], body=[])
+
+    # ---- arithmetic lemmas -------------------------------------------------------
+
+    proof_fn(std, "lemma_div_mod_decomposition", [("i", INT), ("n", INT)],
+             requires=[n > 0],
+             ensures=[((i // n) * n + (i % n)).eq(i),
+                      (i % n) >= 0, (i % n) < n], body=[])
+
+    proof_fn(std, "lemma_mod_bounds", [("i", INT), ("n", INT)],
+             requires=[n > 0],
+             ensures=[(i % n) >= 0, (i % n) < n], body=[])
+
+    # Products need by(nonlinear_arith); vstd's mul lemmas are the model.
+    proof_fn(std, "lemma_mul_nonneg", [("i", INT), ("n", INT)],
+             requires=[i >= 0, n >= 0],
+             ensures=[i * n >= 0],
+             body=[assert_(i * n >= 0, by="nonlinear_arith",
+                           premises=[i >= 0, n >= 0])])
+
+    proof_fn(std, "lemma_mul_strictly_ordered", [("i", INT), ("n", INT),
+                                                 ("k", INT)],
+             requires=[i < n, k > 0],
+             ensures=[i * k < n * k],
+             body=[assert_(i * k < n * k, by="nonlinear_arith",
+                           premises=[i < n, k > 0])])
+
+    proof_fn(std, "lemma_div_floor", [("i", INT), ("n", INT)],
+             requires=[n > 0, i >= 0],
+             ensures=[(i // n) * n <= i],
+             body=[assert_((i // n) * n <= i, by="nonlinear_arith",
+                           premises=[n > 0, i >= 0])])
+
+    return std

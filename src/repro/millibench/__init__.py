@@ -1,0 +1,1 @@
+"""§4.1 millibenchmark programs: lists, memory reasoning, distributed lock."""

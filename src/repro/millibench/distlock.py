@@ -1,0 +1,300 @@
+"""§4.1 millibenchmark: the distributed lock, proved two ways.
+
+A lock travels between nodes by epoch-stamped ``transfer`` messages; a
+node acquiring the lock at epoch ``e`` announces ``locked(e, n)``.  The
+safety property is mutual exclusion per epoch: ``locked(e, n1) ∧
+locked(e, n2) → n1 = n2``.
+
+Two proofs, mirroring the paper:
+
+* **Default mode** (:func:`build_default_module`): epochs are integers
+  (``ep`` is a counter; freshness is ``+1``), and the inductive invariant
+  is stated directly — the analogue of the ~25-line Dafny-style proof.
+* **EPR mode** (:func:`build_epr_module`): epochs are abstracted into a
+  totally ordered uninterpreted sort.  The price is the boilerplate of
+  spelling out the order axioms and freshness hypotheses (the paper's
+  "~100 lines of straightforward boilerplate"); the payoff is a fully
+  automatic, decidable invariant check.
+
+Both modules prove: init establishes the invariant, ``grant`` and
+``accept`` preserve it, and mutual exclusion follows from it.
+"""
+
+from __future__ import annotations
+
+from ..lang import *
+
+State = StructType("DLState")
+Node = StructType("DLNode")
+Epoch = StructType("DLEpoch")
+
+
+def _default_relations(mod: Module):
+    mod.add(Function("holds", "spec",
+                     [Param("s", State), Param("n", Node)],
+                     ("result", BOOL)))
+    mod.add(Function("transfer", "spec",
+                     [Param("s", State), Param("e", INT), Param("n", Node)],
+                     ("result", BOOL)))
+    mod.add(Function("locked", "spec",
+                     [Param("s", State), Param("e", INT), Param("n", Node)],
+                     ("result", BOOL)))
+    mod.add(Function("ep", "spec", [Param("s", State)], ("result", INT)))
+
+
+def build_default_module() -> Module:
+    """Default-mode proof: integer epochs, explicit inductive invariant."""
+    mod = Module("distlock_default")
+    _default_relations(mod)
+
+    def holds(s, n):
+        return call(mod, "holds", s, n)
+
+    def transfer(s, e, n):
+        return call(mod, "transfer", s, e, n)
+
+    def locked(s, e, n):
+        return call(mod, "locked", s, e, n)
+
+    def ep(s):
+        return call(mod, "ep", s)
+
+    def inv(s):
+        """The inductive invariant (the paper's ~25 proof lines)."""
+        n1, n2 = ("in1", Node), ("in2", Node)
+        e1, e2 = ("ie1", INT), ("ie2", INT)
+        vn1, vn2 = var("in1", Node), var("in2", Node)
+        ve1, ve2 = var("ie1", INT), var("ie2", INT)
+        return and_all(
+            # A: at most one holder
+            forall([n1, n2], and_all(holds(s, vn1), holds(s, vn2)).implies(
+                vn1.eq(vn2))),
+            # B: a holder excludes current-epoch transfers
+            forall([n1, n2],
+                   and_all(holds(s, vn1),
+                           transfer(s, ep(s), vn2)).implies(lit(False))),
+            # C: at most one transfer per epoch
+            forall([e1, n1, n2],
+                   and_all(transfer(s, ve1, vn1),
+                           transfer(s, ve1, vn2)).implies(vn1.eq(vn2))),
+            # D: transfers never exceed the current epoch
+            forall([e1, n1],
+                   transfer(s, ve1, vn1).implies(ve1 <= ep(s))),
+            # E: at most one locked announcement per epoch
+            forall([e1, n1, n2],
+                   and_all(locked(s, ve1, vn1),
+                           locked(s, ve1, vn2)).implies(vn1.eq(vn2))),
+            # H: a locked epoch has no in-flight transfer
+            forall([e1, n1, n2],
+                   and_all(locked(s, ve1, vn1),
+                           transfer(s, ve1, vn2)).implies(lit(False))),
+            # I: locked epochs never exceed the current epoch
+            forall([e1, n1],
+                   locked(s, ve1, vn1).implies(ve1 <= ep(s))),
+        )
+
+    s, s2 = var("s", State), var("s2", State)
+    n1, n2, n = var("n1", Node), var("n2", Node), var("n", Node)
+    qe, qn, qm = ("qe", INT), ("qn", Node), ("qm", Node)
+    ve, vn, vm = var("qe", INT), var("qn", Node), var("qm", Node)
+
+    # init: first holder, no messages, epoch 0
+    init_def = and_all(
+        exists([("first", Node)],
+               forall([qn],
+                      holds(s, vn).eq(vn.eq(var("first", Node))))),
+        forall([qe, qn], transfer(s, ve, vn).not_()),
+        forall([qe, qn], locked(s, ve, vn).not_()),
+        ep(s).eq(0),
+    )
+    proof_fn(mod, "init_establishes", [("s", State)],
+             requires=[init_def], ensures=[inv(s)], body=[])
+
+    # grant(n1 -> n2): release, send transfer at ep+1, bump epoch
+    grant_def = and_all(
+        holds(s, n1),
+        forall([qn], holds(s2, vn).not_()),
+        ep(s2).eq(ep(s) + 1),
+        forall([qe, qn],
+               transfer(s2, ve, vn).eq(
+                   or_all(transfer(s, ve, vn),
+                          and_all(ve.eq(ep(s) + 1), vn.eq(n2))))),
+        forall([qe, qn], locked(s2, ve, vn).eq(locked(s, ve, vn))),
+    )
+    proof_fn(mod, "grant_preserves",
+             [("s", State), ("s2", State), ("n1", Node), ("n2", Node)],
+             requires=[inv(s), grant_def], ensures=[inv(s2)], body=[])
+
+    # accept(n): consume the current-epoch transfer, hold, announce locked
+    accept_def = and_all(
+        transfer(s, ep(s), n),
+        ep(s2).eq(ep(s)),
+        forall([qn], holds(s2, vn).eq(vn.eq(n))),
+        forall([qe, qn],
+               transfer(s2, ve, vn).eq(
+                   and_all(transfer(s, ve, vn),
+                           or_all(ve.ne(ep(s)), vn.ne(n))))),
+        forall([qe, qn],
+               locked(s2, ve, vn).eq(
+                   or_all(locked(s, ve, vn),
+                          and_all(ve.eq(ep(s)), vn.eq(n))))),
+    )
+    proof_fn(mod, "accept_preserves",
+             [("s", State), ("s2", State), ("n", Node)],
+             requires=[inv(s), accept_def], ensures=[inv(s2)], body=[])
+
+    # Mutual exclusion follows from the invariant.
+    proof_fn(mod, "mutual_exclusion",
+             [("s", State), ("e", INT), ("n1", Node), ("n2", Node)],
+             requires=[inv(s),
+                       call(mod, "locked", s, var("e", INT), n1),
+                       call(mod, "locked", s, var("e", INT), n2)],
+             ensures=[n1.eq(n2)], body=[])
+    return mod
+
+
+def build_epr_module() -> Module:
+    """EPR-mode proof: epochs abstracted to a totally ordered sort.
+
+    Everything below the transitions is boilerplate: the order axioms and
+    the freshness hypotheses that integer arithmetic gave us for free.
+    """
+    mod = Module("distlock_epr", epr_mode=True)
+    mod.add(Function("holds", "spec",
+                     [Param("s", State), Param("n", Node)],
+                     ("result", BOOL)))
+    mod.add(Function("transfer", "spec",
+                     [Param("s", State), Param("e", Epoch),
+                      Param("n", Node)], ("result", BOOL)))
+    mod.add(Function("locked", "spec",
+                     [Param("s", State), Param("e", Epoch),
+                      Param("n", Node)], ("result", BOOL)))
+    mod.add(Function("lte", "spec",
+                     [Param("a", Epoch), Param("b", Epoch)],
+                     ("result", BOOL)))
+    mod.add(Function("cur", "spec",
+                     [Param("s", State), Param("e", Epoch)],
+                     ("result", BOOL)))  # cur(s,e): e is the current epoch
+
+    def holds(s, n):
+        return call(mod, "holds", s, n)
+
+    def transfer(s, e, n):
+        return call(mod, "transfer", s, e, n)
+
+    def locked(s, e, n):
+        return call(mod, "locked", s, e, n)
+
+    def lte(a, b):
+        return call(mod, "lte", a, b)
+
+    def cur(s, e):
+        return call(mod, "cur", s, e)
+
+    # ---- boilerplate: total order on the abstract Epoch sort -------------
+    qa, qb, qc = ("oa", Epoch), ("ob", Epoch), ("oc", Epoch)
+    va, vb, vc = var("oa", Epoch), var("ob", Epoch), var("oc", Epoch)
+    order_axioms = [
+        forall([qa], lte(va, va)),
+        forall([qa, qb, qc],
+               and_all(lte(va, vb), lte(vb, vc)).implies(lte(va, vc))),
+        forall([qa, qb],
+               and_all(lte(va, vb), lte(vb, va)).implies(va.eq(vb))),
+        forall([qa, qb], or_all(lte(va, vb), lte(vb, va))),
+    ]
+    # current epoch exists uniquely per state (boilerplate stand-in for the
+    # integer counter)
+    s_b = ("bs", State)
+    vs = var("bs", State)
+    cur_axioms = [
+        forall([s_b, qa, qb],
+               and_all(cur(vs, va), cur(vs, vb)).implies(va.eq(vb))),
+    ]
+    boilerplate = order_axioms + cur_axioms
+
+    def lt(a, b):
+        return and_all(lte(a, b), a.ne(b))
+
+    def inv(s):
+        n1, n2 = ("in1", Node), ("in2", Node)
+        e1 = ("ie1", Epoch)
+        vn1, vn2 = var("in1", Node), var("in2", Node)
+        ve1 = var("ie1", Epoch)
+        ecur = ("iec", Epoch)
+        vec = var("iec", Epoch)
+        return and_all(
+            forall([n1, n2], and_all(holds(s, vn1), holds(s, vn2)).implies(
+                vn1.eq(vn2))),
+            forall([n1, ecur, n2],
+                   and_all(holds(s, vn1), cur(s, vec),
+                           transfer(s, vec, vn2)).implies(lit(False))),
+            forall([e1, n1, n2],
+                   and_all(transfer(s, ve1, vn1),
+                           transfer(s, ve1, vn2)).implies(vn1.eq(vn2))),
+            forall([e1, n1, ecur],
+                   and_all(transfer(s, ve1, vn1), cur(s, vec)).implies(
+                       lte(ve1, vec))),
+            forall([e1, n1, n2],
+                   and_all(locked(s, ve1, vn1),
+                           locked(s, ve1, vn2)).implies(vn1.eq(vn2))),
+            forall([e1, n1, n2],
+                   and_all(locked(s, ve1, vn1),
+                           transfer(s, ve1, vn2)).implies(lit(False))),
+            forall([e1, n1, ecur],
+                   and_all(locked(s, ve1, vn1), cur(s, vec)).implies(
+                       lte(ve1, vec))),
+        )
+
+    s, s2 = var("s", State), var("s2", State)
+    n1, n2, n = var("n1", Node), var("n2", Node), var("n", Node)
+    e_new, e_old = var("e_new", Epoch), var("e_old", Epoch)
+    qe, qn = ("qe", Epoch), ("qn", Node)
+    ve, vn = var("qe", Epoch), var("qn", Node)
+
+    grant_def = and_all(
+        holds(s, n1),
+        cur(s, e_old), cur(s2, e_new),
+        lt(e_old, e_new),
+        # freshness boilerplate: the new epoch strictly dominates all
+        # transfer/locked epochs (integers got this from +1)
+        forall([qe, qn], transfer(s, ve, vn).implies(lt(ve, e_new))),
+        forall([qe, qn], locked(s, ve, vn).implies(lt(ve, e_new))),
+        forall([qn], holds(s2, vn).not_()),
+        forall([qe, qn],
+               transfer(s2, ve, vn).eq(
+                   or_all(transfer(s, ve, vn),
+                          and_all(ve.eq(e_new), vn.eq(n2))))),
+        forall([qe, qn], locked(s2, ve, vn).eq(locked(s, ve, vn))),
+    )
+    proof_fn(mod, "grant_preserves",
+             [("s", State), ("s2", State), ("n1", Node), ("n2", Node),
+              ("e_old", Epoch), ("e_new", Epoch)],
+             requires=boilerplate + [inv(s), grant_def],
+             ensures=[inv(s2)], body=[])
+
+    accept_def = and_all(
+        cur(s, e_old), cur(s2, e_old),
+        transfer(s, e_old, n),
+        forall([qn], holds(s2, vn).eq(vn.eq(n))),
+        forall([qe, qn],
+               transfer(s2, ve, vn).eq(
+                   and_all(transfer(s, ve, vn),
+                           or_all(ve.ne(e_old), vn.ne(n))))),
+        forall([qe, qn],
+               locked(s2, ve, vn).eq(
+                   or_all(locked(s, ve, vn),
+                          and_all(ve.eq(e_old), vn.eq(n))))),
+    )
+    proof_fn(mod, "accept_preserves",
+             [("s", State), ("s2", State), ("n", Node), ("e_old", Epoch)],
+             requires=boilerplate + [inv(s), accept_def],
+             ensures=[inv(s2)], body=[])
+
+    proof_fn(mod, "mutual_exclusion",
+             [("s", State), ("e", Epoch), ("n1", Node), ("n2", Node)],
+             requires=boilerplate + [
+                 inv(s),
+                 call(mod, "locked", s, var("e", Epoch), n1),
+                 call(mod, "locked", s, var("e", Epoch), n2)],
+             ensures=[n1.eq(n2)], body=[])
+    return mod

@@ -1,0 +1,269 @@
+"""§4.1 millibenchmarks: singly/doubly linked lists and memory reasoning.
+
+The paper's list benchmarks verify that a linked list implements an
+abstract sequence.  Our verified language is ownership-functional (like
+Verus-on-Rust), so the list is a struct whose contents view as a
+mathematical ``Seq``; the verified API matches the paper's: push at the
+head, pop at the tail, indexing, and iteration — the doubly linked variant
+adds pushing/popping at both ends.
+
+The same module builders run through every baseline pipeline.  Heap
+pipelines route each list variable through ``read``/``write`` heap
+functions with frame axioms, which is where the Figure 7 cost differences
+come from.
+"""
+
+from __future__ import annotations
+
+from ..lang import *
+
+U64_MAX = (1 << 64) - 1
+SeqU = SeqType(U64)
+
+
+def build_singly_linked_module() -> Module:
+    """Singly linked list verified against its Seq view."""
+    mod = Module("singly_linked_list")
+    List = StructType("SList").declare([("cells", SeqU)])
+    mod.datatype(List)
+
+    l = var("l", List)
+    v = var("v", U64)
+    out = var("out", List)
+
+    # view: the abstract sequence
+    spec_fn(mod, "view", [("l", List)], SeqU, body=l.field("cells"))
+
+    # push at the head
+    exec_fn(mod, "push_head", [("l", List), ("v", U64)], ret=("out", List),
+            ensures=[
+                ext_eq(call(mod, "view", out),
+                       seq_lit(U64, v).concat(call(mod, "view", l))),
+                call(mod, "view", out).length().eq(
+                    call(mod, "view", l).length() + 1),
+            ],
+            body=[
+                ret(struct(List,
+                           cells=seq_lit(U64, v).concat(l.field("cells")))),
+            ])
+
+    # pop at the tail
+    PopOut = StructType("SListPop").declare([("value", U64),
+                                             ("rest", List)])
+    mod.datatype(PopOut)
+    exec_fn(mod, "pop_tail", [("l", List)], ret=("out", PopOut),
+            requires=[call(mod, "view", l).length() > 0],
+            ensures=[
+                var("out", PopOut).field("value").eq(
+                    call(mod, "view", l).index(
+                        call(mod, "view", l).length() - 1)),
+                ext_eq(call(mod, "view",
+                            var("out", PopOut).field("rest")),
+                       call(mod, "view", l).take(
+                           call(mod, "view", l).length() - 1)),
+            ],
+            body=[
+                let_("n", l.field("cells").length()),
+                let_("last", l.field("cells").index(var("n", INT) - 1)),
+                let_("rest", l.field("cells").take(var("n", INT) - 1)),
+                ret(struct(PopOut, value=var("last", U64),
+                           rest=struct(List, cells=var("rest", SeqU)))),
+            ])
+
+    # indexing
+    i = var("i", U64)
+    exec_fn(mod, "index", [("l", List), ("i", U64)], ret=("r", U64),
+            requires=[i < call(mod, "view", l).length()],
+            ensures=[var("r", U64).eq(call(mod, "view", l).index(i))],
+            body=[ret(l.field("cells").index(i))])
+
+    # iteration: sum of elements (walks the list with a loop)
+    acc = var("acc", U64)
+    exec_fn(mod, "iter_count_below",
+            [("l", List), ("bound", U64)], ret=("r", U64),
+            requires=[call(mod, "view", l).length() <= lit(U64_MAX)],
+            ensures=[var("r", U64) <= call(mod, "view", l).length()],
+            body=[
+                let_("i", lit(0, INT)),
+                let_("acc", lit(0, U64)),
+                while_(var("i", INT) < l.field("cells").length(),
+                       invariants=[
+                           lit(0) <= var("i", INT),
+                           var("i", INT) <= l.field("cells").length(),
+                           acc <= var("i", INT),
+                       ],
+                       body=[
+                           if_(l.field("cells").index(var("i", INT))
+                               < var("bound", U64),
+                               [assign("acc", acc + 1)]),
+                           assign("i", var("i", INT) + 1),
+                       ],
+                       decreases=l.field("cells").length() - var("i", INT)),
+                ret(acc),
+            ])
+    return mod
+
+
+def build_doubly_linked_module() -> Module:
+    """Doubly linked list: both-end pushes/pops + iteration.
+
+    Marked ``uses_cyclic`` — the real structure needs cyclic pointers
+    (unsafe Rust in the paper), which Prusti cannot express.
+    """
+    mod = Module("doubly_linked_list", attrs={"uses_cyclic": True})
+    List = StructType("DList").declare([("cells", SeqU)])
+    mod.datatype(List)
+
+    l = var("l", List)
+    v = var("v", U64)
+    out = var("out", List)
+
+    spec_fn(mod, "dview", [("l", List)], SeqU, body=l.field("cells"))
+
+    exec_fn(mod, "push_front", [("l", List), ("v", U64)],
+            ret=("out", List),
+            ensures=[
+                ext_eq(call(mod, "dview", out),
+                       seq_lit(U64, v).concat(call(mod, "dview", l))),
+            ],
+            body=[ret(struct(List,
+                             cells=seq_lit(U64, v).concat(
+                                 l.field("cells"))))])
+
+    exec_fn(mod, "push_back", [("l", List), ("v", U64)],
+            ret=("out", List),
+            ensures=[
+                ext_eq(call(mod, "dview", out),
+                       call(mod, "dview", l).push(v)),
+                call(mod, "dview", out).length().eq(
+                    call(mod, "dview", l).length() + 1),
+                call(mod, "dview", out).index(
+                    call(mod, "dview", l).length()).eq(v),
+            ],
+            body=[ret(struct(List, cells=l.field("cells").push(v)))])
+
+    PopF = StructType("DListPopF").declare([("value", U64), ("rest", List)])
+    mod.datatype(PopF)
+    exec_fn(mod, "pop_front", [("l", List)], ret=("out", PopF),
+            requires=[call(mod, "dview", l).length() > 0],
+            ensures=[
+                var("out", PopF).field("value").eq(
+                    call(mod, "dview", l).index(0)),
+                ext_eq(call(mod, "dview", var("out", PopF).field("rest")),
+                       call(mod, "dview", l).skip(1)),
+            ],
+            body=[
+                ret(struct(PopF,
+                           value=l.field("cells").index(0),
+                           rest=struct(List,
+                                       cells=l.field("cells").skip(1)))),
+            ])
+
+    PopB = StructType("DListPopB").declare([("value", U64), ("rest", List)])
+    mod.datatype(PopB)
+    exec_fn(mod, "pop_back", [("l", List)], ret=("out", PopB),
+            requires=[call(mod, "dview", l).length() > 0],
+            ensures=[
+                var("out", PopB).field("value").eq(
+                    call(mod, "dview", l).index(
+                        call(mod, "dview", l).length() - 1)),
+                ext_eq(call(mod, "dview", var("out", PopB).field("rest")),
+                       call(mod, "dview", l).take(
+                           call(mod, "dview", l).length() - 1)),
+            ],
+            body=[
+                let_("n", l.field("cells").length()),
+                ret(struct(PopB,
+                           value=l.field("cells").index(var("n", INT) - 1),
+                           rest=struct(List,
+                                       cells=l.field("cells").take(
+                                           var("n", INT) - 1)))),
+            ])
+
+    # Iterate both directions: reverse copy verified element-wise.
+    exec_fn(mod, "reverse", [("l", List)], ret=("out", List),
+            ensures=[
+                call(mod, "dview", out).length().eq(
+                    call(mod, "dview", l).length()),
+                forall([("k", INT)],
+                       and_all(lit(0) <= var("k", INT),
+                               var("k", INT) < call(mod, "dview", l)
+                               .length()).implies(
+                           call(mod, "dview", out).index(var("k", INT)).eq(
+                               call(mod, "dview", l).index(
+                                   call(mod, "dview", l).length() - 1
+                                   - var("k", INT))))),
+            ],
+            body=[
+                let_("i", lit(0, INT)),
+                let_("acc", seq_empty(U64)),
+                while_(var("i", INT) < l.field("cells").length(),
+                       invariants=[
+                           lit(0) <= var("i", INT),
+                           var("i", INT) <= l.field("cells").length(),
+                           var("acc", SeqU).length().eq(var("i", INT)),
+                           forall([("k", INT)],
+                                  and_all(lit(0) <= var("k", INT),
+                                          var("k", INT) < var("i", INT))
+                                  .implies(
+                                      var("acc", SeqU).index(var("k", INT))
+                                      .eq(l.field("cells").index(
+                                          l.field("cells").length() - 1
+                                          - var("k", INT))))),
+                       ],
+                       body=[
+                           assign("acc",
+                                  var("acc", SeqU).push(
+                                      l.field("cells").index(
+                                          l.field("cells").length() - 1
+                                          - var("i", INT)))),
+                           assign("i", var("i", INT) + 1),
+                       ],
+                       decreases=l.field("cells").length() - var("i", INT)),
+                ret(struct(List, cells=var("acc", SeqU))),
+            ])
+    return mod
+
+
+def build_memory_reasoning_module(pushes: int) -> Module:
+    """Figure 7b: interleaved updates to four lists, then assertions.
+
+    The function pushes ``pushes`` values onto each of four singly linked
+    lists round-robin, then asserts facts about each list's contents.  A
+    value encoding discharges the asserts directly; a heap encoding must
+    prove non-interference through 4×``pushes`` writes via frame axioms.
+    """
+    mod = Module(f"memory_reasoning_{pushes}")
+    List = StructType("SList").declare([("cells", SeqU)])
+    mod.datatype(List)
+    spec_fn(mod, "mview", [("l", List)], SeqU,
+            body=var("l", List).field("cells"))
+
+    params = [(f"l{k}", List) for k in range(4)]
+    body = []
+    for k in range(4):
+        body.append(let_(f"x{k}", var(f"l{k}", List)))
+    for i in range(pushes):
+        for k in range(4):
+            cur = var(f"x{k}", List)
+            body.append(assign(
+                f"x{k}",
+                struct(List,
+                       cells=cur.field("cells").push(
+                           lit(4 * i + k, U64)))))
+    # Assert basic facts about every list's elements.
+    checks = []
+    for k in range(4):
+        final = var(f"x{k}", List)
+        init = var(f"l{k}", List)
+        checks.append(assert_(
+            final.field("cells").length().eq(
+                init.field("cells").length() + pushes),
+            label=f"len of list {k}"))
+        checks.append(assert_(
+            final.field("cells").index(
+                init.field("cells").length()).eq(lit(k, U64)),
+            label=f"first pushed element of list {k}"))
+    body.extend(checks)
+    exec_fn(mod, "update_four_lists", params, body=body)
+    return mod

@@ -1,0 +1,9 @@
+"""Executable substrates: CRC32, pmem model, network sim, DES scheduler."""
+
+from .crc import crc32, crc32_bitwise
+from .des import Resource, SimThread, Simulator
+from .network import Endpoint, Network
+from .pmem import CACHELINE, PmemCrash, PmemDevice
+
+__all__ = ["crc32", "crc32_bitwise", "Simulator", "SimThread", "Resource",
+           "Network", "Endpoint", "PmemDevice", "PmemCrash", "CACHELINE"]

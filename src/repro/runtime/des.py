@@ -1,0 +1,125 @@
+"""A discrete-event concurrency simulator with a NUMA cost model.
+
+Figure 11 of the paper measures NR throughput on a 4-socket, 192-thread
+Xeon; no such hardware exists here, and the GIL would flatten any real
+Python threading experiment.  Instead the NR benchmark drives its (real,
+ghost-checked) data-structure code through this simulator: each simulated
+thread executes its actual operation logic, and only *time* is modeled —
+local work, remote-socket cache transfers, and contention on shared
+atomics.
+
+The cost model captures the three effects the NR paper leans on:
+
+* reads hit the local replica (cheap, embarrassingly parallel),
+* writes serialize through the shared log (flat combining: one combiner
+  per replica does a batch while others wait),
+* cross-socket traffic costs more than local traffic.
+
+Simulated wall-clock throughput then shows the paper's shape: read-heavy
+workloads scale with threads; write-heavy ones plateau early.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+
+class Event:
+    __slots__ = ("time", "seq", "action")
+
+    def __init__(self, time: float, seq: int, action: Callable):
+        self.time = time
+        self.seq = seq
+        self.action = action
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Resource:
+    """A mutually exclusive resource (lock/combiner slot) in sim-time."""
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.busy_until = 0.0
+        self.total_busy = 0.0
+        self.acquisitions = 0
+
+    def acquire_at(self, now: float, hold: float) -> float:
+        """Serve a request arriving at `now` holding for `hold`.
+
+        Returns the release time (requests queue FIFO by arrival).
+        """
+        start = max(now, self.busy_until)
+        self.busy_until = start + hold
+        self.total_busy += hold
+        self.acquisitions += 1
+        return self.busy_until
+
+
+class SimThread:
+    """A simulated thread: a generator yielding costs/waits."""
+
+    def __init__(self, sim: "Simulator", name: str, socket: int,
+                 body: Callable):
+        self.sim = sim
+        self.name = name
+        self.socket = socket
+        self.body = body       # generator function(thread) -> yields floats
+        self.now = 0.0
+        self.ops_done = 0
+
+
+class Simulator:
+    """Coordinates simulated threads until a time horizon."""
+
+    def __init__(self, sockets: int = 4, cores_per_socket: int = 48,
+                 remote_penalty: float = 3.0):
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        self.remote_penalty = remote_penalty
+        self.threads: list[SimThread] = []
+        self._events: list[Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def thread(self, name: str, socket: int, body: Callable) -> SimThread:
+        t = SimThread(self, name, socket, body)
+        self.threads.append(t)
+        return t
+
+    def cross_socket_cost(self, a: int, b: int, base: float) -> float:
+        return base if a == b else base * self.remote_penalty
+
+    def run(self, horizon: float) -> dict:
+        """Run all threads until the sim-time horizon; return stats."""
+        for t in self.threads:
+            gen = t.body(t)
+            self._schedule(0.0, t, gen)
+        while self._events:
+            event = heapq.heappop(self._events)
+            if event.time > horizon:
+                break
+            self.now = event.time
+            event.action()
+        total_ops = sum(t.ops_done for t in self.threads)
+        return {"ops": total_ops, "horizon": horizon,
+                "throughput": total_ops / horizon if horizon else 0.0}
+
+    def _schedule(self, time: float, thread: SimThread, gen) -> None:
+        def step():
+            thread.now = max(thread.now, time)
+            try:
+                cost = next(gen)
+            except StopIteration:
+                return
+            if isinstance(cost, tuple) and cost[0] == "op_done":
+                thread.ops_done += 1
+                cost = cost[1]
+            thread.now += cost
+            self._schedule(thread.now, thread, gen)
+
+        self._seq += 1
+        heapq.heappush(self._events, Event(time, self._seq, step))

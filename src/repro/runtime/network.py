@@ -1,0 +1,93 @@
+"""In-process network simulation for the IronKV harness (§4.2.1).
+
+Models a UDP-ish datagram fabric: named endpoints, per-endpoint receive
+queues, optional delivery latency, drop and duplication injection.  The
+IronKV client/server processes exchange *marshalled byte buffers* through
+it, so the marshalling library is exercised on every message exactly as
+the paper's test harness exercises the real sockets.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import deque
+from typing import Optional
+
+
+class Endpoint:
+    """One addressable endpoint with a FIFO receive queue."""
+
+    def __init__(self, name: str, network: "Network"):
+        self.name = name
+        self.network = network
+        self._queue: deque[tuple[str, bytes]] = deque()
+        self._cv = threading.Condition()
+
+    def send(self, dst: str, payload: bytes) -> None:
+        self.network.deliver(self.name, dst, payload)
+
+    def recv(self, timeout: Optional[float] = None
+             ) -> Optional[tuple[str, bytes]]:
+        """(source, payload) or None on timeout."""
+        with self._cv:
+            if not self._queue:
+                self._cv.wait(timeout)
+            if not self._queue:
+                return None
+            return self._queue.popleft()
+
+    def try_recv(self) -> Optional[tuple[str, bytes]]:
+        with self._cv:
+            return self._queue.popleft() if self._queue else None
+
+    def _enqueue(self, src: str, payload: bytes) -> None:
+        with self._cv:
+            self._queue.append((src, payload))
+            self._cv.notify()
+
+    def pending(self) -> int:
+        with self._cv:
+            return len(self._queue)
+
+
+class Network:
+    """A datagram fabric with fault injection."""
+
+    def __init__(self, drop_rate: float = 0.0, dup_rate: float = 0.0,
+                 seed: int = 0):
+        self._endpoints: dict[str, Endpoint] = {}
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self._rng = random.Random(seed)
+        self.stats = {"sent": 0, "delivered": 0, "dropped": 0,
+                      "duplicated": 0, "bytes": 0}
+        self._lock = threading.Lock()
+
+    def endpoint(self, name: str) -> Endpoint:
+        with self._lock:
+            ep = self._endpoints.get(name)
+            if ep is None:
+                ep = Endpoint(name, self)
+                self._endpoints[name] = ep
+            return ep
+
+    def deliver(self, src: str, dst: str, payload: bytes) -> None:
+        with self._lock:
+            self.stats["sent"] += 1
+            self.stats["bytes"] += len(payload)
+            target = self._endpoints.get(dst)
+            if target is None:
+                self.stats["dropped"] += 1
+                return
+            if self._rng.random() < self.drop_rate:
+                self.stats["dropped"] += 1
+                return
+            copies = 1
+            if self._rng.random() < self.dup_rate:
+                copies = 2
+                self.stats["duplicated"] += 1
+        for _ in range(copies):
+            target._enqueue(src, payload)
+            with self._lock:
+                self.stats["delivered"] += 1

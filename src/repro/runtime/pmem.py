@@ -1,0 +1,136 @@
+"""A byte-addressable persistent-memory model with crash & corruption
+injection.
+
+Stands in for the paper's Optane PMM device (§4.2.5).  The model captures
+exactly the hazards the verified log defends against:
+
+* **small persistence granularity**: stores are buffered per 64-byte
+  cacheline and only reach "persistent" state on flush; a crash drops any
+  unflushed line, and a *partially* flushed store can tear at cacheline
+  boundaries,
+* **fine-grained media errors / random bit flips / stray writes**: fault
+  injection can corrupt persistent bytes behind the application's back.
+
+Costs are modeled so that benchmarks see realistic *relative* behavior:
+writes cost per-byte plus a per-flush latency, which is what makes the
+paper's "initial version copies twice" vs "latest writes in place"
+difference reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+CACHELINE = 64
+
+
+class PmemCrash(Exception):
+    """Raised when a simulated crash point triggers."""
+
+
+class PmemDevice:
+    """Simulated persistent memory with a volatile write buffer."""
+
+    def __init__(self, size: int, *,
+                 write_ns_per_byte: float = 1.0,
+                 flush_ns: float = 100.0,
+                 read_ns_per_byte: float = 0.25,
+                 seed: int = 0):
+        self.size = size
+        self._persistent = bytearray(size)
+        self._buffer: dict[int, bytearray] = {}  # line index -> contents
+        self.write_ns_per_byte = write_ns_per_byte
+        self.flush_ns = flush_ns
+        self.read_ns_per_byte = read_ns_per_byte
+        self.elapsed_ns = 0.0
+        self.stats = {"writes": 0, "flushes": 0, "reads": 0,
+                      "bytes_written": 0}
+        self._rng = random.Random(seed)
+        self._crash_countdown: Optional[int] = None
+
+    # -- fault injection -------------------------------------------------------
+
+    def schedule_crash(self, after_writes: int) -> None:
+        """Crash (drop unflushed lines) after N more write operations."""
+        self._crash_countdown = after_writes
+
+    def corrupt(self, offset: int, nbytes: int = 1) -> None:
+        """Flip random bits in persistent bytes (media error model)."""
+        for i in range(nbytes):
+            pos = offset + i
+            if 0 <= pos < self.size:
+                self._persistent[pos] ^= 1 << self._rng.randrange(8)
+
+    def stray_write(self, offset: int, data: bytes) -> None:
+        """A rogue store that bypasses the log's discipline."""
+        self._persistent[offset:offset + len(data)] = data
+
+    def crash(self) -> None:
+        """Power failure: all unflushed buffered lines are lost."""
+        self._buffer.clear()
+
+    # -- the device API ----------------------------------------------------------
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Buffered store; NOT persistent until the range is flushed."""
+        if offset < 0 or offset + len(data) > self.size:
+            raise ValueError(f"write out of range: {offset}+{len(data)}")
+        self.stats["writes"] += 1
+        self.stats["bytes_written"] += len(data)
+        self.elapsed_ns += len(data) * self.write_ns_per_byte
+        pos = offset
+        remaining = data
+        while remaining:
+            line = pos // CACHELINE
+            line_off = pos % CACHELINE
+            chunk = remaining[: CACHELINE - line_off]
+            buf = self._buffer.get(line)
+            if buf is None:
+                start = line * CACHELINE
+                end = min(start + CACHELINE, self.size)
+                buf = bytearray(self._persistent[start:end])
+                self._buffer[line] = buf
+            buf[line_off:line_off + len(chunk)] = chunk
+            pos += len(chunk)
+            remaining = remaining[len(chunk):]
+        if self._crash_countdown is not None:
+            self._crash_countdown -= 1
+            if self._crash_countdown <= 0:
+                self._crash_countdown = None
+                self.crash()
+                raise PmemCrash(f"crash after write at {offset}")
+
+    def flush(self, offset: int, length: int) -> None:
+        """Persist all buffered lines overlapping [offset, offset+length)."""
+        self.stats["flushes"] += 1
+        self.elapsed_ns += self.flush_ns
+        first = offset // CACHELINE
+        last = (offset + max(length, 1) - 1) // CACHELINE
+        for line in range(first, last + 1):
+            buf = self._buffer.pop(line, None)
+            if buf is not None:
+                start = line * CACHELINE
+                self._persistent[start:start + len(buf)] = buf
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read persistent + buffered state (what the CPU would see)."""
+        self.stats["reads"] += 1
+        self.elapsed_ns += length * self.read_ns_per_byte
+        out = bytearray(self._persistent[offset:offset + length])
+        first = offset // CACHELINE
+        last = (offset + max(length, 1) - 1) // CACHELINE
+        for line in range(first, last + 1):
+            buf = self._buffer.get(line)
+            if buf is None:
+                continue
+            start = line * CACHELINE
+            for i, b in enumerate(buf):
+                pos = start + i
+                if offset <= pos < offset + length:
+                    out[pos - offset] = b
+        return bytes(out)
+
+    def read_persistent(self, offset: int, length: int) -> bytes:
+        """What a post-crash recovery would read (persistent state only)."""
+        return bytes(self._persistent[offset:offset + length])

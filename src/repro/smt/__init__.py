@@ -1,0 +1,24 @@
+"""repro.smt — a from-scratch SMT stack standing in for Z3.
+
+Submodules:
+
+* :mod:`~repro.smt.terms`, :mod:`~repro.smt.sorts` — hash-consed term core
+* :mod:`~repro.smt.sat` — CDCL SAT solver
+* :mod:`~repro.smt.euf` — congruence closure with explanations
+* :mod:`~repro.smt.lia` — simplex + branch-and-bound linear integer arithmetic
+* :mod:`~repro.smt.bitvec` — bit-blaster (``by(bit_vector)``)
+* :mod:`~repro.smt.ring` — Gröbner-based ``by(integer_ring)``
+* :mod:`~repro.smt.nonlinear` — ``by(nonlinear_arith)`` heuristics
+* :mod:`~repro.smt.compute` — ``by(compute)`` symbolic interpreter
+* :mod:`~repro.smt.quant` — trigger selection + E-matching
+* :mod:`~repro.smt.solver` — the DPLL(T) core
+* :mod:`~repro.smt.printer` — SMT-LIB2 output and query-size metrics
+"""
+
+from .solver import SAT, UNKNOWN, UNSAT, SmtSolver, SolverConfig
+from .quant import BROAD, CONSERVATIVE
+
+__all__ = [
+    "SAT", "UNSAT", "UNKNOWN", "SmtSolver", "SolverConfig",
+    "BROAD", "CONSERVATIVE",
+]

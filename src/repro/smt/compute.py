@@ -1,0 +1,160 @@
+"""``by(compute)``: proof by symbolic computation.
+
+Some proof obligations have statically computable answers — the paper's
+motivating example is a CRC-32 lookup table whose entries result from
+polynomial division.  A built-in symbolic interpreter simplifies the goal;
+whatever cannot be fully evaluated is handed back to the SMT path.
+
+The interpreter evaluates ground terms, unfolds user ``spec fn``
+definitions with a fuel bound, folds constants, and short-circuits boolean
+structure.  It is trusted the same way the paper's interpreter is.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import terms as T
+from .sorts import BOOL, INT
+
+
+class ComputeEnv:
+    """Definitions available to the interpreter: FuncDecl -> (params, body)."""
+
+    def __init__(self):
+        self._defs: dict[T.FuncDecl, tuple[tuple[T.Term, ...], T.Term]] = {}
+
+    def define(self, decl: T.FuncDecl, params, body: T.Term) -> None:
+        params = tuple(params)
+        if len(params) != decl.arity:
+            raise ValueError(f"{decl.name}: {len(params)} params for arity "
+                             f"{decl.arity}")
+        self._defs[decl] = (params, body)
+
+    def lookup(self, decl: T.FuncDecl):
+        return self._defs.get(decl)
+
+
+class OutOfFuel(Exception):
+    """Unfolding exceeded the fuel budget."""
+
+
+def evaluate(t: T.Term, env: Optional[ComputeEnv] = None,
+             fuel: int = 100000) -> T.Term:
+    """Symbolically evaluate a term as far as possible.
+
+    Returns a simplified term; a fully-computable term becomes a constant.
+    Raises OutOfFuel if definitional unfolding exceeds the budget.
+    """
+    env = env or ComputeEnv()
+    budget = [fuel]
+    return _eval(t, env, budget)
+
+
+def _eval(t: T.Term, env: ComputeEnv, budget: list[int]) -> T.Term:
+    if budget[0] <= 0:
+        raise OutOfFuel()
+    budget[0] -= 1
+    k = t.kind
+    if t.is_const() or k == T.VAR:
+        return t
+    if k == T.ITE:
+        c = _eval(t.args[0], env, budget)
+        if c is T.TRUE:
+            return _eval(t.args[1], env, budget)
+        if c is T.FALSE:
+            return _eval(t.args[2], env, budget)
+        return T.Ite(c, _eval(t.args[1], env, budget),
+                     _eval(t.args[2], env, budget))
+    if k == T.AND:
+        out = []
+        for a in t.args:
+            v = _eval(a, env, budget)
+            if v is T.FALSE:
+                return T.FALSE
+            if v is not T.TRUE:
+                out.append(v)
+        return T.And(*out)
+    if k == T.OR:
+        out = []
+        for a in t.args:
+            v = _eval(a, env, budget)
+            if v is T.TRUE:
+                return T.TRUE
+            if v is not T.FALSE:
+                out.append(v)
+        return T.Or(*out)
+    if k == T.IMPLIES:
+        a = _eval(t.args[0], env, budget)
+        if a is T.FALSE:
+            return T.TRUE
+        b = _eval(t.args[1], env, budget)
+        return T.Implies(a, b)
+    if k == T.NOT:
+        return T.Not(_eval(t.args[0], env, budget))
+    if t.is_quant():
+        return t  # quantifiers are not computed
+    if k == T.APP:
+        args = tuple(_eval(a, env, budget) for a in t.args)
+        definition = env.lookup(t.payload)
+        if definition is not None and all(a.is_const() for a in args):
+            params, body = definition
+            return _eval(T.substitute(body, dict(zip(params, args))),
+                         env, budget)
+        return T.App(t.payload, *args)
+    # Interpreted operators: smart constructors fold constants, and the
+    # BV operators need explicit folding.
+    args = tuple(_eval(a, env, budget) for a in t.args)
+    if k in T.BV_KINDS and all(a.kind == T.BV_CONST for a in args):
+        return _fold_bv(k, args)
+    return T._rebuild(t, args)
+
+
+def _fold_bv(kind: str, args: tuple) -> T.Term:
+    width = args[0].sort.width
+    mask = (1 << width) - 1
+    vals = [a.payload for a in args]
+    if kind == T.BVAND:
+        return T.BVVal(vals[0] & vals[1], width)
+    if kind == T.BVOR:
+        return T.BVVal(vals[0] | vals[1], width)
+    if kind == T.BVXOR:
+        return T.BVVal(vals[0] ^ vals[1], width)
+    if kind == T.BVNOT:
+        return T.BVVal(~vals[0] & mask, width)
+    if kind == T.BVADD:
+        return T.BVVal(vals[0] + vals[1], width)
+    if kind == T.BVSUB:
+        return T.BVVal(vals[0] - vals[1], width)
+    if kind == T.BVMUL:
+        return T.BVVal(vals[0] * vals[1], width)
+    if kind == T.BVUDIV:
+        return T.BVVal(vals[0] // vals[1] if vals[1] else mask, width)
+    if kind == T.BVUREM:
+        return T.BVVal(vals[0] % vals[1] if vals[1] else vals[0], width)
+    if kind == T.BVSHL:
+        return T.BVVal(vals[0] << vals[1] if vals[1] < width else 0, width)
+    if kind == T.BVLSHR:
+        return T.BVVal(vals[0] >> vals[1] if vals[1] < width else 0, width)
+    if kind == T.BVULE:
+        return T.BoolVal(vals[0] <= vals[1])
+    if kind == T.BVULT:
+        return T.BoolVal(vals[0] < vals[1])
+    raise ValueError(f"unhandled BV kind {kind}")
+
+
+def prove_by_compute(goal: T.Term, env: Optional[ComputeEnv] = None,
+                     fuel: int = 200000) -> tuple[bool, Optional[T.Term]]:
+    """Try to prove a goal by evaluation.
+
+    Returns (True, None) if the goal computes to TRUE; (False, residual)
+    with the simplified residual term otherwise (the caller may send the
+    residual to the SMT path, mirroring the paper's design).
+    """
+    try:
+        result = evaluate(goal, env, fuel)
+    except OutOfFuel:
+        return False, goal
+    if result is T.TRUE:
+        return True, None
+    return False, result

@@ -1,0 +1,468 @@
+"""Linear integer arithmetic solver: general simplex + branch-and-bound.
+
+The solver decides conjunctions of linear constraints over integer variables.
+It follows the Dutertre–de Moura *general simplex* architecture used by Z3:
+
+* every distinct linear form gets a slack variable and a tableau row,
+* asserted constraints become bounds on variables (each carrying an opaque
+  *reason* tag, typically a SAT literal),
+* a pivoting loop repairs bound violations; when a violated row admits no
+  pivot, the bounds of that row form a conflict explanation,
+* rational solutions are repaired to integers by branch-and-bound, with a
+  GCD pre-test on rows to catch common integer infeasibilities early.
+
+Variables are arbitrary hashable atoms (the DPLL(T) layer uses Terms).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Hashable, Optional
+
+ZERO = Fraction(0)
+
+
+class LiaConflict(Exception):
+    """The asserted constraints are unsatisfiable; `reasons` explains why."""
+
+    def __init__(self, reasons: frozenset):
+        super().__init__(f"LIA conflict from {len(reasons)} reasons")
+        self.reasons = reasons
+
+
+class LiaUnknown(Exception):
+    """Branch-and-bound exceeded its budget; satisfiability undetermined."""
+
+
+class LinExpr:
+    """A linear expression: coefficient map over atoms plus a constant."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[dict] = None, const=0):
+        self.coeffs: dict[Hashable, Fraction] = {}
+        if coeffs:
+            for v, c in coeffs.items():
+                c = Fraction(c)
+                if c:
+                    self.coeffs[v] = c
+        self.const = Fraction(const)
+
+    @classmethod
+    def var(cls, v: Hashable) -> "LinExpr":
+        return cls({v: 1})
+
+    @classmethod
+    def constant(cls, c) -> "LinExpr":
+        return cls(None, c)
+
+    def __add__(self, other: "LinExpr") -> "LinExpr":
+        out = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            nc = out.get(v, ZERO) + c
+            if nc:
+                out[v] = nc
+            else:
+                out.pop(v, None)
+        return LinExpr(out, self.const + other.const)
+
+    def __sub__(self, other: "LinExpr") -> "LinExpr":
+        return self + other.scale(-1)
+
+    def scale(self, k) -> "LinExpr":
+        k = Fraction(k)
+        if not k:
+            return LinExpr()
+        return LinExpr({v: c * k for v, c in self.coeffs.items()}, self.const * k)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v}" for v, c in self.coeffs.items()]
+        parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+class _Bound:
+    __slots__ = ("value", "reason")
+
+    def __init__(self, value: Fraction, reason: Hashable):
+        self.value = value
+        self.reason = reason
+
+
+class Simplex:
+    """General simplex over rationals with per-bound reasons."""
+
+    def __init__(self):
+        # Tableau: basic var -> {nonbasic var: coeff}. Invariant: basic ==
+        # sum(coeff * nonbasic).
+        self._rows: dict[Hashable, dict[Hashable, Fraction]] = {}
+        self._basic: set = set()
+        self._nonbasic: set = set()
+        self._lower: dict[Hashable, _Bound] = {}
+        self._upper: dict[Hashable, _Bound] = {}
+        self._value: dict[Hashable, Fraction] = {}
+        self._slack_of_form: dict[tuple, Hashable] = {}
+        self._slack_counter = 0
+        self._order: dict[Hashable, int] = {}
+        self.num_pivots = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _key(self, v: Hashable) -> int:
+        """Stable per-solver ordering key (cheap, unlike repr on big terms)."""
+        k = self._order.get(v)
+        if k is None:
+            k = len(self._order)
+            self._order[v] = k
+        return k
+
+    def _ensure_var(self, v: Hashable) -> None:
+        if v not in self._value:
+            self._value[v] = ZERO
+            self._nonbasic.add(v)
+            self._key(v)
+
+    def _slack_for(self, expr: LinExpr) -> Hashable:
+        """Return a variable equal to expr.coeffs (constant excluded)."""
+        for v in expr.coeffs:
+            self._key(v)
+        items = tuple(sorted(expr.coeffs.items(), key=lambda kv: self._key(kv[0])))
+        if len(items) == 1 and items[0][1] == 1:
+            v = items[0][0]
+            self._ensure_var(v)
+            return v
+        existing = self._slack_of_form.get(items)
+        if existing is not None:
+            return existing
+        self._slack_counter += 1
+        s = ("_slack", self._slack_counter)
+        self._key(s)
+        for v in expr.coeffs:
+            self._ensure_var(v)
+        # Row in terms of current nonbasic/basic vars: substitute basic vars.
+        row: dict[Hashable, Fraction] = {}
+        for v, c in expr.coeffs.items():
+            if v in self._basic:
+                for w, cw in self._rows[v].items():
+                    nc = row.get(w, ZERO) + c * cw
+                    if nc:
+                        row[w] = nc
+                    else:
+                        row.pop(w, None)
+            else:
+                nc = row.get(v, ZERO) + c
+                if nc:
+                    row[v] = nc
+                else:
+                    row.pop(v, None)
+        self._rows[s] = row
+        self._basic.add(s)
+        self._value[s] = sum((self._value[v] * c for v, c in row.items()), ZERO)
+        self._slack_of_form[items] = s
+        return s
+
+    # -- bound assertion -------------------------------------------------------
+
+    def assert_upper(self, expr: LinExpr, reason: Hashable) -> None:
+        """Assert expr <= 0, i.e. (coeffs part) <= -const."""
+        s = self._slack_for(expr)
+        bound = -expr.const
+        cur = self._upper.get(s)
+        if cur is not None and cur.value <= bound:
+            return
+        low = self._lower.get(s)
+        if low is not None and low.value > bound:
+            raise LiaConflict(frozenset([reason, low.reason]))
+        self._upper[s] = _Bound(bound, reason)
+        if s in self._nonbasic and self._value[s] > bound:
+            self._update_nonbasic(s, bound)
+
+    def assert_lower(self, expr: LinExpr, reason: Hashable) -> None:
+        """Assert expr >= 0, i.e. (coeffs part) >= -const."""
+        s = self._slack_for(expr)
+        bound = -expr.const
+        cur = self._lower.get(s)
+        if cur is not None and cur.value >= bound:
+            return
+        up = self._upper.get(s)
+        if up is not None and up.value < bound:
+            raise LiaConflict(frozenset([reason, up.reason]))
+        self._lower[s] = _Bound(bound, reason)
+        if s in self._nonbasic and self._value[s] < bound:
+            self._update_nonbasic(s, bound)
+
+    def _update_nonbasic(self, v: Hashable, new_val: Fraction) -> None:
+        delta = new_val - self._value[v]
+        self._value[v] = new_val
+        for b in self._basic:
+            c = self._rows[b].get(v)
+            if c:
+                self._value[b] += c * delta
+
+    # -- pivoting check --------------------------------------------------------
+
+    def check(self, max_pivots: int = 20000) -> dict:
+        """Repair all bound violations; return the rational model.
+
+        Raises LiaConflict if infeasible, LiaUnknown on pivot budget blowout.
+        """
+        pivots = 0
+        while True:
+            violated = None
+            direction = 0
+            for b in sorted(self._basic, key=self._key):  # Bland-ish: stable order
+                val = self._value[b]
+                lo = self._lower.get(b)
+                if lo is not None and val < lo.value:
+                    violated, direction = b, +1
+                    break
+                up = self._upper.get(b)
+                if up is not None and val > up.value:
+                    violated, direction = b, -1
+                    break
+            if violated is None:
+                return dict(self._value)
+            pivots += 1
+            self.num_pivots += 1
+            if pivots > max_pivots:
+                raise LiaUnknown("pivot budget exceeded")
+            self._repair(violated, direction)
+
+    def _repair(self, b: Hashable, direction: int) -> None:
+        row = self._rows[b]
+        target = (self._lower[b].value if direction > 0
+                  else self._upper[b].value)
+        for v in sorted(row, key=self._key):
+            c = row[v]
+            # Increasing b requires: c>0 -> increase v (below upper), or
+            # c<0 -> decrease v (above lower); symmetric for decreasing.
+            if direction > 0:
+                can = (c > 0 and self._can_increase(v)) or (c < 0 and self._can_decrease(v))
+            else:
+                can = (c > 0 and self._can_decrease(v)) or (c < 0 and self._can_increase(v))
+            if can:
+                self._pivot(b, v)
+                self._set_basic_to_bound(v, b, target)
+                return
+        # No pivot possible: conflict from this row's binding bounds.
+        reasons = set()
+        reasons.add(self._lower[b].reason if direction > 0 else self._upper[b].reason)
+        for v, c in row.items():
+            if direction > 0:
+                bound = self._upper.get(v) if c > 0 else self._lower.get(v)
+            else:
+                bound = self._lower.get(v) if c > 0 else self._upper.get(v)
+            if bound is not None:
+                reasons.add(bound.reason)
+        raise LiaConflict(frozenset(reasons))
+
+    def _can_increase(self, v: Hashable) -> bool:
+        up = self._upper.get(v)
+        return up is None or self._value[v] < up.value
+
+    def _can_decrease(self, v: Hashable) -> bool:
+        lo = self._lower.get(v)
+        return lo is None or self._value[v] > lo.value
+
+    def _pivot(self, b: Hashable, nb: Hashable) -> None:
+        """Swap basic b with nonbasic nb."""
+        row = self._rows.pop(b)
+        c = row.pop(nb)
+        # b = c*nb + rest  =>  nb = (b - rest)/c
+        new_row = {b: Fraction(1) / c}
+        for v, cv in row.items():
+            new_row[v] = -cv / c
+        self._basic.remove(b)
+        self._nonbasic.add(b)
+        self._nonbasic.remove(nb)
+        self._basic.add(nb)
+        self._rows[nb] = new_row
+        # Substitute nb out of all other rows.
+        for ob, orow in self._rows.items():
+            if ob is nb:
+                continue
+            cv = orow.pop(nb, None)
+            if cv:
+                for v, c2 in new_row.items():
+                    nc = orow.get(v, ZERO) + cv * c2
+                    if nc:
+                        orow[v] = nc
+                    else:
+                        orow.pop(v, None)
+
+    def _set_basic_to_bound(self, new_basic: Hashable, now_nonbasic: Hashable,
+                            target: Fraction) -> None:
+        # After the pivot the system is algebraically unchanged, so current
+        # values still satisfy every row; only the delta of the (formerly
+        # basic, now nonbasic) variable needs propagating.
+        delta = target - self._value[now_nonbasic]
+        if not delta:
+            return
+        self._value[now_nonbasic] = target
+        value = self._value
+        for b, row in self._rows.items():
+            c = row.get(now_nonbasic)
+            if c:
+                value[b] += c * delta
+
+
+class LiaSolver:
+    """Integer-feasibility solver: simplex + GCD tests + branch-and-bound."""
+
+    def __init__(self, branch_budget: int = 400):
+        self._constraints: list[tuple[str, LinExpr, Hashable]] = []
+        self._int_vars: dict = {}  # insertion-ordered set
+        self.branch_budget = branch_budget
+        self.num_branches = 0
+        self._root_simplex: Optional[Simplex] = None
+
+    def _note_vars(self, expr: LinExpr) -> None:
+        for v in expr.coeffs:
+            self._int_vars.setdefault(v)
+
+    def assert_le0(self, expr: LinExpr, reason: Hashable) -> None:
+        """expr <= 0."""
+        self._constraints.append(("le", expr, reason))
+        self._note_vars(expr)
+
+    def assert_ge0(self, expr: LinExpr, reason: Hashable) -> None:
+        self._constraints.append(("ge", expr, reason))
+        self._note_vars(expr)
+
+    def assert_eq0(self, expr: LinExpr, reason: Hashable) -> None:
+        self._constraints.append(("eq", expr, reason))
+        self._note_vars(expr)
+
+    def assert_lt0(self, expr: LinExpr, reason: Hashable) -> None:
+        """expr < 0; over integers this is expr + 1 <= 0 after scaling."""
+        scaled = _integerize(expr)
+        self._constraints.append(("le", scaled + LinExpr.constant(1), reason))
+        self._note_vars(expr)
+
+    # -- solving ------------------------------------------------------------
+
+    def check(self) -> dict:
+        """Return an integer model, or raise LiaConflict / LiaUnknown."""
+        self._gcd_tests()
+        budget = [self.branch_budget]
+        return self._solve(list(self._constraints), budget, depth=0)
+
+    def _gcd_tests(self) -> None:
+        for kind, expr, reason in self._constraints:
+            if kind != "eq" or not expr.coeffs:
+                continue
+            e = _integerize(expr)
+            g = 0
+            for c in e.coeffs.values():
+                g = math.gcd(g, abs(int(c)))
+            if g > 1 and int(e.const) % g != 0:
+                raise LiaConflict(frozenset([reason]))
+
+    def lp_probe_infeasible(self, kind: str, expr: LinExpr) -> bool:
+        """Is (constraints + kind(expr)) LP-infeasible?  Sound for ILP.
+
+        Uses the persistent root tableau with bound save/restore, so a probe
+        costs only the pivots needed to repair the new bound.  ``kind`` is
+        one of ``le`` (expr<=0), ``lt`` (expr<0), ``eq`` (expr==0).
+        Strict constraints are integer-tightened to ``<= -1``, so most
+        integrality-based implications are preserved.
+        """
+        simplex = self._root_simplex
+        if simplex is None:
+            simplex = Simplex()
+            try:
+                for c_kind, c_expr, reason in self._constraints:
+                    if c_expr.is_constant():
+                        continue
+                    if c_kind == "le":
+                        simplex.assert_upper(c_expr, reason)
+                    elif c_kind == "ge":
+                        simplex.assert_lower(c_expr, reason)
+                    else:
+                        simplex.assert_upper(c_expr, reason)
+                        simplex.assert_lower(c_expr, reason)
+                simplex.check()
+            except LiaConflict:
+                return True  # base constraints already infeasible
+            except LiaUnknown:
+                return False
+            self._root_simplex = simplex
+        snapshot = (dict(simplex._lower), dict(simplex._upper))
+        try:
+            if kind == "lt":
+                expr = _integerize(expr) + LinExpr.constant(1)
+                kind = "le"
+            if kind == "le":
+                simplex.assert_upper(expr, "_probe")
+            elif kind == "eq":
+                simplex.assert_upper(expr, "_probe")
+                simplex.assert_lower(expr, "_probe")
+            else:
+                raise ValueError(kind)
+            simplex.check(max_pivots=4000)
+            return False
+        except LiaConflict:
+            return True
+        except LiaUnknown:
+            return False
+        finally:
+            simplex._lower, simplex._upper = snapshot
+
+    def _solve(self, constraints, budget, depth) -> dict:
+        simplex = Simplex()
+        for kind, expr, reason in constraints:
+            if expr.is_constant():
+                val = expr.const
+                sat = (val <= 0 if kind == "le" else
+                       val >= 0 if kind == "ge" else val == 0)
+                if not sat:
+                    raise LiaConflict(frozenset([reason]))
+                continue
+            if kind == "le":
+                simplex.assert_upper(expr, reason)
+            elif kind == "ge":
+                simplex.assert_lower(expr, reason)
+            else:
+                simplex.assert_upper(expr, reason)
+                simplex.assert_lower(expr, reason)
+        model = simplex.check()
+        # Find an integer-constrained var with fractional value.
+        frac_var = None
+        for v in self._int_vars:
+            val = model.get(v, ZERO)
+            if val.denominator != 1:
+                frac_var = v
+                break
+        if frac_var is None:
+            return {v: int(model.get(v, ZERO)) for v in self._int_vars}
+        # Branch.
+        budget[0] -= 1
+        self.num_branches += 1
+        if budget[0] <= 0 or depth > 60:
+            raise LiaUnknown("branch budget exceeded")
+        val = model[frac_var]
+        floor_c = ("le", LinExpr.var(frac_var) - LinExpr.constant(math.floor(val)),
+                   "_branch")
+        ceil_c = ("ge", LinExpr.var(frac_var) - LinExpr.constant(math.ceil(val)),
+                  "_branch")
+        reasons = None
+        for extra in (floor_c, ceil_c):
+            try:
+                return self._solve(constraints + [extra], budget, depth + 1)
+            except LiaConflict as cf:
+                rs = set(cf.reasons)
+                rs.discard("_branch")
+                reasons = rs if reasons is None else (reasons | rs)
+        raise LiaConflict(frozenset(reasons if reasons is not None else set()))
+
+
+def _integerize(expr: LinExpr) -> LinExpr:
+    """Scale an expression so all coefficients are integers."""
+    denom = 1
+    for c in list(expr.coeffs.values()) + [expr.const]:
+        denom = denom * c.denominator // math.gcd(denom, c.denominator)
+    return expr.scale(denom)

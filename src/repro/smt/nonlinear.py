@@ -1,0 +1,251 @@
+"""``by(nonlinear_arith)``: isolated nonlinear integer arithmetic queries.
+
+Verus's design (§3.3): nonlinear goals are *not* mixed into the main query;
+each assertion spawns an isolated query containing only the premises the
+developer wrote, making the heuristics far more predictable.
+
+Our heuristic engine is a degree-2 Positivstellensatz approximation:
+
+1. every arithmetic atom is normalized to a polynomial over *monomial
+   variables* (canonical product terms treated as opaque by LIA),
+2. lemmas are synthesized — squares are non-negative, products of
+   non-negative premises are non-negative, premises multiplied by square
+   monomials keep their sign,
+3. the premises, the negated goal, and the lemmas go to the ordinary
+   DPLL(T) core; UNSAT means the goal is proved.
+
+Sound by construction (every lemma is a valid implication); incomplete, as
+all nonlinear reasoning must be.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from . import terms as T
+from .ring import Monomial, Poly, p_add, p_const, p_mul, p_neg, p_sub, p_var
+from .solver import SmtSolver, SolverConfig, UNSAT
+from .sorts import INT
+
+
+class _PolyView:
+    """Polynomial normal form of int terms, with opaque atoms tracked."""
+
+    def __init__(self):
+        self.atoms: dict[str, T.Term] = {}       # poly var name -> term
+        self._atom_name: dict[T.Term, str] = {}  # term -> poly var name
+
+    def to_poly(self, t: T.Term) -> Poly:
+        k = t.kind
+        if k == T.INT_CONST:
+            return p_const(t.payload)
+        if k == T.ADD:
+            out: Poly = {}
+            for a in t.args:
+                out = p_add(out, self.to_poly(a))
+            return out
+        if k == T.SUB:
+            return p_sub(self.to_poly(t.args[0]), self.to_poly(t.args[1]))
+        if k == T.NEG:
+            return p_neg(self.to_poly(t.args[0]))
+        if k == T.MUL:
+            return p_mul(self.to_poly(t.args[0]), self.to_poly(t.args[1]))
+        # VAR / APP / IDIV / IMOD: opaque polynomial variable.
+        name = self._atom_name.get(t)
+        if name is None:
+            name = f"@{len(self.atoms)}"
+            self.atoms[name] = t
+            self._atom_name[t] = name
+        return p_var(name)
+
+    def mono_term(self, m: Monomial) -> Optional[T.Term]:
+        """Canonical Term for a monomial (None for the unit monomial)."""
+        factors: list[T.Term] = []
+        for name, exp in m:
+            base = self.atoms[name]
+            factors.extend([base] * exp)
+        if not factors:
+            return None
+        factors.sort(key=lambda t: t._hash)
+        out = factors[0]
+        for f in factors[1:]:
+            out = T.Term(T.MUL, INT, (out, f)) if out.kind != T.INT_CONST \
+                else T.Mul(out, f)
+        return out
+
+    def poly_term(self, p: Poly) -> T.Term:
+        """Rebuild a Term (sum of canonical monomials) from a polynomial."""
+        parts: list[T.Term] = []
+        const = 0
+        for m, c in p.items():
+            if c.denominator != 1:
+                raise ValueError("non-integer coefficient in nonlinear lemma")
+            mono = self.mono_term(m)
+            if mono is None:
+                const += int(c)
+            else:
+                parts.append(T.Mul(T.IntVal(int(c)), mono)
+                             if c != 1 else mono)
+        if const or not parts:
+            parts.append(T.IntVal(const))
+        return T.Add(*parts) if len(parts) > 1 else parts[0]
+
+
+def _ge0_forms(premise: T.Term, view: _PolyView) -> list[tuple[Poly, bool]]:
+    """Normalize a premise to `poly >= 0` forms (strict flag kept).
+
+    a <= b  ->  b - a >= 0 ; a < b -> b - a - 1 >= 0 (ints) ;
+    a == b  ->  both directions.
+    """
+    k = premise.kind
+    if k == T.LE:
+        return [(p_sub(view.to_poly(premise.args[1]),
+                       view.to_poly(premise.args[0])), False)]
+    if k == T.LT:
+        p = p_sub(view.to_poly(premise.args[1]), view.to_poly(premise.args[0]))
+        return [(p_add(p, p_const(-1)), False)]
+    if k == T.EQ and premise.args[0].sort is INT:
+        d = p_sub(view.to_poly(premise.args[0]), view.to_poly(premise.args[1]))
+        return [(d, False), (p_neg(d), False)]
+    if k == T.NOT:
+        inner = premise.args[0]
+        if inner.kind == T.LE:
+            return _ge0_forms(T.Lt(inner.args[1], inner.args[0]), view)
+        if inner.kind == T.LT:
+            return _ge0_forms(T.Le(inner.args[1], inner.args[0]), view)
+    return []
+
+
+def nonlinear_lemmas(premises: list[T.Term], goal: T.Term,
+                     max_products: int = 60) -> list[T.Term]:
+    """Synthesize valid nonlinear lemmas for the isolated query."""
+    view = _PolyView()
+    forms: list[Poly] = []
+    for p in premises:
+        forms.extend(f for f, _ in _ge0_forms(p, view))
+    # Normalize the goal too so its monomials are registered.
+    for f, _ in _ge0_forms(goal, view):
+        pass
+    _register_goal_monomials(goal, view)
+
+    lemmas: list[T.Term] = []
+
+    # 1. Squares are non-negative: for every atom x, x*x >= 0.
+    seen_sq: set[T.Term] = set()
+    for name in list(view.atoms):
+        sq = view.mono_term(((name, 2),))
+        if sq is not None and sq not in seen_sq:
+            seen_sq.add(sq)
+            lemmas.append(T.Ge(sq, T.IntVal(0)))
+
+    # 2. Products of non-negative premises are non-negative.
+    count = 0
+    n = len(forms)
+    for i in range(n):
+        for j in range(i, n):
+            if count >= max_products:
+                break
+            prod = p_mul(forms[i], forms[j])
+            try:
+                lemma_term = view.poly_term(prod)
+            except ValueError:
+                continue
+            lemmas.append(T.Implies(
+                T.And(_poly_ge0(forms[i], view), _poly_ge0(forms[j], view)),
+                T.Ge(lemma_term, T.IntVal(0))))
+            count += 1
+
+    # 3. Premises multiplied by squares keep their sign.
+    for f in forms:
+        for sq_name in list(view.atoms):
+            prod = p_mul(f, {((sq_name, 2),): Fraction(1)})
+            try:
+                lemma_term = view.poly_term(prod)
+            except ValueError:
+                continue
+            lemmas.append(T.Implies(_poly_ge0(f, view),
+                                    T.Ge(lemma_term, T.IntVal(0))))
+
+    # 4. Squares of atom differences/sums: (a-b)^2 >= 0 and (a+b)^2 >= 0,
+    #    expanded — these supply the cross terms AM-GM-style goals need.
+    names = sorted(view.atoms)
+    pair_count = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if pair_count >= max_products:
+                break
+            pair_count += 1
+            pa, pb = p_var(names[i]), p_var(names[j])
+            for diff in (p_sub(pa, pb), p_add(pa, pb)):
+                sq = p_mul(diff, diff)
+                try:
+                    lemmas.append(T.Ge(view.poly_term(sq), T.IntVal(0)))
+                except ValueError:
+                    continue
+    return lemmas
+
+
+def _poly_ge0(p: Poly, view: _PolyView) -> T.Term:
+    return T.Ge(view.poly_term(p), T.IntVal(0))
+
+
+def _register_goal_monomials(goal: T.Term, view: _PolyView) -> None:
+    for sub in goal.subterms():
+        if sub.sort is INT:
+            view.to_poly(sub)
+
+
+def normalize_formula(t: T.Term, view: _PolyView) -> T.Term:
+    """Rewrite every arithmetic atom into polynomial normal form.
+
+    This connects the query's nonlinear subterms (which LIA treats as
+    opaque) with the canonical monomials the synthesized lemmas mention —
+    e.g. ``(a*a + 1) * q`` becomes ``a*a*q + q``.
+    """
+    k = t.kind
+    if k in (T.LE, T.LT) or (k == T.EQ and t.args[0].sort is INT):
+        a = view.poly_term(view.to_poly(t.args[0]))
+        b = view.poly_term(view.to_poly(t.args[1]))
+        return {T.LE: T.Le, T.LT: T.Lt, T.EQ: T.Eq}[k](a, b)
+    if k in (T.NOT, T.AND, T.OR, T.IMPLIES) or (k == T.EQ and
+                                                t.args[0].sort is T.TRUE.sort):
+        new_args = tuple(normalize_formula(a, view) for a in t.args)
+        if new_args == t.args:
+            return t
+        return T._rebuild(t, new_args)
+    return t
+
+
+def _split_implications(goal: T.Term, premises: list[T.Term]) -> T.Term:
+    """Move implication antecedents into the premises.
+
+    `assert(p ==> q) by(nonlinear_arith)` is the paper's idiom for giving
+    the isolated query its context; the antecedent is the developer-supplied
+    premise, the consequent is the real goal.
+    """
+    while goal.kind == T.IMPLIES:
+        antecedent = goal.args[0]
+        if antecedent.kind == T.AND:
+            premises.extend(antecedent.args)
+        else:
+            premises.append(antecedent)
+        goal = goal.args[1]
+    return goal
+
+
+def prove_nonlinear(premises: list[T.Term], goal: T.Term,
+                    config: Optional[SolverConfig] = None) -> bool:
+    """Prove `premises ==> goal` in an isolated nonlinear query."""
+    premises = list(premises)
+    goal = _split_implications(goal, premises)
+    view = _PolyView()
+    solver = SmtSolver(config or SolverConfig(max_rounds=40))
+    norm_premises = [normalize_formula(p, view) for p in premises]
+    norm_goal = normalize_formula(goal, view)
+    for p in norm_premises:
+        solver.add(p)
+    for lemma in nonlinear_lemmas(norm_premises, norm_goal):
+        solver.add(lemma)
+    solver.add(T.Not(norm_goal))
+    return solver.check() == UNSAT

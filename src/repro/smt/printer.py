@@ -1,0 +1,87 @@
+"""SMT-LIB2-style printing of terms and queries.
+
+Besides debugging, the printer is the measurement instrument for the paper's
+"SMT (MB)" column (Figure 9): :func:`query_size_bytes` reports the byte size
+of the full textual query a pipeline ships to the solver, so encoding economy
+is directly observable.
+"""
+
+from __future__ import annotations
+
+from . import terms as T
+
+
+def term_to_str(t: T.Term) -> str:
+    """Render a term in SMT-LIB2 concrete syntax."""
+    k = t.kind
+    if k == T.VAR:
+        return t.payload
+    if k == T.BOOL_CONST:
+        return "true" if t.payload else "false"
+    if k == T.INT_CONST:
+        v = t.payload
+        return str(v) if v >= 0 else f"(- {-v})"
+    if k == T.BV_CONST:
+        return f"(_ bv{t.payload} {t.sort.width})"
+    if k == T.APP:
+        if not t.args:
+            return t.payload.name
+        return f"({t.payload.name} {' '.join(term_to_str(a) for a in t.args)})"
+    if k in T.QUANT_KINDS:
+        bound = " ".join(f"({v.payload} {v.sort})" for v in t.payload[0])
+        body = term_to_str(t.args[0])
+        if t.payload[1]:
+            pats = " ".join(
+                f":pattern ({' '.join(term_to_str(p) for p in grp)})"
+                for grp in t.payload[1])
+            return f"({k} ({bound}) (! {body} {pats}))"
+        return f"({k} ({bound}) {body})"
+    if k == T.NEG:
+        return f"(- {term_to_str(t.args[0])})"
+    return f"({k} {' '.join(term_to_str(a) for a in t.args)})"
+
+
+def declarations(assertions) -> list[str]:
+    """Collect SMT-LIB declarations for all sorts/constants/functions used."""
+    sorts: dict[str, T.Sort] = {}
+    consts: dict[tuple, T.Term] = {}
+    funcs: dict[T.FuncDecl, None] = {}
+    for a in assertions:
+        for sub in a.subterms():
+            if sub.sort.is_uninterpreted():
+                sorts[sub.sort.name] = sub.sort
+            if sub.kind == T.VAR:
+                consts[(sub.payload, sub.sort)] = sub
+            elif sub.kind == T.APP:
+                funcs[sub.payload] = None
+                for s in sub.payload.arg_sorts:
+                    if s.is_uninterpreted():
+                        sorts[s.name] = s
+    lines = [f"(declare-sort {name} 0)" for name in sorted(sorts)]
+    bound = set()
+    for a in assertions:
+        for sub in a.subterms():
+            if sub.is_quant():
+                bound.update(sub.payload[0])
+    for (name, sort), v in sorted(consts.items(), key=lambda kv: kv[0][0]):
+        if v not in bound:
+            lines.append(f"(declare-const {name} {sort})")
+    for f in sorted(funcs, key=lambda f: f.name):
+        args = " ".join(str(s) for s in f.arg_sorts)
+        lines.append(f"(declare-fun {f.name} ({args}) {f.ret_sort})")
+    return lines
+
+
+def query_to_smtlib(assertions, logic: str = "ALL") -> str:
+    """Render a full (set-logic .. check-sat) script for the assertions."""
+    lines = [f"(set-logic {logic})"]
+    lines.extend(declarations(assertions))
+    for a in assertions:
+        lines.append(f"(assert {term_to_str(a)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines)
+
+
+def query_size_bytes(assertions) -> int:
+    """Byte size of the textual query — the paper's 'SMT (MB)' metric."""
+    return len(query_to_smtlib(assertions).encode())

@@ -1,0 +1,326 @@
+"""``by(integer_ring)``: ideal-membership decision for ring congruences.
+
+Verus dispatches proof goals built from ``+ - * %`` and constant
+exponentiation — "integer ring congruence relations" — to a dedicated
+algebraic engine (the paper cites Singular-style approaches [50, 51]).
+We implement the same decision:
+
+* every hypothesis of the form ``e % m == 0`` contributes the polynomial
+  ``e - m*k`` (``k`` fresh) to an ideal basis; ``a == b`` contributes
+  ``a - b``,
+* the goal ``g % m == 0`` (or ``a == b``) is valid if the corresponding
+  polynomial is a member of the generated ideal,
+* membership is decided by reduction against a Gröbner basis computed with
+  Buchberger's algorithm over ℚ (graded-lex order).
+
+This engine is *trusted* in the same sense as the paper's: the main SMT
+encoding simply assumes its verdicts.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional
+
+from . import terms as T
+
+# A monomial is a tuple of (var_name, exponent) pairs, sorted by name.
+# A polynomial maps monomials to non-zero Fraction coefficients.
+
+Monomial = tuple
+Poly = dict
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    out = dict(a)
+    for v, e in b:
+        out[v] = out.get(v, 0) + e
+    return tuple(sorted((v, e) for v, e in out.items() if e))
+
+
+def _mono_div(a: Monomial, b: Monomial) -> Optional[Monomial]:
+    out = dict(a)
+    for v, e in b:
+        ne = out.get(v, 0) - e
+        if ne < 0:
+            return None
+        out[v] = ne
+    return tuple(sorted((v, e) for v, e in out.items() if e))
+
+
+def _mono_deg(m: Monomial) -> int:
+    return sum(e for _, e in m)
+
+
+class _MonoKey:
+    """Graded-lexicographic order key.
+
+    Total degree first; ties broken lexicographically on exponent vectors
+    with alphabetically-earlier variables taking priority.  Unlike a naive
+    tuple comparison, this IS a monomial order (compatible with monomial
+    multiplication), which the division algorithm's termination requires.
+    """
+
+    __slots__ = ("m", "deg")
+
+    def __init__(self, m: Monomial):
+        self.m = m
+        self.deg = _mono_deg(m)
+
+    def __lt__(self, other: "_MonoKey") -> bool:
+        if self.deg != other.deg:
+            return self.deg < other.deg
+        ea, eb = dict(self.m), dict(other.m)
+        # Reverse-alphabetical priority puts user variables ('a', 'x', ...)
+        # above the '_k*' fresh multipliers, so reduction eliminates user
+        # variables in favor of the multipliers — what congruence proofs need.
+        for v in sorted(set(ea) | set(eb), reverse=True):
+            xa, xb = ea.get(v, 0), eb.get(v, 0)
+            if xa != xb:
+                return xa < xb
+        return False
+
+
+def _mono_key(m: Monomial) -> _MonoKey:
+    return _MonoKey(m)
+
+
+def p_zero() -> Poly:
+    return {}
+
+
+def p_const(c) -> Poly:
+    c = Fraction(c)
+    return {(): c} if c else {}
+
+
+def p_var(name: str) -> Poly:
+    return {((name, 1),): Fraction(1)}
+
+
+def p_add(a: Poly, b: Poly) -> Poly:
+    out = dict(a)
+    for m, c in b.items():
+        nc = out.get(m, Fraction(0)) + c
+        if nc:
+            out[m] = nc
+        else:
+            out.pop(m, None)
+    return out
+
+
+def p_neg(a: Poly) -> Poly:
+    return {m: -c for m, c in a.items()}
+
+
+def p_sub(a: Poly, b: Poly) -> Poly:
+    return p_add(a, p_neg(b))
+
+
+def p_mul(a: Poly, b: Poly) -> Poly:
+    out: Poly = {}
+    for ma, ca in a.items():
+        for mb, cb in b.items():
+            m = _mono_mul(ma, mb)
+            nc = out.get(m, Fraction(0)) + ca * cb
+            if nc:
+                out[m] = nc
+            else:
+                out.pop(m, None)
+    return out
+
+
+def p_scale(a: Poly, k) -> Poly:
+    k = Fraction(k)
+    if not k:
+        return {}
+    return {m: c * k for m, c in a.items()}
+
+
+def _leading(p: Poly) -> tuple[Monomial, Fraction]:
+    m = max(p, key=_mono_key)
+    return m, p[m]
+
+
+def reduce_poly(p: Poly, basis: list[Poly]) -> Poly:
+    """Multivariate division: the remainder of p modulo the basis."""
+    p = dict(p)
+    remainder: Poly = {}
+    guard = 0
+    while p:
+        guard += 1
+        if guard > 20000:
+            break  # give up; caller treats nonzero remainder as 'not proved'
+        lm, lc = _leading(p)
+        divided = False
+        for g in basis:
+            gm, gc = _leading(g)
+            q = _mono_div(lm, gm)
+            if q is not None:
+                factor = {q: lc / gc}
+                p = p_sub(p, p_mul(factor, g))
+                divided = True
+                break
+        if not divided:
+            nc = remainder.get(lm, Fraction(0)) + lc
+            if nc:
+                remainder[lm] = nc
+            else:
+                remainder.pop(lm, None)
+            del p[lm]
+    return remainder
+
+
+def _s_poly(f: Poly, g: Poly) -> Poly:
+    fm, fc = _leading(f)
+    gm, gc = _leading(g)
+    lcm = _mono_mul(fm, _mono_div_total(gm, fm))
+    uf = {_mono_div(lcm, fm): Fraction(1) / fc}
+    ug = {_mono_div(lcm, gm): Fraction(1) / gc}
+    return p_sub(p_mul(uf, f), p_mul(ug, g))
+
+
+def _mono_div_total(a: Monomial, b: Monomial) -> Monomial:
+    """max(a - b, 0) componentwise, so that b * result = lcm(a, b) / ... ."""
+    out = dict(a)
+    for v, e in b:
+        out[v] = max(out.get(v, 0) - e, 0)
+    return tuple(sorted((v, e) for v, e in out.items() if e))
+
+
+def groebner(generators: list[Poly], max_pairs: int = 4000) -> list[Poly]:
+    """Buchberger's algorithm (graded-lex, no fancy criteria)."""
+    basis = [g for g in generators if g]
+    pairs = [(i, j) for i in range(len(basis)) for j in range(i + 1, len(basis))]
+    processed = 0
+    while pairs:
+        processed += 1
+        if processed > max_pairs:
+            break  # partial basis: reduction stays sound, just less complete
+        i, j = pairs.pop()
+        s = _s_poly(basis[i], basis[j])
+        r = reduce_poly(s, basis)
+        if r:
+            basis.append(r)
+            new_idx = len(basis) - 1
+            pairs.extend((k, new_idx) for k in range(new_idx))
+    return basis
+
+
+class RingError(Exception):
+    """The goal is not expressible in the integer-ring fragment."""
+
+
+def term_to_poly(t: T.Term, fresh: list[int]) -> Poly:
+    """Translate a +,-,*,% term over int into a polynomial.
+
+    ``a % m`` is translated as ``a - m*k`` with ``k`` fresh — sound for
+    congruence goals (both sides of the congruence absorb multiples of m).
+    """
+    k = t.kind
+    if k == T.INT_CONST:
+        return p_const(t.payload)
+    if k == T.VAR:
+        return p_var(t.payload)
+    if k == T.ADD:
+        out = p_zero()
+        for a in t.args:
+            out = p_add(out, term_to_poly(a, fresh))
+        return out
+    if k == T.SUB:
+        return p_sub(term_to_poly(t.args[0], fresh),
+                     term_to_poly(t.args[1], fresh))
+    if k == T.NEG:
+        return p_neg(term_to_poly(t.args[0], fresh))
+    if k == T.MUL:
+        return p_mul(term_to_poly(t.args[0], fresh),
+                     term_to_poly(t.args[1], fresh))
+    if k == T.IMOD:
+        a = term_to_poly(t.args[0], fresh)
+        m = term_to_poly(t.args[1], fresh)
+        fresh[0] += 1
+        kvar = p_var(f"_k{fresh[0]}")
+        return p_sub(a, p_mul(m, kvar))
+    raise RingError(f"not a ring term: {t!r}")
+
+
+def _hypothesis_poly(eq: T.Term, fresh: list[int]) -> Poly:
+    """Polynomial generator for a hypothesis equality.
+
+    In a hypothesis, ``a % m`` legitimately becomes ``a - m*k`` with ``k``
+    fresh: the hypothesis *witnesses* the multiplier, so ``k`` may be used
+    freely during reduction.
+    """
+    if eq.kind == T.EQ and eq.args[0].sort.is_int():
+        return p_sub(term_to_poly(eq.args[0], fresh),
+                     term_to_poly(eq.args[1], fresh))
+    raise RingError(f"integer_ring handles equalities only: {eq!r}")
+
+
+def _goal_congruence(goal: T.Term) -> tuple[T.Term, Optional[T.Term]]:
+    """Normalize the goal to (expression, modulus-or-None).
+
+    Accepted forms: ``e % m == 0``, ``0 == e % m``, ``e1 % m == e2 % m``
+    (same modulus), and plain ``e1 == e2`` (modulus None). The goal's own
+    ``%`` multiplier is *existential*, so it cannot become a free ideal
+    variable — instead we prove divisibility of the reduced remainder.
+    """
+    if goal.kind != T.EQ or not goal.args[0].sort.is_int():
+        raise RingError(f"integer_ring handles equalities only: {goal!r}")
+    lhs, rhs = goal.args
+
+    def split(t):
+        if t.kind == T.IMOD:
+            return t.args[0], t.args[1]
+        return t, None
+
+    le, lm = split(lhs)
+    re_, rm = split(rhs)
+    if lm is None and rm is None:
+        return T.Sub(lhs, rhs), None
+    if lm is not None and rm is not None:
+        if lm is not rm:
+            raise RingError("congruence goal must use a single modulus")
+        return T.Sub(le, re_), lm
+    if lm is not None and rhs.kind == T.INT_CONST and rhs.payload == 0:
+        return le, lm
+    if rm is not None and lhs.kind == T.INT_CONST and lhs.payload == 0:
+        return re_, rm
+    raise RingError(f"unsupported integer_ring goal shape: {goal!r}")
+
+
+def _divisible(remainder: Poly, modulus: T.Term, gens: list[Poly],
+               fresh: list[int]) -> bool:
+    """Is the remainder polynomial a multiple of the modulus?"""
+    if not remainder:
+        return True
+    if modulus.kind == T.INT_CONST:
+        m = modulus.payload
+        if m == 0:
+            return False
+        return all(c.denominator == 1 and int(c) % m == 0
+                   for c in remainder.values())
+    mod_poly = term_to_poly(modulus, fresh)
+    basis = groebner(gens + [mod_poly])
+    return not reduce_poly(remainder, basis)
+
+
+def prove_ring(hypotheses: list[T.Term], goal: T.Term) -> bool:
+    """Decide a ring congruence: hypotheses ⊢ goal.
+
+    All terms are built from +,-,*,% and constants over int variables;
+    hypotheses and goal are equalities (``e % m == 0`` is the idiomatic
+    congruence form).  Sound; complete on the congruence fragment the
+    paper's examples use.
+    """
+    fresh = [0]
+    gens = [_hypothesis_poly(h, fresh) for h in hypotheses]
+    expr, modulus = _goal_congruence(goal)
+    goal_poly = term_to_poly(expr, fresh)
+    basis = groebner(gens) if gens else []
+    remainder = reduce_poly(goal_poly, basis) if basis else goal_poly
+    if not remainder:
+        return True
+    if modulus is None:
+        return False
+    return _divisible(remainder, modulus, gens, fresh)

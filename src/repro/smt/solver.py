@@ -1,0 +1,1011 @@
+"""The DPLL(T) core: SAT + EUF + LIA + quantifier instantiation.
+
+Architecture (lazy SMT):
+
+1. Assertions are preprocessed — NNF, skolemization of existentials,
+   ground ITE lifting, div/mod axioms — and Tseitin-encoded into CNF whose
+   atoms are theory literals (equalities, inequalities, boolean applications)
+   and quantifier proxies.
+2. The CDCL SAT core proposes a boolean model.
+3. Theory solvers (congruence closure, simplex/branch-and-bound) check the
+   proposed model; a theory conflict becomes a learned clause built from the
+   theory's *explanation* and the loop continues.
+4. Once theories agree, universal quantifiers active in the model are
+   instantiated by E-matching on the e-graph (trigger policy is pluggable —
+   the Verus-vs-Dafny axis of §3.1).  New instances extend the CNF.
+5. When E-matching saturates: with MBQI enabled (EPR mode §3.2) the solver
+   falls back to complete instantiation over the ground universe, which is a
+   decision procedure for EPR; otherwise the result is UNKNOWN-on-sat.
+
+Statistics exposed per check: conflicts, theory lemmas, instantiations,
+query size in bytes — the measurable quantities behind Figures 7–9.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from . import terms as T
+from .euf import EufConflict, EufSolver
+from .lia import LiaConflict, LiaSolver, LiaUnknown, LinExpr
+from .printer import query_size_bytes
+from .quant import CONSERVATIVE, EMatcher, TriggerError, select_triggers
+from .sat import SatSolver, lit as mk_lit, neg
+from .sorts import BOOL, INT
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class Stats:
+    """Counters for one solver instance (cumulative across checks)."""
+
+    def __init__(self):
+        self.conflicts = 0
+        self.theory_lemmas = 0
+        self.instantiations = 0
+        self.mbqi_instantiations = 0
+        self.rounds = 0
+        self.query_bytes = 0
+        self.solve_seconds = 0.0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class SolverConfig:
+    """Tunables; defaults model Verus's settings."""
+
+    def __init__(self,
+                 trigger_policy: str = CONSERVATIVE,
+                 max_rounds: int = 60,
+                 max_instantiations: int = 6000,
+                 mbqi: bool = False,
+                 mbqi_max_universe: int = 9,
+                 sat_conflict_budget: int = 400000,
+                 nonlinear: bool = False):
+        self.trigger_policy = trigger_policy
+        self.max_rounds = max_rounds
+        self.max_instantiations = max_instantiations
+        self.mbqi = mbqi
+        self.mbqi_max_universe = mbqi_max_universe
+        self.sat_conflict_budget = sat_conflict_budget
+        self.nonlinear = nonlinear
+
+
+class SmtSolver:
+    """An SMT solver for quantified formulas over EUF + LIA."""
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self.config = config or SolverConfig()
+        self.stats = Stats()
+        self._assertions: list[T.Term] = []
+        self._sat = SatSolver()
+        self._atom_var: dict[T.Term, int] = {}
+        self._var_atom: dict[int, T.Term] = {}
+        self._quant_proxy: dict[T.Term, int] = {}   # FORALL term -> sat var
+        self._proxy_quant: dict[int, T.Term] = {}
+        self._instances_seen: set = set()
+        self._lemmas_seen: set = set()
+        self._divmod_done: set = set()
+        self._ite_cache: dict[T.Term, T.Term] = {}
+        self._last_model: Optional[_TheoryModel] = None
+        self._ground_terms: set[T.Term] = set()
+        self._probed_none: dict[T.Term, tuple] = {}
+        self._max_ground_size = 8
+        self._guard_limit = 200
+
+    # ------------------------------------------------------------------ API
+
+    def add(self, assertion: T.Term) -> None:
+        """Assert a formula (conjoined with previous assertions)."""
+        self._assertions.append(assertion)
+        self.stats.query_bytes += query_size_bytes([assertion])
+        root = self._preprocess(assertion)
+        self._sat.add_clause([root])
+
+    def check(self) -> str:
+        """Check satisfiability of the asserted formulas."""
+        t0 = time.perf_counter()
+        # Freeze the instantiation-depth guard against the terms the QUERY
+        # mentions; instances created during solving must not raise it
+        # (that would let matching loops feed themselves).
+        self._guard_limit = 60 + 2 * self._max_ground_size
+        try:
+            return self._check_loop()
+        finally:
+            self.stats.solve_seconds += time.perf_counter() - t0
+
+    def model_int(self, term: T.Term) -> Optional[int]:
+        """Value of an int term in the last SAT model, if known."""
+        if self._last_model is None:
+            return None
+        return self._last_model.int_value(term)
+
+    def model_bool(self, atom: T.Term) -> Optional[bool]:
+        if self._last_model is None:
+            return None
+        v = self._atom_var.get(atom)
+        if v is None:
+            return None
+        return self._last_model.sat_model[v]
+
+    # -------------------------------------------------------- preprocessing
+
+    def _preprocess(self, formula: T.Term) -> int:
+        """NNF + skolemize + lift + CNF; returns the root SAT literal."""
+        nnf = self._nnf(formula, True, ())
+        nnf = self._lift_ground(nnf)
+        return self._tseitin(nnf)
+
+    def _nnf(self, t: T.Term, positive: bool, univ_scope: tuple) -> T.Term:
+        """Negation normal form with polarity-aware skolemization.
+
+        ``univ_scope`` carries universally bound variables in scope, so that
+        skolemized existentials become functions of them.
+        """
+        k = t.kind
+        if k == T.NOT:
+            return self._nnf(t.args[0], not positive, univ_scope)
+        if k == T.AND:
+            parts = [self._nnf(a, positive, univ_scope) for a in t.args]
+            return T.And(*parts) if positive else T.Or(*parts)
+        if k == T.OR:
+            parts = [self._nnf(a, positive, univ_scope) for a in t.args]
+            return T.Or(*parts) if positive else T.And(*parts)
+        if k == T.IMPLIES:
+            a = self._nnf(t.args[0], not positive, univ_scope)
+            b = self._nnf(t.args[1], positive, univ_scope)
+            return T.Or(a, b) if positive else T.And(a, b)
+        if k == T.EQ and t.args[0].sort is BOOL:
+            # iff: expand if quantifiers lurk inside, else keep as biimpl.
+            a, b = t.args
+            expanded = T.And(T.Implies(a, b), T.Implies(b, a)) if positive \
+                else T.Or(T.And(a, T.Not(b)), T.And(b, T.Not(a)))
+            return self._nnf(expanded, True, univ_scope)
+        if k == T.DISTINCT:
+            pairs = []
+            args = t.args
+            for i in range(len(args)):
+                for j in range(i + 1, len(args)):
+                    pairs.append(T.Ne(args[i], args[j]))
+            return self._nnf(T.And(*pairs), positive, univ_scope)
+        if k in (T.FORALL, T.EXISTS):
+            is_univ = (k == T.FORALL) == positive
+            if is_univ:
+                body = self._nnf(t.body, positive, univ_scope + t.bound_vars)
+                return T.ForAll(t.bound_vars, body, t.triggers or None)
+            # Existential: skolemize.
+            mapping = {}
+            for v in t.bound_vars:
+                if univ_scope:
+                    decl = T.FuncDecl(T.fresh_name(f"sk_{v.payload}"),
+                                      [u.sort for u in univ_scope], v.sort)
+                    mapping[v] = decl(*univ_scope)
+                else:
+                    mapping[v] = T.Var(T.fresh_name(f"sk_{v.payload}"), v.sort)
+            body = T.substitute(t.body, mapping)
+            return self._nnf(body, positive, univ_scope)
+        # Atom (or boolean leaf).
+        return t if positive else T.Not(t)
+
+    def _lift_ground(self, t: T.Term) -> T.Term:
+        """Lift ground non-bool ITEs to fresh vars; add div/mod axioms.
+
+        Quantifier bodies are left alone — instances get lifted when created.
+        """
+        if t.is_quant():
+            return t
+        if t.kind == T.ITE and t.sort is not BOOL:
+            cached = self._ite_cache.get(t)
+            if cached is not None:
+                return cached
+            c = self._lift_ground(t.args[0])
+            a = self._lift_ground(t.args[1])
+            b = self._lift_ground(t.args[2])
+            v = T.Var(T.fresh_name("ite"), t.sort)
+            self._ite_cache[t] = v
+            self._sat.add_clause([self._tseitin(
+                T.And(T.Implies(c, T.Eq(v, a)), T.Implies(T.Not(c), T.Eq(v, b))))])
+            return v
+        if t.kind in (T.IDIV, T.IMOD):
+            a = self._lift_ground(t.args[0])
+            b = self._lift_ground(t.args[1])
+            t2 = T.Div(a, b) if t.kind == T.IDIV else T.Mod(a, b)
+            self._add_divmod_axioms(a, b)
+            return t2
+        if not t.args:
+            return t
+        new_args = tuple(self._lift_ground(a) for a in t.args)
+        if new_args == t.args:
+            return t
+        return T._rebuild(t, new_args)
+
+    def _add_divmod_axioms(self, a: T.Term, b: T.Term) -> None:
+        key = (a, b)
+        if key in self._divmod_done:
+            return
+        self._divmod_done.add(key)
+        q = T.Div(a, b)
+        r = T.Mod(a, b)
+        relation = T.Eq(a, T.Add(T.Mul(b, q), r))
+        if b.kind == T.INT_CONST:
+            if b.payload == 0:
+                return  # division by zero: uninterpreted
+            absb = T.IntVal(abs(b.payload))
+            ax = T.And(relation, T.Le(T.IntVal(0), r), T.Lt(r, absb))
+        else:
+            pos = T.Implies(T.Ge(b, T.IntVal(1)),
+                            T.And(relation, T.Le(T.IntVal(0), r), T.Lt(r, b)))
+            neg_ = T.Implies(T.Le(b, T.IntVal(-1)),
+                             T.And(relation, T.Le(T.IntVal(0), r),
+                                   T.Lt(r, T.Neg(b))))
+            ax = T.And(pos, neg_)
+        self._sat.add_clause([self._tseitin(ax)])
+
+    # ------------------------------------------------------------ CNF
+
+    def _tseitin(self, t: T.Term) -> int:
+        """Return a SAT literal equivalent to formula t, adding clauses."""
+        k = t.kind
+        if t is T.TRUE:
+            return self._true_lit()
+        if t is T.FALSE:
+            return neg(self._true_lit())
+        if k == T.NOT:
+            return neg(self._tseitin(t.args[0]))
+        if k == T.AND:
+            lits = [self._tseitin(a) for a in t.args]
+            o = mk_lit(self._sat.new_var())
+            for l in lits:
+                self._sat.add_clause([neg(o), l])
+            self._sat.add_clause([o] + [neg(l) for l in lits])
+            return o
+        if k == T.OR:
+            lits = [self._tseitin(a) for a in t.args]
+            o = mk_lit(self._sat.new_var())
+            for l in lits:
+                self._sat.add_clause([o, neg(l)])
+            self._sat.add_clause([neg(o)] + lits)
+            return o
+        if k == T.IMPLIES:
+            return self._tseitin(T.Or(T.Not(t.args[0]), t.args[1]))
+        if k == T.EQ and t.args[0].sort is BOOL:
+            a = self._tseitin(t.args[0])
+            b = self._tseitin(t.args[1])
+            o = mk_lit(self._sat.new_var())
+            self._sat.add_clause([neg(o), neg(a), b])
+            self._sat.add_clause([neg(o), a, neg(b)])
+            self._sat.add_clause([o, a, b])
+            self._sat.add_clause([o, neg(a), neg(b)])
+            return o
+        if k == T.FORALL:
+            return mk_lit(self._proxy_for(t))
+        if k == T.EXISTS:
+            # Residual existential (inside an instance body): skolemize now.
+            skolem = self._nnf(t, True, ())
+            return self._tseitin(self._lift_ground(skolem))
+        # Theory atom.
+        return mk_lit(self._atom(t))
+
+    def _true_lit(self) -> int:
+        atom = T.Var("$true", BOOL)
+        v = self._atom_var.get(atom)
+        if v is None:
+            v = self._atom(atom)
+            self._sat.add_clause([mk_lit(v)])
+        return mk_lit(v)
+
+    def _atom(self, t: T.Term) -> int:
+        v = self._atom_var.get(t)
+        if v is None:
+            v = self._sat.new_var()
+            self._atom_var[t] = v
+            self._var_atom[v] = t
+            self._register_ground(t)
+        return v
+
+    def _proxy_for(self, quant: T.Term) -> int:
+        v = self._quant_proxy.get(quant)
+        if v is None:
+            v = self._sat.new_var()
+            self._quant_proxy[quant] = v
+            self._proxy_quant[v] = quant
+        return v
+
+    def _register_ground(self, t: T.Term) -> None:
+        for sub in t.subterms():
+            if not sub.is_quant():
+                self._ground_terms.add(sub)
+        size = t.size()
+        if size > self._max_ground_size:
+            self._max_ground_size = size
+
+    # ------------------------------------------------------------ main loop
+
+    def _check_loop(self) -> str:
+        config = self.config
+        # Each round tries the cheap *forced-prefix* reasoning first:
+        # verification refutations are usually decided by unit-forced
+        # literals (negated goal, assumptions, axiom instances), and every
+        # learned lemma can force more of them.  Only when the forced
+        # prefix saturates does the round fall through to boolean search.
+        forced_saturated = False
+        forced_streak = 0
+        for _round in range(config.max_rounds * 2):
+            self.stats.rounds += 1
+            if not forced_saturated and forced_streak < 3:
+                progress = self._forced_round()
+                if progress == UNSAT:
+                    return UNSAT
+                if progress:
+                    forced_streak += 1
+                    continue
+                forced_saturated = True
+            forced_streak = 0
+            # Boolean model search for disjunctive reasoning.
+            res = self._sat.solve(conflict_budget=config.sat_conflict_budget)
+            if res is False:
+                return UNSAT
+            if res is None:
+                return UNKNOWN
+            model = self._sat.model()
+            relevant = self._sat.relevant_literals()
+            theory = _TheoryModel(self, model, relevant)
+            conflict = theory.check()
+            if conflict == "restart":
+                forced_saturated = False
+                continue  # new atoms/lemmas were introduced; re-solve
+            if conflict is not None:
+                self.stats.conflicts += 1
+                self.stats.theory_lemmas += 1
+                if not conflict or not self._learn(conflict):
+                    return UNKNOWN  # degenerate/repeated lemma: give up
+                forced_saturated = False  # the lemma may force new units
+                continue
+            self._last_model = theory
+            # Quantifier instantiation (only quantifiers the model needs).
+            active = [q for q, v in self._quant_proxy.items()
+                      if mk_lit(v) in relevant]
+            if not active:
+                return SAT
+            vars_before = self._sat.num_vars
+            if config.mbqi:
+                added, _complete = self._mbqi_round(theory, active)
+                if added:
+                    forced_saturated = False
+                    continue
+            else:
+                added, scratch = self._ematch_round(theory, active)
+                if added:
+                    self._seed_phases(theory, scratch, vars_before)
+                    forced_saturated = False
+                    continue
+            # The relevancy cover can starve the e-graph; before concluding,
+            # retry against the full assignment.
+            full_theory = _TheoryModel(self, model, None)
+            conflict = full_theory.check()
+            if conflict == "restart":
+                forced_saturated = False
+                continue
+            if conflict is not None:
+                self.stats.conflicts += 1
+                self.stats.theory_lemmas += 1
+                if not conflict or not self._learn(conflict):
+                    return UNKNOWN
+                forced_saturated = False
+                continue
+            full_active = [q for q, v in self._quant_proxy.items()
+                           if model[v]]
+            vars_before = self._sat.num_vars
+            if config.mbqi:
+                added, complete = self._mbqi_round(full_theory, full_active)
+                if added:
+                    forced_saturated = False
+                    continue
+                # SAT is only claimable when instantiation truly saturated;
+                # a truncated universe or exhausted budget means UNKNOWN.
+                return SAT if complete else UNKNOWN
+            added, scratch = self._ematch_round(full_theory, full_active)
+            if added:
+                self._seed_phases(full_theory, scratch, vars_before)
+                forced_saturated = False
+                continue
+            return UNKNOWN
+        return UNKNOWN
+
+    def _forced_round(self):
+        """One round of forced-prefix reasoning.
+
+        Returns UNSAT, True (progress made — instantiation or propagation),
+        or False (the forced prefix is saturated).
+        """
+        config = self.config
+        forced = self._sat.root_forced()
+        if forced is None:
+            return UNSAT
+        theory = _TheoryModel(self, None, forced)
+        conflict = theory.check()
+        if conflict == "restart":
+            return True
+        if conflict is not None:
+            # Every literal in the conflict is root-forced true, so the
+            # conjunction of forced facts is theory-inconsistent.
+            return UNSAT
+        self._last_model = theory
+        propagated = self._root_propagate(theory, forced)
+        active = [q for q, v in self._quant_proxy.items()
+                  if mk_lit(v) in forced]
+        vars_before = self._sat.num_vars
+        if config.mbqi:
+            # EPR mode: complete instantiation over the (finite) ground
+            # universe — E-matching on transitivity-style axioms would
+            # generate new terms cubically, while the universe is fixed.
+            added, _complete = self._mbqi_round(theory, active)
+            scratch = None
+        else:
+            added, scratch = self._ematch_round(theory, active)
+        if scratch is not None and added:
+            self._seed_phases(theory, scratch, vars_before)
+        return bool(added or propagated)
+
+    def _root_propagate(self, theory: "_TheoryModel", forced: set[int],
+                        max_tests: int = 5000) -> bool:
+        """Root theory propagation.
+
+        Any atom implied by the theory under root-forced literals is a
+        logical consequence of the assertions, so asserting it as a unit
+        clause is sound.  This is what lets guard atoms inside axiom
+        instances fire the next link of a rewrite chain without a boolean
+        search.
+        """
+        # Only atoms in clauses not yet satisfied at the root can unlock
+        # further propagation; skip the rest.
+        candidates: set[int] = set()
+        for clause in self._sat._clauses:
+            if any(self._sat.value(l) == 1 for l in clause.lits):
+                continue
+            for l in clause.lits:
+                candidates.add(l >> 1)
+        context_sig = (len(theory.lia._constraints), theory.euf.num_merges)
+        added = False
+        tests = 0
+        for atom, var in list(self._atom_var.items()):
+            if (var not in candidates or mk_lit(var) in forced
+                    or mk_lit(var, False) in forced or tests >= max_tests):
+                continue
+            if self._probed_none.get(atom) == context_sig:
+                continue  # theory context unchanged since the last probe
+            tests += 1
+            implied = theory.implied_atom(atom)
+            if implied is not None:
+                self._sat.add_clause([mk_lit(var, implied)])
+                added = True
+            else:
+                self._probed_none[atom] = context_sig
+        return added
+
+    def _learn(self, conflict_lits: Iterable[int]) -> bool:
+        clause = tuple(sorted(set(neg(l) for l in conflict_lits)))
+        if clause in self._lemmas_seen:
+            return False
+        self._lemmas_seen.add(clause)
+        self._sat.add_clause(list(clause))
+        return True
+
+    # ------------------------------------------------------ instantiation
+
+    def _instantiate(self, quant: T.Term, sub: dict) -> bool:
+        key = (quant, tuple(sub.get(v) for v in quant.bound_vars))
+        if key in self._instances_seen:
+            return False
+        if self.stats.instantiations >= self.config.max_instantiations:
+            return False
+        self._instances_seen.add(key)
+        self.stats.instantiations += 1
+        body = T.substitute(quant.body, sub)
+        body = self._nnf(body, True, ())
+        body = self._lift_ground(body)
+        inst_lit = self._tseitin(body)
+        proxy = mk_lit(self._proxy_for(quant))
+        self._sat.add_clause([neg(proxy), inst_lit])
+        return True
+
+    def _ematch_round(self, theory: "_TheoryModel", active: list) -> bool:
+        """Saturating E-matching over an *optimistic* e-graph.
+
+        Instances of asserted universals are always sound to add, so the
+        matcher may assume instance bodies hold: their equalities are merged
+        into a scratch e-graph, letting one solver round absorb a whole
+        chain of rewrites (select-of-store, concat indexing, ...) instead of
+        one round per level.  The scratch graph never feeds conflicts — the
+        real theory model does that on the next round.
+        """
+        match_euf = self._optimistic_euf(theory)
+        added_any = False
+        for _pass in range(16):  # noqa: B007
+            matcher = EMatcher(match_euf)
+            added = False
+            for quant in active:
+                try:
+                    groups = select_triggers(quant,
+                                             self.config.trigger_policy)
+                except TriggerError:
+                    continue  # MBQI may still handle it
+                for group in groups:
+                    for sub in matcher.match_group(group, quant.bound_vars):
+                        full = {}
+                        for v in quant.bound_vars:
+                            t = sub.get(v)
+                            if t is None:
+                                break
+                            # Canonicalize through the scratch e-graph: this
+                            # is what stops matching loops like datatype
+                            # inversion (mk(sel(x)) ~ x) from generating
+                            # ever-deeper instances.  Pick the smallest
+                            # class member as the canonical form.
+                            if t in match_euf._repr:
+                                members = match_euf.class_of(t)
+                                if len(members) <= 64:
+                                    t = min(members,
+                                            key=lambda m: (m.size(),
+                                                           m._hash))
+                                else:
+                                    t = match_euf.find(t)
+                            full[v] = t
+                        if len(full) != len(quant.bound_vars):
+                            continue
+                        # Generation guard: skip terms far deeper than
+                        # anything the query itself mentions (stops
+                        # matching loops without starving deep-heap
+                        # workloads, whose own terms are large).
+                        if any(t.size() > self._guard_limit
+                               for t in full.values()):
+                            continue
+                        if self._instantiate(quant, full):
+                            added = True
+                            body = T.substitute(quant.body, full)
+                            self._optimistic_assert(match_euf, body)
+            if not added:
+                break
+            added_any = True
+            if self.stats.instantiations >= self.config.max_instantiations:
+                break
+        return added_any, match_euf
+
+    def _seed_phases(self, theory: "_TheoryModel", scratch: EufSolver,
+                     vars_before: int) -> None:
+        """Model-based phase initialization.
+
+        Without this, CDCL guesses arbitrary polarities for the comparison
+        atoms inside fresh axiom instances and the theory corrects them one
+        learned lemma at a time; seeding phases from the previous theory
+        model makes the next SAT model likely theory-consistent.  All atoms
+        are (re-)seeded: phase saving would otherwise keep stale wrong
+        guesses alive on older atoms.
+        """
+        for var in range(0, self._sat.num_vars):
+            atom = self._var_atom.get(var)
+            if atom is None:
+                continue
+            hint = self._eval_atom_hint(theory, scratch, atom)
+            if hint is not None:
+                self._sat._phase[var] = hint
+
+    def _eval_atom_hint(self, theory: "_TheoryModel", scratch: EufSolver,
+                        atom: T.Term) -> Optional[bool]:
+        if atom.kind in (T.LE, T.LT):
+            a = self._int_hint(theory, scratch, atom.args[0])
+            b = self._int_hint(theory, scratch, atom.args[1])
+            if a is None or b is None:
+                return None
+            return a <= b if atom.kind == T.LE else a < b
+        if atom.kind == T.EQ:
+            x, y = atom.args
+            if x.sort is INT:
+                a = self._int_hint(theory, scratch, x)
+                b = self._int_hint(theory, scratch, y)
+                if a is None or b is None:
+                    return None
+                return a == b
+            if x in scratch._repr and y in scratch._repr:
+                return scratch.are_equal(x, y)
+        return None
+
+    def _int_hint(self, theory: "_TheoryModel", scratch: EufSolver,
+                  term: T.Term) -> Optional[int]:
+        value = theory.int_value(term)
+        if value is not None:
+            return value
+        if term in scratch._repr:
+            for member in scratch.class_of(term):
+                if member is term:
+                    continue
+                value = theory.int_value(member)
+                if value is not None:
+                    return value
+        return None
+
+    def _optimistic_euf(self, theory: "_TheoryModel") -> EufSolver:
+        """Scratch e-graph seeded with the model's terms and equalities."""
+        scratch = EufSolver()
+        pairs = []
+        for cls in theory.euf.classes():
+            members = list(cls)
+            for t in members:
+                scratch.add_term(t)
+            for other in members[1:]:
+                pairs.append((members[0], other))
+        for a, b in pairs:
+            try:
+                scratch.assert_eq(a, b, "model")
+            except EufConflict:
+                pass
+        return scratch
+
+    def _optimistic_assert(self, euf: EufSolver, body: T.Term) -> None:
+        """Assume an instance body inside the scratch matching e-graph."""
+        try:
+            if body.kind == T.AND:
+                for a in body.args:
+                    self._optimistic_assert(euf, a)
+            elif body.kind == T.IMPLIES:
+                # Matching may assume the consequent: over-instantiation is
+                # sound (and pruned by _instances_seen).
+                euf.add_term(body.args[0]) if not body.args[0].is_quant() \
+                    else None
+                self._optimistic_assert(euf, body.args[1])
+            elif body.kind == T.EQ and body.args[0].sort is not BOOL:
+                euf.assert_eq(body.args[0], body.args[1], "inst")
+            elif not body.is_quant():
+                euf.add_term(body)
+                euf.flush()
+        except EufConflict:
+            pass
+
+    def _mbqi_round(self, theory: "_TheoryModel", active: list,
+                    per_round_cap: int = 500) -> tuple[bool, bool]:
+        """Complete instantiation over the ground universe (EPR decision).
+
+        Returns (added_instances, complete).  ``complete`` is True only if
+        every combination over the FULL universe was covered — a truncated
+        domain or exhausted budget forfeits the right to claim SAT.
+        Instantiates incrementally (``per_round_cap`` per call) so an UNSAT
+        goal surfaces long before saturation.
+        """
+        universe: dict = {}
+        for t in theory.euf.all_terms():
+            if t.sort is BOOL:
+                continue
+            universe.setdefault(t.sort, set()).add(theory.euf.find(t))
+        added = 0
+        complete = True
+        for quant in active:
+            domains = []
+            for v in quant.bound_vars:
+                dom = universe.get(v.sort)
+                if not dom:
+                    witness = T.Var(T.fresh_name(f"w_{v.sort.name}"), v.sort)
+                    dom = {witness}
+                    universe[v.sort] = dom
+                dom = sorted(dom, key=lambda t: t._hash)
+                if len(dom) > self.config.mbqi_max_universe:
+                    dom = dom[: self.config.mbqi_max_universe]
+                    complete = False
+                domains.append(dom)
+            for combo in _product(domains):
+                if (self.stats.instantiations
+                        >= self.config.max_instantiations):
+                    return added > 0, False
+                sub = dict(zip(quant.bound_vars, combo))
+                if self._instantiate(quant, sub):
+                    self.stats.mbqi_instantiations += 1
+                    added += 1
+                    if added >= per_round_cap:
+                        return True, complete
+        return added > 0, complete
+
+
+def _product(domains: list) -> Iterable[tuple]:
+    if not domains:
+        yield ()
+        return
+    head, *rest = domains
+    for h in head:
+        for r in _product(rest):
+            yield (h,) + r
+
+
+# ---------------------------------------------------------------------------
+# Theory integration
+# ---------------------------------------------------------------------------
+
+class _TheoryModel:
+    """Checks one full SAT model against EUF + LIA; holds the theory state."""
+
+    def __init__(self, solver: SmtSolver, sat_model: list[bool],
+                 relevant: Optional[set] = None):
+        self.solver = solver
+        self.sat_model = sat_model
+        self.relevant = relevant
+        self.euf = EufSolver()
+        self.lia = LiaSolver()
+        self._lia_model: Optional[dict] = None
+
+    def _atom_value(self, var: int) -> Optional[bool]:
+        """Atom polarity to assert, or None when the model doesn't need it."""
+        if self.relevant is None:
+            return self.sat_model[var]
+        if mk_lit(var) in self.relevant:
+            return True
+        if mk_lit(var, False) in self.relevant:
+            return False
+        return None
+
+    def check(self, allow_interface_split: bool = True):
+        """Return None (consistent), "restart" (new atoms/lemmas added),
+        or a conflict as a set of true SAT literals."""
+        self._splits_added = False
+        try:
+            self._feed_euf()
+            self._feed_lia()
+        except EufConflict as cf:
+            return self._flatten(cf.reasons)
+        except LiaConflict as cf:
+            return self._flatten(cf.reasons)
+        except LiaUnknown:
+            return None  # optimistic; verification treats sat as not-proved
+        if self._splits_added:
+            return "restart"
+        if allow_interface_split and self._interface_split():
+            return "restart"
+        return None
+
+    def _flatten(self, reasons: Iterable) -> set[int]:
+        out: set[int] = set()
+        for r in reasons:
+            if isinstance(r, frozenset):
+                out |= self._flatten(r)
+            elif isinstance(r, int):
+                out.add(r)
+            # other tags ("_branch" etc.) carry no boolean content
+        return out
+
+    def _feed_euf(self) -> None:
+        solver = self.solver
+        euf = self.euf
+        for atom, var in list(solver._atom_var.items()):
+            value = self._atom_value(var)
+            if value is None:
+                continue
+            lit_true = mk_lit(var, value)
+            if atom.kind == T.EQ:
+                a, b = atom.args
+                if value:
+                    euf.assert_eq(a, b, lit_true)
+                else:
+                    euf.assert_neq(a, b, lit_true)
+            elif atom.kind in (T.LE, T.LT):
+                euf.add_term(atom.args[0])
+                euf.add_term(atom.args[1])
+                euf.flush()
+            elif atom.kind in (T.VAR, T.APP) and atom.sort is BOOL:
+                target = T.TRUE if value else T.FALSE
+                euf.assert_eq(atom, target, lit_true)
+            elif atom.kind in (T.BVULE, T.BVULT):
+                euf.add_term(atom.args[0])
+                euf.add_term(atom.args[1])
+                euf.flush()
+        euf.flush()  # settle congruences queued by late registrations
+
+    def _feed_lia(self) -> None:
+        solver = self.solver
+        for atom, var in list(solver._atom_var.items()):
+            value = self._atom_value(var)
+            if value is None:
+                continue
+            lit_true = mk_lit(var, value)
+            if atom.kind in (T.LE, T.LT):
+                a = self._linearize(atom.args[0])
+                b = self._linearize(atom.args[1])
+                if atom.kind == T.LE:
+                    if value:
+                        self.lia.assert_le0(a - b, lit_true)
+                    else:
+                        self.lia.assert_lt0(b - a, lit_true)
+                else:
+                    if value:
+                        self.lia.assert_lt0(a - b, lit_true)
+                    else:
+                        self.lia.assert_le0(b - a, lit_true)
+            elif atom.kind == T.EQ and atom.args[0].sort is INT:
+                if value:
+                    a = self._linearize(atom.args[0])
+                    b = self._linearize(atom.args[1])
+                    self.lia.assert_eq0(a - b, lit_true)
+                else:
+                    self._request_diseq_split(atom)
+        # Propagate EUF equalities between int-valued terms into LIA.
+        for cls in list(self.euf.classes()):
+            ints = [t for t in cls if t.sort is INT]
+            if len(ints) > 1:
+                base = ints[0]
+                base_e = self._linearize(base)
+                for other in ints[1:]:
+                    reason = self.euf.explain(base, other)
+                    self.lia.assert_eq0(base_e - self._linearize(other),
+                                        frozenset(reason))
+        self._lia_model = self.lia.check()
+
+    def _request_diseq_split(self, eq_atom: T.Term) -> None:
+        """A false int equality needs a < / > case-split lemma (added once)."""
+        solver = self.solver
+        a, b = eq_atom.args
+        lemma = T.Or(eq_atom, T.Lt(a, b), T.Lt(b, a))
+        key = ("diseq", eq_atom)
+        if key not in solver._lemmas_seen:
+            solver._lemmas_seen.add(key)
+            solver._sat.add_clause([solver._tseitin(lemma)])
+            self._splits_added = True
+
+    def _linearize(self, t: T.Term) -> LinExpr:
+        k = t.kind
+        if k == T.INT_CONST:
+            return LinExpr.constant(t.payload)
+        if k == T.ADD:
+            out = LinExpr()
+            for a in t.args:
+                out = out + self._linearize(a)
+            return out
+        if k == T.SUB:
+            return self._linearize(t.args[0]) - self._linearize(t.args[1])
+        if k == T.NEG:
+            return self._linearize(t.args[0]).scale(-1)
+        if k == T.MUL:
+            a, b = t.args
+            if a.kind == T.INT_CONST:
+                return self._linearize(b).scale(a.payload)
+            if b.kind == T.INT_CONST:
+                return self._linearize(a).scale(b.payload)
+            return LinExpr.var(t)  # nonlinear: opaque
+        # VAR / APP / IDIV / IMOD / ITE leftovers: opaque LIA variable.
+        return LinExpr.var(t)
+
+    def _interface_split(self) -> bool:
+        """Model-based theory combination.
+
+        If the LIA model assigns equal values to two int terms that appear as
+        arguments of uninterpreted functions but EUF lacks the equality,
+        introduce the equality atom (plus the diseq case-split lemma) so CDCL
+        can explore both arrangements.  Returns True if anything was added.
+        """
+        if self._lia_model is None:
+            return False
+        # positions: int term -> the (decl, argument-index) slots it feeds.
+        # Only terms sharing a slot can profit from an equality (congruence);
+        # all other pairs are noise that would burn restart rounds.
+        positions: dict[T.Term, set] = {}
+        for parent in self.euf.all_terms():
+            if parent.kind == T.APP:
+                for idx, a in enumerate(parent.args):
+                    if a.sort is INT:
+                        positions.setdefault(a, set()).add(
+                            (parent.payload, idx))
+        shared: dict[int, list[T.Term]] = {}
+        for t in positions:
+            v = self.int_value(t)
+            if v is not None:
+                shared.setdefault(v, []).append(t)
+        added = 0
+        for v, group in shared.items():
+            for i in range(len(group)):
+                for j in range(i + 1, len(group)):
+                    a, b = group[i], group[j]
+                    if not positions[a] & positions[b]:
+                        continue
+                    if not self.euf.are_equal(a, b):
+                        atom = T.Eq(a, b)
+                        if atom in self.solver._atom_var:
+                            continue  # SAT already decides this atom
+                        var = self.solver._atom(atom)
+                        # Tautology registers the atom; CDCL picks a polarity.
+                        self.solver._sat.add_clause(
+                            [mk_lit(var), mk_lit(var, False)])
+                        self._request_diseq_split(atom)
+                        added += 1
+                        if added >= 40:
+                            return True
+        return added > 0
+
+    # -- implication queries (root theory propagation) -------------------------
+
+    def implied_atom(self, atom: T.Term) -> Optional[bool]:
+        """True/False when the asserted facts THEORY-IMPLY the atom."""
+        k = atom.kind
+        if k == T.EQ:
+            a, b = atom.args
+            if a in self.euf._repr and b in self.euf._repr \
+                    and self.euf.are_equal(a, b):
+                return True
+            va = self.euf.value_of(a) if a in self.euf._repr else None
+            vb = self.euf.value_of(b) if b in self.euf._repr else None
+            if va is not None and vb is not None and va is not vb:
+                return False
+            if a.sort is INT:
+                diff = self._linearize(a) - self._linearize(b)
+                if self._lia_infeasible_with("ne", diff):
+                    return True
+                if self._lia_infeasible_with("eq", diff):
+                    return False
+            return None
+        if k in (T.LE, T.LT):
+            a = self._linearize(atom.args[0])
+            b = self._linearize(atom.args[1])
+            diff = a - b
+            # Use the current model as a filter: if the model satisfies the
+            # atom it cannot be implied-false, and vice versa — so only one
+            # feasibility probe is ever needed.
+            hint = self._eval_linexpr(diff)
+            test_true = hint is None or hint <= (0 if k == T.LE else -1)
+            test_false = hint is None or not test_true
+            if k == T.LE:
+                if test_true and self._lia_infeasible_with(
+                        "lt", diff.scale(-1)):
+                    return True
+                if test_false and self._lia_infeasible_with("le", diff):
+                    return False
+            else:
+                if test_true and self._lia_infeasible_with(
+                        "le", diff.scale(-1)):
+                    return True
+                if test_false and self._lia_infeasible_with("lt", diff):
+                    return False
+            return None
+        if k in (T.VAR, T.APP) and atom.sort is not INT:
+            if atom in self.euf._repr:
+                if self.euf.are_equal(atom, T.TRUE):
+                    return True
+                if self.euf.are_equal(atom, T.FALSE):
+                    return False
+        return None
+
+    def _eval_linexpr(self, expr: LinExpr) -> Optional[int]:
+        if self._lia_model is None:
+            return None
+        total = expr.const
+        for v, c in expr.coeffs.items():
+            val = self._lia_model.get(v)
+            if val is None:
+                return None
+            total += c * val
+        return int(total) if total.denominator == 1 else None
+
+    def _lia_infeasible_with(self, kind: str, expr: LinExpr) -> bool:
+        """Is (current LIA constraints + kind(expr)) infeasible?"""
+        if kind == "ne":
+            return (self.lia.lp_probe_infeasible("lt", expr)
+                    and self.lia.lp_probe_infeasible("lt", expr.scale(-1)))
+        return self.lia.lp_probe_infeasible(kind, expr)
+
+    # -- model queries ---------------------------------------------------------
+
+    def int_value(self, term: T.Term) -> Optional[int]:
+        if self._lia_model is None:
+            return None
+        direct = self._lia_model.get(term)
+        if direct is not None:
+            return direct
+        expr = self._linearize(term)
+        total = expr.const
+        for v, c in expr.coeffs.items():
+            val = self._lia_model.get(v)
+            if val is None:
+                cv = self.euf.value_of(v) if v in self.euf._repr else None
+                if cv is not None and cv.kind == T.INT_CONST:
+                    val = cv.payload
+                else:
+                    return None
+            total += c * val
+        return int(total)

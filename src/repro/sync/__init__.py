@@ -1,0 +1,19 @@
+"""VerusSync (§3.4): transition-system DSL, proof obligations, ghost tokens.
+
+* :mod:`~repro.sync.system` — the `fields{}/init!/transition!/property!`
+  DSL and the generated inductiveness obligations,
+* :mod:`~repro.sync.tokens` — runtime ghost shards for executable code,
+* :mod:`~repro.sync.atomic` — atomics paired with ghost state (Figure 6),
+* :mod:`~repro.sync.ra` — the resource-algebra metatheory behind sharding.
+"""
+
+from .system import (CONSTANT, COUNT, MAP, SET, VARIABLE, StateView,
+                     SyncError, SyncSystem, Transition)
+from .tokens import Instance, ProtocolViolation, Token, start
+from .atomic import AtomicGhost
+
+__all__ = [
+    "SyncSystem", "Transition", "StateView", "SyncError",
+    "VARIABLE", "CONSTANT", "MAP", "SET", "COUNT",
+    "Instance", "Token", "ProtocolViolation", "start", "AtomicGhost",
+]

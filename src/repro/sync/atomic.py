@@ -1,0 +1,89 @@
+"""Atomic cells carrying ghost shards (the paper's Figure 6 pattern).
+
+Verus's standard library pairs an ``AtomicU64`` with a ghost shard and an
+``invariant on ... is ...`` predicate connecting the physical value to the
+shard.  Executable code updates the physical value and the shard *in one
+atomic step*, preserving the pairing predicate.
+
+Here :class:`AtomicGhost` provides the same discipline dynamically: every
+load/store/CAS runs under the cell's lock, and stores must provide a
+callback that advances the ghost state (applies a VerusSync transition)
+such that the pairing predicate still holds afterwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from .tokens import ProtocolViolation, Token
+
+
+class AtomicGhost:
+    """An atomic integer paired with a ghost token.
+
+    ``pairing``: predicate (physical_value, token) -> bool, the
+    ``invariant on`` clause.  Checked after construction and after every
+    mutation when ``check`` is True.
+    """
+
+    def __init__(self, value: int, token: Optional[Token] = None,
+                 pairing: Optional[Callable[[int, Optional[Token]], bool]]
+                 = None,
+                 check: bool = True):
+        self._value = value
+        self.token = token
+        self.pairing = pairing
+        self.check = check
+        self._lock = threading.Lock()
+        self._assert_pairing()
+
+    def _assert_pairing(self) -> None:
+        if self.check and self.pairing is not None:
+            if not self.pairing(self._value, self.token):
+                raise ProtocolViolation(
+                    f"atomic pairing invariant violated: value="
+                    f"{self._value!r}, token={self.token!r}")
+
+    def load(self) -> int:
+        with self._lock:
+            return self._value
+
+    def store(self, value: int,
+              ghost: Optional[Callable[[Optional[Token]], Optional[Token]]]
+              = None) -> None:
+        """Atomically store; `ghost` maps the old token to the new one."""
+        with self._lock:
+            self._value = value
+            if ghost is not None:
+                self.token = ghost(self.token)
+            self._assert_pairing()
+
+    def fetch_add(self, delta: int,
+                  ghost: Optional[Callable] = None) -> int:
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            if ghost is not None:
+                self.token = ghost(self.token)
+            self._assert_pairing()
+            return old
+
+    def compare_exchange(self, expected: int, new: int,
+                         ghost: Optional[Callable] = None
+                         ) -> tuple[bool, int]:
+        """CAS; ghost callback runs only on success."""
+        with self._lock:
+            old = self._value
+            if old != expected:
+                return False, old
+            self._value = new
+            if ghost is not None:
+                self.token = ghost(self.token)
+            self._assert_pairing()
+            return True, old
+
+    def with_token(self, fn: Callable[[int, Optional[Token]], Any]) -> Any:
+        """Run a read-only closure over (value, token) atomically."""
+        with self._lock:
+            return fn(self._value, self.token)

@@ -1,0 +1,140 @@
+"""Resource-algebra metatheory for VerusSync sharding strategies (§3.4).
+
+The paper's soundness argument: a well-formed VerusSync system always
+corresponds to a resource algebra (a partial commutative monoid with a
+validity predicate).  This module makes the correspondence concrete:
+
+* each sharding strategy induces a shard monoid (:class:`ShardAlgebra`),
+* :func:`check_monoid_laws` property-checks associativity, commutativity,
+  unit, and validity-monotonicity on sampled shard values (the tests drive
+  this with hypothesis),
+* :func:`algebra_for` maps strategy names to their algebras, used by the
+  test-suite to validate every strategy VerusSync offers.
+
+Shard representation per strategy:
+
+* ``variable``: ``None`` (no shard) or ``("v", value)``; two value shards
+  never compose (exclusive ownership).
+* ``constant``: ``None`` or ``("c", value)``; composition requires equal
+  values (duplicable knowledge).
+* ``map``: dict key->value; composition requires disjoint keys.
+* ``set``: frozenset; composition requires disjointness.
+* ``count``: non-negative int; composition adds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+
+class Invalid:
+    """The invalid element ⊥ of a resource algebra."""
+
+    _instance: Optional["Invalid"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "⊥"
+
+
+BOT = Invalid()
+
+
+class ShardAlgebra:
+    """A resource algebra: unit, composition, validity."""
+
+    def __init__(self, name: str, unit, compose: Callable[[Any, Any], Any],
+                 valid: Callable[[Any], bool]):
+        self.name = name
+        self.unit = unit
+        self._compose = compose
+        self._valid = valid
+
+    def compose(self, a, b):
+        if a is BOT or b is BOT:
+            return BOT
+        return self._compose(a, b)
+
+    def valid(self, a) -> bool:
+        if a is BOT:
+            return False
+        return self._valid(a)
+
+
+def _variable_compose(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return BOT  # two exclusive shards never compose
+
+
+def _constant_compose(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a == b else BOT  # shared knowledge must agree
+
+
+def _map_compose(a: dict, b: dict):
+    if set(a) & set(b):
+        return BOT
+    out = dict(a)
+    out.update(b)
+    return out
+
+
+def _set_compose(a: frozenset, b: frozenset):
+    if a & b:
+        return BOT
+    return a | b
+
+
+def _count_compose(a: int, b: int):
+    return a + b
+
+
+VARIABLE_RA = ShardAlgebra("variable", None, _variable_compose,
+                           lambda a: True)
+CONSTANT_RA = ShardAlgebra("constant", None, _constant_compose,
+                           lambda a: True)
+MAP_RA = ShardAlgebra("map", {}, _map_compose, lambda a: True)
+SET_RA = ShardAlgebra("set", frozenset(), _set_compose, lambda a: True)
+COUNT_RA = ShardAlgebra("count", 0, _count_compose, lambda a: a >= 0)
+
+
+def algebra_for(strategy: str) -> ShardAlgebra:
+    return {"variable": VARIABLE_RA, "constant": CONSTANT_RA,
+            "map": MAP_RA, "set": SET_RA, "count": COUNT_RA}[strategy]
+
+
+def check_monoid_laws(ra: ShardAlgebra, samples: list) -> list[str]:
+    """Check RA laws on the given samples; return violations (ideally [])."""
+    problems: list[str] = []
+
+    def eq(x, y):
+        return (x is BOT and y is BOT) or x == y
+
+    for a in samples:
+        if not eq(ra.compose(a, ra.unit), a):
+            problems.append(f"unit law fails for {a!r}")
+        for b in samples:
+            ab = ra.compose(a, b)
+            ba = ra.compose(b, a)
+            if not eq(ab, ba):
+                problems.append(f"commutativity fails for {a!r}, {b!r}")
+            # Validity monotonicity: valid(a·b) implies valid(a).
+            if ra.valid(ab) and not ra.valid(a):
+                problems.append(f"validity not monotone at {a!r}, {b!r}")
+            for c in samples:
+                abc1 = ra.compose(ab, c)
+                abc2 = ra.compose(a, ra.compose(b, c))
+                if not eq(abc1, abc2):
+                    problems.append(
+                        f"associativity fails for {a!r}, {b!r}, {c!r}")
+    return problems

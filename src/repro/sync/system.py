@@ -1,0 +1,362 @@
+"""VerusSync (§3.4): a transition-system DSL for sharded ghost state.
+
+The developer declares *fields* with sharding strategies, *transitions*
+(`init!` / `transition!` / `property!` blocks), and *invariants*.  The
+framework then generates the paper's proof obligations:
+
+* every `init!` establishes every invariant,
+* every `transition!` preserves every invariant (assuming the enabling
+  conditions — `require`, `remove`, `have`),
+* every `add` is *fresh* (the shard being created does not already exist —
+  the well-formedness condition that makes the sharding a resource algebra),
+* every `property!`'s asserts follow from the invariants.
+
+Obligations are ordinary proof functions dispatched through the default
+verification pipeline, so "VerusSync is a special case of state-machine
+reasoning" holds here exactly as in the paper.
+
+Sharding strategies: ``variable``, ``constant``, ``map``, ``set``,
+``count`` (the paper's examples use the first three).  ``option`` and
+``storage`` strategies are documented as future work, as in our DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..vc import ast as A
+from ..vc import types as VT
+from ..vc.errors import ModuleResult
+from ..vc.wp import VcConfig, VcGen
+
+VARIABLE = "variable"
+CONSTANT = "constant"
+MAP = "map"
+SET = "set"
+COUNT = "count"
+
+_STRATEGIES = {VARIABLE, CONSTANT, MAP, SET, COUNT}
+
+
+class SyncError(Exception):
+    """Malformed VerusSync system declaration."""
+
+
+class Field:
+    def __init__(self, name: str, strategy: str,
+                 vtype: Optional[VT.VType] = None,
+                 key: Optional[VT.VType] = None,
+                 value: Optional[VT.VType] = None):
+        if strategy not in _STRATEGIES:
+            raise SyncError(f"unknown sharding strategy {strategy!r}")
+        self.name = name
+        self.strategy = strategy
+        if strategy in (VARIABLE, CONSTANT):
+            if vtype is None:
+                raise SyncError(f"field {name}: variable/constant need vtype")
+            self.vtype = vtype
+        elif strategy == MAP:
+            if key is None or value is None:
+                raise SyncError(f"field {name}: map needs key and value")
+            self.key = key
+            self.value = value
+            self.vtype = VT.MapType(key, value)
+        elif strategy == SET:
+            if key is None:
+                raise SyncError(f"field {name}: set needs key (element) type")
+            self.key = key
+            self.vtype = VT.MapType(key, VT.BOOL)
+        elif strategy == COUNT:
+            self.vtype = VT.NAT
+
+
+class _Op:
+    def __init__(self, kind: str, field: Optional[str] = None,
+                 exprs: Optional[dict] = None):
+        self.kind = kind
+        self.field = field
+        self.exprs = exprs or {}
+
+
+class Transition:
+    """One init!/transition!/property! block, built by method chaining."""
+
+    def __init__(self, system: "SyncSystem", name: str, kind: str,
+                 params: Sequence[tuple[str, VT.VType]]):
+        self.system = system
+        self.name = name
+        self.kind = kind  # "init" | "transition" | "property"
+        self.params = list(params)
+        self.ops: list[_Op] = []
+
+    # -- builder API --------------------------------------------------------
+
+    def require(self, cond) -> "Transition":
+        self.ops.append(_Op("require", exprs={"cond": A.coerce(cond)}))
+        return self
+
+    def update(self, field: str, value) -> "Transition":
+        f = self.system.fields[field]
+        if f.strategy == CONSTANT and self.kind != "init":
+            raise SyncError(f"constant field {field} cannot be updated")
+        if f.strategy not in (VARIABLE, CONSTANT):
+            raise SyncError(f"update only applies to variable fields, "
+                            f"{field} is {f.strategy}")
+        self.ops.append(_Op("update", field, {"value": A.coerce(value)}))
+        return self
+
+    def init_field(self, field: str, value) -> "Transition":
+        if self.kind != "init":
+            raise SyncError("init_field only valid in init! blocks")
+        self.ops.append(_Op("init", field, {"value": A.coerce(value)}))
+        return self
+
+    def remove(self, field: str, key, value=None) -> "Transition":
+        """`remove f -= [key => value]`: consume a shard."""
+        f = self.system.fields[field]
+        exprs = {"key": A.coerce(key)}
+        if value is not None:
+            exprs["value"] = A.coerce(value)
+        if f.strategy not in (MAP, SET):
+            raise SyncError(f"remove applies to map/set fields")
+        self.ops.append(_Op("remove", field, exprs))
+        return self
+
+    def add(self, field: str, key, value=None) -> "Transition":
+        """`add f += [key => value]`: create a shard (must be fresh)."""
+        f = self.system.fields[field]
+        exprs = {"key": A.coerce(key)}
+        if f.strategy == MAP:
+            if value is None:
+                raise SyncError(f"add to map field {field} needs a value")
+            exprs["value"] = A.coerce(value)
+        elif f.strategy != SET:
+            raise SyncError("add applies to map/set fields")
+        self.ops.append(_Op("add", field, exprs))
+        return self
+
+    def have(self, field: str, key, value=None) -> "Transition":
+        """`have f >= [key => value]`: read a shard without consuming it."""
+        exprs = {"key": A.coerce(key)}
+        if value is not None:
+            exprs["value"] = A.coerce(value)
+        self.ops.append(_Op("have", field, exprs))
+        return self
+
+    def add_count(self, field: str, n=1) -> "Transition":
+        self.ops.append(_Op("add_count", field, {"n": A.coerce(n)}))
+        return self
+
+    def remove_count(self, field: str, n=1) -> "Transition":
+        self.ops.append(_Op("remove_count", field, {"n": A.coerce(n)}))
+        return self
+
+    def assert_(self, cond) -> "Transition":
+        if self.kind != "property":
+            raise SyncError("assert_ only valid in property! blocks")
+        self.ops.append(_Op("assert", exprs={"cond": A.coerce(cond)}))
+        return self
+
+    # -- symbolic semantics ---------------------------------------------------
+
+    def symbolic(self, pre_env: dict[str, A.Expr]
+                 ) -> tuple[list[A.Expr], dict[str, A.Expr],
+                            list[A.Expr], list[A.Expr]]:
+        """(enabling, post_state, freshness_obligations, asserts).
+
+        ``pre_env`` maps field names to their pre-state expressions (empty
+        for init).  Ops are interpreted in order against a running state.
+        """
+        state = dict(pre_env)
+        enabling: list[A.Expr] = []
+        fresh: list[A.Expr] = []
+        asserts: list[A.Expr] = []
+        for op in self.ops:
+            if op.kind == "require":
+                enabling.append(op.exprs["cond"])
+            elif op.kind in ("update", "init"):
+                state[op.field] = op.exprs["value"]
+            elif op.kind == "remove":
+                cur = state[op.field]
+                key = op.exprs["key"]
+                enabling.append(cur.contains_key(key))
+                if "value" in op.exprs:
+                    f = self.system.fields[op.field]
+                    if f.strategy == MAP:
+                        enabling.append(
+                            cur.map_index(key).eq(op.exprs["value"]))
+                state[op.field] = cur.remove(key)
+            elif op.kind == "add":
+                cur = state[op.field]
+                key = op.exprs["key"]
+                fresh.append(cur.contains_key(key).not_())
+                f = self.system.fields[op.field]
+                value = (op.exprs["value"] if f.strategy == MAP
+                         else A.coerce(True))
+                state[op.field] = cur.insert(key, value)
+            elif op.kind == "have":
+                cur = state[op.field]
+                key = op.exprs["key"]
+                enabling.append(cur.contains_key(key))
+                if "value" in op.exprs:
+                    enabling.append(cur.map_index(key).eq(op.exprs["value"]))
+            elif op.kind == "add_count":
+                state[op.field] = state[op.field] + op.exprs["n"]
+            elif op.kind == "remove_count":
+                enabling.append(state[op.field] >= op.exprs["n"])
+                state[op.field] = state[op.field] - op.exprs["n"]
+            elif op.kind == "assert":
+                asserts.append(op.exprs["cond"])
+            else:
+                raise SyncError(f"unknown op {op.kind}")
+        return enabling, state, fresh, asserts
+
+
+class StateView:
+    """Lets invariants reference fields: ``sv("tail")`` is an expression."""
+
+    def __init__(self, env: dict[str, A.Expr]):
+        self._env = env
+
+    def __call__(self, field: str) -> A.Expr:
+        try:
+            return self._env[field]
+        except KeyError:
+            raise SyncError(f"unknown field {field!r}") from None
+
+
+class SyncSystem:
+    """A VerusSync system declaration."""
+
+    def __init__(self, name: str, module: Optional[A.Module] = None):
+        self.name = name
+        self.fields: dict[str, Field] = {}
+        self.transitions: dict[str, Transition] = {}
+        self.invariants: list[tuple[str, Callable[[StateView], A.Expr]]] = []
+        self.user_module = module  # for spec fns referenced in expressions
+
+    # -- declaration ---------------------------------------------------------
+
+    def field(self, name: str, strategy: str, vtype=None, key=None,
+              value=None) -> Field:
+        if name in self.fields:
+            raise SyncError(f"duplicate field {name}")
+        f = Field(name, strategy, vtype, key, value)
+        self.fields[name] = f
+        return f
+
+    def pre(self, field: str) -> A.Expr:
+        """Pre-state expression for use in transition conditions."""
+        f = self.fields[field]
+        return A.VarE(f"pre!{field}", f.vtype)
+
+    def param(self, name: str, vtype: VT.VType) -> A.Expr:
+        return A.VarE(name, vtype)
+
+    def init(self, name: str, params: Sequence = ()) -> Transition:
+        return self._add_transition(name, "init", params)
+
+    def transition(self, name: str, params: Sequence = ()) -> Transition:
+        return self._add_transition(name, "transition", params)
+
+    def property_(self, name: str, params: Sequence = ()) -> Transition:
+        return self._add_transition(name, "property", params)
+
+    def _add_transition(self, name, kind, params) -> Transition:
+        if name in self.transitions:
+            raise SyncError(f"duplicate transition {name}")
+        t = Transition(self, name, kind, params)
+        self.transitions[name] = t
+        return t
+
+    def invariant(self, name: str,
+                  predicate: Callable[[StateView], A.Expr],
+                  depends_on: Optional[Sequence[str]] = None) -> None:
+        """Declare an inductive invariant.
+
+        ``depends_on`` lists the *other* invariants whose pre-state facts
+        this invariant's preservation proof may assume (None = all).
+        Narrowing dependencies keeps each generated obligation small — the
+        VerusSync analogue of selecting lemma hypotheses.
+        """
+        self.invariants.append((name, predicate, depends_on))
+
+    # -- proof obligations ------------------------------------------------------
+
+    def obligations_module(self) -> A.Module:
+        """Build the module of generated proof functions."""
+        mod = A.Module(f"sync.{self.name}")
+        if self.user_module is not None:
+            mod.import_module(self.user_module)
+        pre_env = {name: A.VarE(f"pre!{name}", f.vtype)
+                   for name, f in self.fields.items()}
+        field_params = [A.Param(f"pre!{name}", f.vtype)
+                        for name, f in self.fields.items()]
+
+        by_name = {name: pred for name, pred, _ in self.invariants}
+
+        def pre_facts(sv_pre, name: str, depends) -> list[A.Expr]:
+            if depends is None:
+                return [pred(sv_pre) for _, pred, _ in self.invariants]
+            names = [name] + [d for d in depends if d != name]
+            return [by_name[d](sv_pre) for d in names]
+
+        for t in self.transitions.values():
+            t_params = [A.Param(n, vt) for n, vt in t.params]
+            if t.kind == "init":
+                enabling, post, fresh, _ = t.symbolic({})
+                missing = set(self.fields) - set(post)
+                if missing:
+                    raise SyncError(
+                        f"init {t.name} leaves fields uninitialized: "
+                        f"{sorted(missing)}")
+                sv = StateView(post)
+                ensures = [pred(sv) for _, pred, _ in self.invariants]
+                mod.add(A.Function(
+                    f"{t.name}#establishes", A.PROOF, t_params,
+                    requires=enabling, ensures=ensures, body=[]))
+                continue
+
+            enabling, post, fresh, asserts = t.symbolic(pre_env)
+            sv_pre = StateView(pre_env)
+            all_pre = [pred(sv_pre) for _, pred, _ in self.invariants]
+            if t.kind == "transition":
+                sv_post = StateView(post)
+                narrowed = any(dep is not None
+                               for _, _, dep in self.invariants)
+                if narrowed:
+                    # one obligation per invariant, with only the declared
+                    # dependencies as hypotheses (smaller queries)
+                    for name, pred, depends in self.invariants:
+                        mod.add(A.Function(
+                            f"{t.name}#preserves_{name}", A.PROOF,
+                            field_params + t_params,
+                            requires=pre_facts(sv_pre, name, depends)
+                            + enabling,
+                            ensures=[pred(sv_post)], body=[]))
+                else:
+                    ensures = [pred(sv_post)
+                               for _, pred, _ in self.invariants]
+                    mod.add(A.Function(
+                        f"{t.name}#preserves", A.PROOF,
+                        field_params + t_params,
+                        requires=all_pre + enabling,
+                        ensures=ensures, body=[]))
+                if fresh:
+                    mod.add(A.Function(
+                        f"{t.name}#fresh", A.PROOF,
+                        field_params + t_params,
+                        requires=all_pre + enabling,
+                        ensures=fresh, body=[]))
+            else:  # property
+                mod.add(A.Function(
+                    f"{t.name}#property", A.PROOF,
+                    field_params + t_params,
+                    requires=all_pre + enabling,
+                    ensures=asserts, body=[]))
+        return mod
+
+    def check(self, config: Optional[VcConfig] = None) -> ModuleResult:
+        """Generate and discharge all VerusSync proof obligations."""
+        mod = self.obligations_module()
+        return VcGen(mod, config).verify_module()

@@ -1,0 +1,270 @@
+"""Runtime ghost tokens for VerusSync systems.
+
+In Verus, a verified VerusSync system yields *tokens* (ghost shards) that
+executable code manipulates to prove it follows the protocol; the checks
+happen at compile time and the tokens vanish from the binary.
+
+In this reproduction the executable case studies run as ordinary Python,
+so the token API enforces the protocol *dynamically*: every transition
+application re-checks enabling conditions, consumes the exact shards the
+transition removes, mints the shards it adds, and (optionally) re-checks
+the system invariants.  Benchmarks toggle ``check_invariants`` to measure
+ghost-checking overhead — the runtime analogue of "erased in release".
+
+Token duplication is impossible by construction: consuming a token marks
+it invalid, and a map/set key can only ever have one live token (the
+freshness obligation proved by :meth:`SyncSystem.check` guarantees the
+verified protocol never needs two).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from ..vc.interp import Interp, InterpError
+from .system import (CONSTANT, COUNT, MAP, SET, VARIABLE, SyncError,
+                     SyncSystem, Transition)
+
+
+class ProtocolViolation(Exception):
+    """Executable code attempted a step the protocol does not allow."""
+
+
+class Token:
+    """A ghost shard. Invalidated when consumed by a transition."""
+
+    __slots__ = ("instance", "field", "key", "value", "valid")
+
+    def __init__(self, instance: "Instance", field: str, key, value):
+        self.instance = instance
+        self.field = field
+        self.key = key
+        self.value = value
+        self.valid = True
+
+    def __repr__(self) -> str:
+        state = "live" if self.valid else "consumed"
+        if self.key is None:
+            return f"<Token {self.field}={self.value!r} ({state})>"
+        return f"<Token {self.field}[{self.key!r}]={self.value!r} ({state})>"
+
+
+class Instance:
+    """A running instance of a VerusSync system (ghost aggregate state).
+
+    The aggregate exists only to *check* executable code; it corresponds
+    to the mathematical composition of all live shards.
+    """
+
+    def __init__(self, system: SyncSystem, check_invariants: bool = True):
+        self.system = system
+        self.check_invariants = check_invariants
+        self.state: dict[str, Any] = {}
+        self._live_tokens: dict[tuple, Token] = {}
+        self._lock = threading.Lock()
+        self._interp = Interp(module=system.user_module)
+
+    # -- token bookkeeping -----------------------------------------------------
+
+    def _mint(self, field: str, key, value) -> Token:
+        tok = Token(self, field, key, value)
+        self._live_tokens[(field, key)] = tok
+        return tok
+
+    def _consume(self, tok: Token, field: str, key=None) -> Any:
+        if not tok.valid:
+            raise ProtocolViolation(f"token already consumed: {tok!r}")
+        if tok.instance is not self:
+            raise ProtocolViolation("token belongs to another instance")
+        if tok.field != field:
+            raise ProtocolViolation(
+                f"wrong token: expected field {field}, got {tok.field}")
+        if key is not None and tok.key != key:
+            raise ProtocolViolation(
+                f"wrong token key: expected {key!r}, got {tok.key!r}")
+        tok.valid = False
+        self._live_tokens.pop((tok.field, tok.key), None)
+        return tok.value
+
+    # -- transition application ---------------------------------------------------
+
+    def apply(self, name: str, tokens: Optional[dict[str, Token]] = None,
+              **params) -> dict[str, Token]:
+        """Apply a transition atomically.
+
+        ``tokens`` maps field names to the tokens the transition consumes
+        (for ``remove``/``update`` ops) or reads (``have``).  Returns the
+        newly minted tokens keyed the same way (``"field"`` or
+        ``"field[i]"`` style keys are up to the caller — we key by field
+        name, with map adds keyed ``field`` as well; multiple adds to one
+        field return numbered keys).
+        """
+        tokens = tokens or {}
+        transition = self.system.transitions.get(name)
+        if transition is None:
+            raise SyncError(f"no transition named {name}")
+        if transition.kind == "property":
+            raise SyncError("properties are proofs, not runtime steps")
+        with self._lock:
+            return self._apply_locked(transition, tokens, params)
+
+    def _apply_locked(self, transition: Transition, tokens: dict,
+                      params: dict) -> dict[str, Token]:
+        env = dict(params)
+        for fname, value in self.state.items():
+            env[f"pre!{fname}"] = value
+        state = dict(self.state)
+        minted: dict[str, Token] = {}
+        consumed: list[Token] = []
+
+        def ev(expr):
+            local_env = dict(env)
+            for fname, value in state.items():
+                local_env[f"pre!{fname}"] = value
+            return self._interp.eval(expr, local_env)
+
+        try:
+            for op in transition.ops:
+                self._apply_op(transition, op, state, tokens, minted,
+                               consumed, ev)
+        except (InterpError, ProtocolViolation):
+            for tok in consumed:  # roll back token consumption
+                tok.valid = True
+                self._live_tokens[(tok.field, tok.key)] = tok
+            raise
+        self.state = state
+        if self.check_invariants:
+            self._check_invariants()
+        return minted
+
+    def _apply_op(self, transition, op, state, tokens, minted, consumed,
+                  ev) -> None:
+        field = self.system.fields.get(op.field) if op.field else None
+        if op.kind == "require":
+            if not ev(op.exprs["cond"]):
+                raise ProtocolViolation(
+                    f"{transition.name}: require failed")
+        elif op.kind == "init":
+            state[op.field] = ev(op.exprs["value"])
+            if field.strategy in (VARIABLE,):
+                minted[op.field] = self._mint(op.field, None,
+                                              state[op.field])
+            elif field.strategy == CONSTANT:
+                minted[op.field] = self._mint(op.field, None,
+                                              state[op.field])
+        elif op.kind == "update":
+            tok = tokens.get(op.field)
+            if tok is None:
+                raise ProtocolViolation(
+                    f"{transition.name}: update {op.field} needs its "
+                    f"variable token")
+            self._consume(tok, op.field)
+            consumed.append(tok)
+            state[op.field] = ev(op.exprs["value"])
+            minted[op.field] = self._mint(op.field, None, state[op.field])
+        elif op.kind == "remove":
+            key = ev(op.exprs["key"])
+            tok = tokens.get(op.field)
+            if tok is None:
+                raise ProtocolViolation(
+                    f"{transition.name}: remove {op.field}[{key!r}] needs "
+                    f"its shard token")
+            value = self._consume(tok, op.field, key)
+            consumed.append(tok)
+            cur = state[op.field]
+            if key not in cur:
+                raise ProtocolViolation(
+                    f"{transition.name}: {op.field}[{key!r}] absent")
+            if "value" in op.exprs and field.strategy == MAP:
+                expected = ev(op.exprs["value"])
+                if cur[key] != expected:
+                    raise ProtocolViolation(
+                        f"{transition.name}: {op.field}[{key!r}] is "
+                        f"{cur[key]!r}, transition expects {expected!r}")
+            new = dict(cur)
+            del new[key]
+            state[op.field] = new
+        elif op.kind == "add":
+            key = ev(op.exprs["key"])
+            cur = state[op.field]
+            if key in cur:
+                raise ProtocolViolation(
+                    f"{transition.name}: add {op.field}[{key!r}] not fresh")
+            value = (ev(op.exprs["value"]) if field.strategy == MAP
+                     else True)
+            new = dict(cur)
+            new[key] = value
+            state[op.field] = new
+            mint_key = op.field if op.field not in minted \
+                else f"{op.field}#{len(minted)}"
+            minted[mint_key] = self._mint(op.field, key, value)
+        elif op.kind == "have":
+            key = ev(op.exprs["key"])
+            tok = tokens.get(op.field)
+            if tok is None or not tok.valid or tok.key != key:
+                raise ProtocolViolation(
+                    f"{transition.name}: have {op.field}[{key!r}] needs a "
+                    f"live shard token")
+            if "value" in op.exprs:
+                expected = ev(op.exprs["value"])
+                if tok.value != expected:
+                    raise ProtocolViolation(
+                        f"{transition.name}: have {op.field}[{key!r}] "
+                        f"expected {expected!r}, token holds {tok.value!r}")
+        elif op.kind == "add_count":
+            n = ev(op.exprs["n"])
+            state[op.field] = state[op.field] + n
+            minted[op.field] = self._mint(op.field, object(), n)
+        elif op.kind == "remove_count":
+            n = ev(op.exprs["n"])
+            tok = tokens.get(op.field)
+            if tok is None or not tok.valid or tok.value < n:
+                raise ProtocolViolation(
+                    f"{transition.name}: remove_count needs a count token "
+                    f"of at least {n}")
+            self._consume(tok, op.field, tok.key)
+            consumed.append(tok)
+            if tok.value > n:  # change
+                minted[op.field] = self._mint(op.field, object(),
+                                              tok.value - n)
+            state[op.field] = state[op.field] - n
+        else:
+            raise SyncError(f"unknown op {op.kind}")
+
+    # -- invariant checking ----------------------------------------------------------
+
+    def _check_invariants(self) -> None:
+        from .system import StateView
+        from ..vc import ast as A
+
+        class _ConcreteView:
+            def __init__(self, state):
+                self.state = state
+
+        # Build expressions against pre! names, then evaluate.
+        env = {f"pre!{k}": v for k, v in self.state.items()}
+        view = StateView({name: A.VarE(f"pre!{name}", f.vtype)
+                          for name, f in self.system.fields.items()})
+        for name, pred, _depends in self.system.invariants:
+            expr = pred(view)
+            try:
+                ok = self._interp.eval(expr, env)
+            except InterpError:
+                continue  # quantified invariants over infinite domains
+            if not ok:
+                raise ProtocolViolation(
+                    f"invariant {name} violated: state={self.state!r}")
+
+
+def start(system: SyncSystem, init_name: str = "initialize",
+          check_invariants: bool = True, **params
+          ) -> tuple[Instance, dict[str, Token]]:
+    """Run an init! transition: returns the instance and its first tokens."""
+    inst = Instance(system, check_invariants)
+    transition = system.transitions.get(init_name)
+    if transition is None or transition.kind != "init":
+        raise SyncError(f"{init_name} is not an init! transition")
+    with inst._lock:
+        minted = inst._apply_locked(transition, {}, params)
+    return inst, minted

@@ -1,0 +1,1 @@
+"""The five case-study systems of §4.2."""

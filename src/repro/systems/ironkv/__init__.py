@@ -1,0 +1,1 @@
+"""IronKV (§4.2.1): sharded KV store, delegation map, marshalling."""

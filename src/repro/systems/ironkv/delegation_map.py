@@ -1,0 +1,149 @@
+"""The IronKV delegation map, default-mode verification (§3.2, Fig. 3a).
+
+The concrete structure is the pivot list of :class:`...host.DelegationMap`:
+``pivots`` (strictly sorted, starting at 0) and per-pivot ``hosts``.  This
+module verifies the executable operations in the *default* (trigger-based)
+mode:
+
+* ``dm_get`` — linear scan from the end; its postcondition pins the result
+  relationally: the returned host labels the unique pivot window containing
+  the key,
+* ``dm_set_insert_point`` — the splice-point search used by ``set``, with
+  the sortedness facts ``set`` needs,
+* ``dm_wf`` preservation for the splice.
+
+The corner-case-rich parts of ``set``'s *functional* proof are the ones the
+paper reports took ~300 lines in default mode; the EPR module
+(:mod:`.delegation_map_epr`) discharges that level automatically.
+"""
+
+from __future__ import annotations
+
+from ...lang import *
+
+SeqU = SeqType(U64)
+KEY_MAX = (1 << 20)
+
+
+def build_default_module() -> Module:
+    mod = Module("delegation_map_default")
+    p = var("p", SeqU)      # pivots
+    h = var("h", SeqU)      # hosts
+    k = var("k", U64)
+
+    # well-formedness: nonempty, starts at 0, strictly sorted, same length
+    spec_fn(mod, "dm_wf", [("p", SeqU), ("h", SeqU)], BOOL,
+            body=and_all(
+                p.length() > 0,
+                h.length().eq(p.length()),
+                p.index(0).eq(0),
+                forall([("i", INT), ("j", INT)],
+                       and_all(lit(0) <= var("i", INT),
+                               var("i", INT) < var("j", INT),
+                               var("j", INT) < p.length()).implies(
+                           p.index(var("i", INT)) < p.index(var("j", INT)))),
+            ))
+
+    # get: scan from the end for the first pivot <= k. Returns the host
+    # plus the (ghost) window index, pinning the result exactly — the
+    # Verus idiom for avoiding an opaque ∃ in the postcondition.
+    GetOut = StructType("DmGetOut").declare([("host", U64), ("idx", INT)])
+    mod.datatype(GetOut)
+    i = var("i", INT)
+    out = var("out", GetOut)
+    exec_fn(
+        mod, "dm_get", [("p", SeqU), ("h", SeqU), ("k", U64)],
+        ret=("out", GetOut),
+        requires=[call(mod, "dm_wf", p, h)],
+        ensures=[
+            lit(0) <= out.field("idx"),
+            out.field("idx") < p.length(),
+            p.index(out.field("idx")) <= k,
+            or_all(out.field("idx").eq(p.length() - 1),
+                   k < p.index(out.field("idx") + 1)),
+            out.field("host").eq(h.index(out.field("idx"))),
+        ],
+        body=[
+            let_("i", p.length() - 1),
+            while_(p.index(i) > k,
+                   invariants=[
+                       lit(0) <= i, i < p.length(),
+                       # all pivots after i are > k
+                       forall([("m", INT)],
+                              and_all(i < var("m", INT),
+                                      var("m", INT) < p.length()).implies(
+                                  k < p.index(var("m", INT)))),
+                   ],
+                   body=[assign("i", i - 1)],
+                   decreases=i),
+            ret(struct(GetOut, host=h.index(i), idx=i)),
+        ])
+
+    # the splice-point search for set: first index with pivots[idx] >= lo
+    lo = var("lo", U64)
+    exec_fn(
+        mod, "dm_insert_point", [("p", SeqU), ("h", SeqU), ("lo", U64)],
+        ret=("idx", INT),
+        requires=[call(mod, "dm_wf", p, h), lo > 0],
+        ensures=[
+            lit(0) < var("idx", INT),
+            var("idx", INT) <= p.length(),
+            # everything before the point is < lo
+            forall([("m", INT)],
+                   and_all(lit(0) <= var("m", INT),
+                           var("m", INT) < var("idx", INT)).implies(
+                       p.index(var("m", INT)) < lo)),
+            # everything from the point on is >= lo
+            forall([("m", INT)],
+                   and_all(var("idx", INT) <= var("m", INT),
+                           var("m", INT) < p.length()).implies(
+                       lo <= p.index(var("m", INT)))),
+        ],
+        body=[
+            let_("i", lit(1, INT)),
+            while_(and_all(i < p.length(), p.index(i) < lo),
+                   invariants=[
+                       lit(1) <= i, i <= p.length(),
+                       forall([("m", INT)],
+                              and_all(lit(0) <= var("m", INT),
+                                      var("m", INT) < i).implies(
+                                  p.index(var("m", INT)) < lo)),
+                   ],
+                   body=[assign("i", i + 1)],
+                   decreases=p.length() - i),
+            ret(i),
+        ])
+
+    # the splice preserves well-formedness: take(idx) ++ [lo] stays sorted
+    exec_fn(
+        mod, "dm_splice_prefix",
+        [("p", SeqU), ("h", SeqU), ("lo", U64), ("host", U64),
+         ("idx", INT)],
+        ret=("out_p", SeqU),
+        requires=[
+            call(mod, "dm_wf", p, h),
+            lo > 0,
+            lit(0) < var("idx", INT),
+            var("idx", INT) <= p.length(),
+            forall([("m", INT)],
+                   and_all(lit(0) <= var("m", INT),
+                           var("m", INT) < var("idx", INT)).implies(
+                       p.index(var("m", INT)) < lo)),
+        ],
+        ensures=[
+            var("out_p", SeqU).length().eq(var("idx", INT) + 1),
+            var("out_p", SeqU).index(0).eq(0),
+            # the new prefix is strictly sorted
+            forall([("a", INT), ("b", INT)],
+                   and_all(lit(0) <= var("a", INT),
+                           var("a", INT) < var("b", INT),
+                           var("b", INT) < var("idx", INT) + 1).implies(
+                       var("out_p", SeqU).index(var("a", INT))
+                       < var("out_p", SeqU).index(var("b", INT)))),
+        ],
+        body=[
+            let_("prefix", p.take(var("idx", INT))),
+            let_("out", var("prefix", SeqU).push(lo)),
+            ret(var("out", SeqU)),
+        ])
+    return mod

@@ -1,0 +1,110 @@
+"""The delegation map abstracted into EPR (§3.2, Fig. 3b–c).
+
+Keys become a totally ordered uninterpreted sort (the abstraction Verus
+"trivially proves sound" against the u64 implementation); the map becomes
+the relation ``owns(m, k, h)``.  The operations' effects are stated
+relationally, and the invariants — the map is *functional* and *total* —
+check completely automatically, the way the ~300-line default-mode proof
+collapsed in the paper.
+"""
+
+from __future__ import annotations
+
+from ...lang import *
+from ...epr import verify_epr_module
+
+DM = StructType("EprDM")
+Key = StructType("EprKey")
+Host = StructType("EprHost")
+
+
+def build_epr_model() -> Module:
+    mod = Module("delegation_map_epr", epr_mode=True)
+    mod.add(Function("owns", "spec",
+                     [Param("m", DM), Param("k", Key), Param("h", Host)],
+                     ("result", BOOL)))
+    mod.add(Function("lte", "spec",
+                     [Param("a", Key), Param("b", Key)],
+                     ("result", BOOL)))
+
+    def owns(m, k, h):
+        return call(mod, "owns", m, k, h)
+
+    def lte(a, b):
+        return call(mod, "lte", a, b)
+
+    qk, qh, qh2 = ("qk", Key), ("qh", Host), ("qh2", Host)
+    vk, vh, vh2 = var("qk", Key), var("qh", Host), var("qh2", Host)
+
+    # ---- boilerplate: key total order -------------------------------------
+    qa, qb, qc = ("ka", Key), ("kb", Key), ("kc", Key)
+    va, vb, vc = var("ka", Key), var("kb", Key), var("kc", Key)
+    order = [
+        forall([qa], lte(va, va)),
+        forall([qa, qb, qc],
+               and_all(lte(va, vb), lte(vb, vc)).implies(lte(va, vc))),
+        forall([qa, qb],
+               and_all(lte(va, vb), lte(vb, va)).implies(va.eq(vb))),
+        forall([qa, qb], or_all(lte(va, vb), lte(vb, va))),
+    ]
+
+    def functional(m):
+        return forall([qk, qh, qh2],
+                      and_all(owns(m, vk, vh), owns(m, vk, vh2)).implies(
+                          vh.eq(vh2)))
+
+    def total(m):
+        return forall([qk], exists([("eh", Host)],
+                                   owns(m, vk, var("eh", Host))))
+
+    m, m2 = var("m", DM), var("m2", DM)
+    h0, hn = var("h0", Host), var("hn", Host)
+    klo, khi = var("klo", Key), var("khi", Key)
+
+    # new: everything owned by the default host
+    new_def = forall([qk, qh],
+                     owns(m, vk, vh).eq(vh.eq(h0)))
+    proof_fn(mod, "new_post", [("m", DM), ("h0", Host)],
+             requires=order + [new_def],
+             ensures=[functional(m), total(m)], body=[])
+
+    # set [klo, khi) -> hn (interval in the key order: lo <= k and not hi <= k)
+    set_def = forall(
+        [qk, qh],
+        owns(m2, vk, vh).eq(
+            ite(and_all(lte(klo, vk), lte(khi, vk).not_()),
+                vh.eq(hn),
+                owns(m, vk, vh))))
+    proof_fn(mod, "set_post",
+             [("m", DM), ("m2", DM), ("klo", Key), ("khi", Key),
+              ("hn", Host)],
+             requires=order + [functional(m), total(m), set_def],
+             ensures=[
+                 functional(m2), total(m2),
+                 # keys in the range now map to hn
+                 forall([qk],
+                        and_all(lte(klo, vk),
+                                lte(khi, vk).not_()).implies(
+                            owns(m2, vk, hn))),
+                 # keys outside keep their owner
+                 forall([qk, qh],
+                        and_all(or_all(lte(klo, vk).not_(), lte(khi, vk)),
+                                owns(m, vk, vh)).implies(
+                            owns(m2, vk, vh))),
+             ], body=[])
+
+    # get: any witness of owns is THE owner (functionality in use)
+    proof_fn(mod, "get_post",
+             [("m", DM), ("k", Key), ("h", Host), ("h2", Host)],
+             requires=order + [functional(m), total(m),
+                               call(mod, "owns", m, var("k", Key),
+                                    var("h", Host)),
+                               call(mod, "owns", m, var("k", Key),
+                                    var("h2", Host))],
+             ensures=[var("h", Host).eq(var("h2", Host))], body=[])
+    return mod
+
+
+def verify() -> "ModuleResult":
+    """Check the EPR model (Fig. 3c): fully automatic."""
+    return verify_epr_module(build_epr_model())

@@ -1,0 +1,324 @@
+"""IronKV host: a sharded key-value store node (§4.2.1).
+
+Each host owns a key range (tracked by every node's *delegation map*) and
+serves Get/Set for keys it owns; a Delegate message moves a key range —
+with its data — to another host.
+
+Two executable variants exist so Figure 10's comparison is meaningful:
+
+* :class:`VerusHost` — the paper's port: the trait-based marshalling
+  library and in-place (``&mut``-style) delegation-map updates.
+* :class:`IronFleetHost` — the Dafny original's style: a generic
+  value-tree marshaller (each message is first converted into a tagged
+  tree of values, then serialized — the "tedious boilerplate" design) and
+  rebuild-the-whole-structure updates (IronFleet avoided fine-grained
+  mutation reasoning by replacing entire structures).
+
+Both implement the same protocol and interoperate over the simulated
+network.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ...runtime.network import Endpoint, Network
+from . import marshal as M
+
+KEY_SPACE = 1 << 20
+
+
+class DelegationMap:
+    """Pivot list: pivots[i] starts the range owned by hosts[i].
+
+    Invariant: pivots is strictly sorted and pivots[0] == 0 so every key
+    is covered — the verified model proves exactly this (see
+    delegation_map.py / delegation_map_epr.py).
+    """
+
+    def __init__(self, default_host: int):
+        self.pivots: list[int] = [0]
+        self.hosts: list[int] = [default_host]
+
+    def get(self, key: int) -> int:
+        lo, hi = 0, len(self.pivots) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.pivots[mid] <= key:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.hosts[lo]
+
+    def set_range(self, lo: int, hi: int, host: int) -> None:
+        """Map keys in [lo, hi) to `host` — in-place splice (Verus style)."""
+        if lo >= hi:
+            return
+        after = self.get(hi) if hi < KEY_SPACE else None
+        new_pivots: list[int] = []
+        new_hosts: list[int] = []
+        for p, h in zip(self.pivots, self.hosts):
+            if p < lo or (hi < KEY_SPACE and p >= hi):
+                new_pivots.append(p)
+                new_hosts.append(h)
+        insert_at = 0
+        while insert_at < len(new_pivots) and new_pivots[insert_at] < lo:
+            insert_at += 1
+        new_pivots.insert(insert_at, lo)
+        new_hosts.insert(insert_at, host)
+        if hi < KEY_SPACE and (insert_at + 1 >= len(new_pivots)
+                               or new_pivots[insert_at + 1] != hi):
+            new_pivots.insert(insert_at + 1, hi)
+            new_hosts.insert(insert_at + 1, after)
+        self.pivots = new_pivots
+        self.hosts = new_hosts
+
+    def check_invariant(self) -> bool:
+        return (self.pivots[0] == 0
+                and all(a < b for a, b in zip(self.pivots, self.pivots[1:])))
+
+
+# -- messages -------------------------------------------------------------------
+
+GET_MSG = M.derive_struct("Get", [("rid", M.U64), ("key", M.U64)])
+SET_MSG = M.derive_struct("Set", [("rid", M.U64), ("key", M.U64),
+                                  ("value", M.BYTES)])
+REPLY_MSG = M.derive_struct("Reply", [("rid", M.U64), ("ok", M.U64),
+                                      ("value", M.BYTES)])
+DELEGATE_MSG = M.derive_struct(
+    "Delegate", [("lo", M.U64), ("hi", M.U64), ("host", M.U64),
+                 ("pairs", M.vec(M.tuple_of(M.U64, M.BYTES)))])
+MESSAGE = M.derive_enum("Message", [
+    ("Get", GET_MSG), ("Set", SET_MSG), ("Reply", REPLY_MSG),
+    ("Delegate", DELEGATE_MSG),
+])
+
+
+class _GenericValueTree:
+    """IronFleet-style marshalling: values become a tagged tree first.
+
+    This mirrors the Dafny original's generic ``Val`` datatype: every
+    message is converted into a tree of (tag, children/leaf) nodes and the
+    tree is serialized generically.  The extra tree construction + generic
+    dispatch is the boilerplate cost the paper's port eliminates.
+    """
+
+    @staticmethod
+    def to_tree(msg) -> tuple:
+        variant, payload = msg
+        def conv(v):
+            if isinstance(v, int):
+                return ("u64", v)
+            if isinstance(v, (bytes, bytearray)):
+                return ("bytes", bytes(v))
+            if isinstance(v, dict):
+                return ("tuple", tuple(conv(x) for x in v.values()))
+            if isinstance(v, (list, tuple)):
+                return ("seq", tuple(conv(x) for x in v))
+            raise M.MarshalError(f"bad value {v!r}")
+        return ("case", variant, conv(payload))
+
+    @staticmethod
+    def marshal_tree(tree) -> bytes:
+        tag = tree[0]
+        if tag == "u64":
+            return b"\x00" + tree[1].to_bytes(8, "little")
+        if tag == "bytes":
+            return (b"\x01" + len(tree[1]).to_bytes(8, "little") + tree[1])
+        if tag in ("tuple", "seq"):
+            code = b"\x02" if tag == "tuple" else b"\x03"
+            body = b"".join(_GenericValueTree.marshal_tree(c)
+                            for c in tree[1])
+            return (code + len(tree[1]).to_bytes(8, "little") + body)
+        if tag == "case":
+            name = tree[1].encode()
+            return (b"\x04" + len(name).to_bytes(8, "little") + name
+                    + _GenericValueTree.marshal_tree(tree[2]))
+        raise M.MarshalError(f"bad tree {tag}")
+
+    @staticmethod
+    def parse_tree(data: bytes, offset: int = 0):
+        tag = data[offset]
+        offset += 1
+        if tag == 0:
+            return ("u64", int.from_bytes(data[offset:offset + 8],
+                                          "little")), offset + 8
+        if tag == 1:
+            n = int.from_bytes(data[offset:offset + 8], "little")
+            offset += 8
+            return ("bytes", bytes(data[offset:offset + n])), offset + n
+        if tag in (2, 3):
+            n = int.from_bytes(data[offset:offset + 8], "little")
+            offset += 8
+            children = []
+            for _ in range(n):
+                c, offset = _GenericValueTree.parse_tree(data, offset)
+                children.append(c)
+            return ("tuple" if tag == 2 else "seq",
+                    tuple(children)), offset
+        if tag == 4:
+            n = int.from_bytes(data[offset:offset + 8], "little")
+            offset += 8
+            name = data[offset:offset + n].decode()
+            offset += n
+            inner, offset = _GenericValueTree.parse_tree(data, offset)
+            return ("case", name, inner), offset
+        raise M.MarshalError(f"bad tag {tag}")
+
+    FIELD_NAMES = {
+        "Get": ["rid", "key"],
+        "Set": ["rid", "key", "value"],
+        "Reply": ["rid", "ok", "value"],
+        "Delegate": ["lo", "hi", "host", "pairs"],
+    }
+
+    @classmethod
+    def marshal(cls, msg) -> bytes:
+        return cls.marshal_tree(cls.to_tree(msg))
+
+    @classmethod
+    def parse(cls, data: bytes):
+        tree, _ = cls.parse_tree(data, 0)
+        _, variant, payload = tree
+
+        def unconv(node):
+            t = node[0]
+            if t in ("u64", "bytes"):
+                return node[1]
+            if t in ("tuple", "seq"):
+                return [unconv(c) for c in node[1]]
+            raise M.MarshalError("bad node")
+
+        values = unconv(payload)
+        names = cls.FIELD_NAMES[variant]
+        fields = dict(zip(names, values))
+        if "pairs" in fields:
+            fields["pairs"] = [tuple(p) for p in fields["pairs"]]
+        return (variant, fields)
+
+
+class _HostBase:
+    """Shared host logic; subclasses choose marshalling + map update."""
+
+    def __init__(self, host_id: int, network: Network, default_host: int):
+        self.host_id = host_id
+        self.endpoint: Endpoint = network.endpoint(f"host{host_id}")
+        self.store: dict[int, bytes] = {}
+        self.dmap = DelegationMap(default_host)
+        self._stop = threading.Event()
+        self.stats = {"gets": 0, "sets": 0, "forwards": 0, "delegates": 0}
+
+    # marshal/parse supplied by subclass
+    def marshal(self, msg) -> bytes:
+        raise NotImplementedError
+
+    def parse(self, data: bytes):
+        raise NotImplementedError
+
+    def serve_forever(self) -> None:
+        while not self._stop.is_set():
+            item = self.endpoint.recv(timeout=0.05)
+            if item is None:
+                continue
+            src, data = item
+            self.handle(src, data)
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def handle(self, src: str, data: bytes) -> None:
+        variant, fields = self.parse(data)
+        if variant == "Get":
+            self._handle_get(src, fields)
+        elif variant == "Set":
+            self._handle_set(src, fields)
+        elif variant == "Delegate":
+            self._handle_delegate(fields)
+
+    def _owns(self, key: int) -> bool:
+        return self.dmap.get(key) == self.host_id
+
+    def _handle_get(self, src: str, fields) -> None:
+        key = fields["key"]
+        if self._owns(key):
+            self.stats["gets"] += 1
+            value = self.store.get(key, b"")
+            self._reply(src, fields["rid"], 1 if key in self.store else 0,
+                        value)
+        else:
+            self.stats["forwards"] += 1
+            owner = self.dmap.get(key)
+            self.endpoint.send(f"host{owner}", self.marshal(
+                ("Get", {"rid": fields["rid"], "key": key})))
+
+    def _handle_set(self, src: str, fields) -> None:
+        key = fields["key"]
+        if self._owns(key):
+            self.stats["sets"] += 1
+            self.store[key] = fields["value"]
+            self._reply(src, fields["rid"], 1, b"")
+        else:
+            self.stats["forwards"] += 1
+            owner = self.dmap.get(key)
+            self.endpoint.send(f"host{owner}", self.marshal(
+                ("Set", dict(fields))))
+
+    def _handle_delegate(self, fields) -> None:
+        self.stats["delegates"] += 1
+        self.update_map(fields["lo"], fields["hi"], fields["host"])
+        if fields["host"] == self.host_id:
+            for key, value in fields["pairs"]:
+                self.store[key] = value
+
+    def _reply(self, dst: str, rid: int, ok: int, value: bytes) -> None:
+        self.endpoint.send(dst, self.marshal(
+            ("Reply", {"rid": rid, "ok": ok, "value": value})))
+
+    def delegate_range(self, lo: int, hi: int, to_host: int,
+                       all_hosts: list[int]) -> None:
+        """Ship [lo, hi) with data to `to_host` and tell everyone."""
+        pairs = [(k, v) for k, v in self.store.items() if lo <= k < hi]
+        for k, _ in pairs:
+            del self.store[k]
+        msg = ("Delegate", {"lo": lo, "hi": hi, "host": to_host,
+                            "pairs": pairs})
+        for h in all_hosts:
+            if h == self.host_id:
+                self.update_map(lo, hi, to_host)
+            else:
+                self.endpoint.send(f"host{h}", self.marshal(msg))
+
+    def update_map(self, lo: int, hi: int, host: int) -> None:
+        raise NotImplementedError
+
+
+class VerusHost(_HostBase):
+    """The paper's port: derive-macro marshalling + in-place map update."""
+
+    def marshal(self, msg) -> bytes:
+        return MESSAGE.marshal(msg)
+
+    def parse(self, data: bytes):
+        return MESSAGE.parse(data)[0]
+
+    def update_map(self, lo: int, hi: int, host: int) -> None:
+        self.dmap.set_range(lo, hi, host)
+
+
+class IronFleetHost(_HostBase):
+    """The Dafny original's style: value-tree marshalling + rebuild."""
+
+    def marshal(self, msg) -> bytes:
+        return _GenericValueTree.marshal(msg)
+
+    def parse(self, data: bytes):
+        return _GenericValueTree.parse(data)
+
+    def update_map(self, lo: int, hi: int, host: int) -> None:
+        # Rebuild the whole structure (IronFleet avoided in-place mutation).
+        rebuilt = DelegationMap(self.dmap.hosts[0])
+        rebuilt.pivots = list(self.dmap.pivots)
+        rebuilt.hosts = list(self.dmap.hosts)
+        rebuilt.set_range(lo, hi, host)
+        self.dmap = rebuilt

@@ -1,0 +1,164 @@
+"""IronKV's marshalling library (§4.2.1), rebuilt the Verus way.
+
+IronFleet's Dafny original mapped datatypes onto a generic value tree with
+hand-written boilerplate proofs per type.  The paper's port replaces that
+with a trait + derive-macro design: primitives implement ``Marshallable``
+by hand, and arbitrary structs/enums get their implementation *and* their
+round-trip lemmas generated.
+
+Here the executable side is this module — ``derive_struct``/``derive_enum``
+play the role of the Rust derive macros — and the verified side is
+:mod:`repro.systems.ironkv.marshal_verified`, which generates verified
+round-trip proofs for the same encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+
+class MarshalError(Exception):
+    """Malformed input bytes."""
+
+
+class Marshaller:
+    """A Marshallable implementation: encode + decode with one interface."""
+
+    def __init__(self, name: str,
+                 marshal: Callable[[Any], bytes],
+                 parse: Callable[[bytes, int], tuple[Any, int]]):
+        self.name = name
+        self.marshal = marshal
+        self._parse = parse
+
+    def parse(self, data: bytes, offset: int = 0) -> tuple[Any, int]:
+        """(value, next_offset); raises MarshalError on malformed input."""
+        return self._parse(data, offset)
+
+    def roundtrip(self, value) -> Any:
+        data = self.marshal(value)
+        out, end = self.parse(data)
+        if end != len(data):
+            raise MarshalError(f"{self.name}: trailing bytes")
+        return out
+
+
+# -- primitives ---------------------------------------------------------------
+
+def _marshal_u64(value: int) -> bytes:
+    if not 0 <= value < (1 << 64):
+        raise MarshalError(f"u64 out of range: {value}")
+    return value.to_bytes(8, "little")
+
+
+def _parse_u64(data: bytes, offset: int) -> tuple[int, int]:
+    if offset + 8 > len(data):
+        raise MarshalError("u64: truncated")
+    return int.from_bytes(data[offset:offset + 8], "little"), offset + 8
+
+
+U64 = Marshaller("u64", _marshal_u64, _parse_u64)
+
+
+def _marshal_bytes(value: bytes) -> bytes:
+    return _marshal_u64(len(value)) + bytes(value)
+
+
+def _parse_bytes(data: bytes, offset: int) -> tuple[bytes, int]:
+    length, offset = _parse_u64(data, offset)
+    if offset + length > len(data):
+        raise MarshalError("bytes: truncated")
+    return bytes(data[offset:offset + length]), offset + length
+
+
+BYTES = Marshaller("bytes", _marshal_bytes, _parse_bytes)
+
+
+def vec(item: Marshaller) -> Marshaller:
+    """Vec<T>: u64 count, then items."""
+
+    def marshal(value: Sequence) -> bytes:
+        out = [_marshal_u64(len(value))]
+        out.extend(item.marshal(v) for v in value)
+        return b"".join(out)
+
+    def parse(data: bytes, offset: int):
+        count, offset = _parse_u64(data, offset)
+        items = []
+        for _ in range(count):
+            v, offset = item.parse(data, offset)
+            items.append(v)
+        return items, offset
+
+    return Marshaller(f"vec<{item.name}>", marshal, parse)
+
+
+def tuple_of(*items: Marshaller) -> Marshaller:
+    def marshal(value) -> bytes:
+        if len(value) != len(items):
+            raise MarshalError("tuple arity mismatch")
+        return b"".join(m.marshal(v) for m, v in zip(items, value))
+
+    def parse(data: bytes, offset: int):
+        out = []
+        for m in items:
+            v, offset = m.parse(data, offset)
+            out.append(v)
+        return tuple(out), offset
+
+    return Marshaller(f"({','.join(m.name for m in items)})", marshal, parse)
+
+
+# -- the "derive macros" -----------------------------------------------------------
+
+def derive_struct(name: str, fields: Sequence[tuple[str, Marshaller]]
+                  ) -> Marshaller:
+    """#[derive(Marshallable)] for a struct: fields in declaration order.
+
+    Values are plain dicts keyed by field name (the runtime analogue of
+    the struct).
+    """
+    field_list = list(fields)
+
+    def marshal(value: dict) -> bytes:
+        return b"".join(m.marshal(value[fname]) for fname, m in field_list)
+
+    def parse(data: bytes, offset: int):
+        out = {}
+        for fname, m in field_list:
+            out[fname], offset = m.parse(data, offset)
+        return out, offset
+
+    return Marshaller(name, marshal, parse)
+
+
+def derive_enum(name: str, variants: Sequence[tuple[str, Marshaller]]
+                ) -> Marshaller:
+    """#[derive(Marshallable)] for a tagged union: u8 tag + payload.
+
+    Values are (variant_name, payload) pairs.
+    """
+    variant_list = list(variants)
+    index = {vname: i for i, (vname, _) in enumerate(variant_list)}
+
+    def marshal(value) -> bytes:
+        vname, payload = value
+        if vname not in index:
+            raise MarshalError(f"{name}: unknown variant {vname}")
+        tag = index[vname]
+        return bytes([tag]) + variant_list[tag][1].marshal(payload)
+
+    def parse(data: bytes, offset: int):
+        if offset >= len(data):
+            raise MarshalError(f"{name}: truncated tag")
+        tag = data[offset]
+        if tag >= len(variant_list):
+            raise MarshalError(f"{name}: bad tag {tag}")
+        vname, m = variant_list[tag]
+        payload, offset = m.parse(data, offset + 1)
+        return (vname, payload), offset
+
+    return Marshaller(name, marshal, parse)
+
+
+UNIT = Marshaller("unit", lambda v: b"", lambda d, o: (None, o))

@@ -1,0 +1,1 @@
+"""Verus-mimalloc (§4.2.4): free-list-sharded concurrent allocator."""

@@ -1,0 +1,253 @@
+"""Verus-mimalloc: a mimalloc-design concurrent allocator (§4.2.4).
+
+Preserves mimalloc's data structures and algorithms (free-list sharding):
+
+* **segments** (4 MiB) are carved from a simulated OS ``mmap``; segments
+  hold **pages** (64 KiB) of one size class each; pages hold **blocks**,
+* each thread has its own **heap** with a current page per size class,
+* ``free`` from the owning thread pushes onto the page's *local* free
+  list; a **cross-thread** free CAS-pushes onto the page's atomic
+  ``thread_free`` list — the lock-free list whose head the paper pairs
+  with deposited ghost permissions (§3.4),
+* malloc first pops the local list, then *collects* the atomic list.
+
+With ``ghost=True`` the allocator carries the ghost address-space
+accounting the paper describes: an mmap permission ledger (every byte of
+the address space is owned at most once) and a live-block ledger
+(functional correctness: every allocation returns non-aliased memory).
+Benchmarks toggle it to measure ghost-checking overhead; Figure 13's
+unverified comparator is :class:`FastAllocator`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+SEGMENT_SIZE = 4 << 20
+PAGE_SIZE = 64 << 10
+MAX_SMALL = 128 << 10   # allocations above this are unsupported (paper too)
+
+SIZE_CLASSES = [8, 16, 32, 48, 64, 96, 128, 192, 256, 384, 512, 768, 1024,
+                2048, 4096, 8192, 16384, 32768, 65536 - 64]
+
+
+def size_class_index(size: int) -> int:
+    """Smallest size class fitting `size` (the bucket computation the
+    paper dispatches to nonlinear/bit-vector reasoning)."""
+    for i, c in enumerate(SIZE_CLASSES):
+        if size <= c:
+            return i
+    raise ValueError(f"allocation of {size} bytes exceeds the supported max")
+
+
+class GhostLedger:
+    """Address-space + liveness accounting (the ghost permissions)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.mapped: list[tuple[int, int]] = []   # disjoint (start, end)
+        self.live: dict[int, int] = {}            # block addr -> size
+
+    def deposit_mmap(self, start: int, size: int) -> None:
+        with self._lock:
+            for s, e in self.mapped:
+                if start < e and s < start + size:
+                    raise AssertionError(
+                        f"mmap returned overlapping range {start:#x}")
+            self.mapped.append((start, start + size))
+
+    def mint_block(self, addr: int, size: int) -> None:
+        with self._lock:
+            if not any(s <= addr and addr + size <= e
+                       for s, e in self.mapped):
+                raise AssertionError(
+                    f"block {addr:#x} outside mapped space")
+            for a, sz in self.live.items():
+                if addr < a + sz and a < addr + size:
+                    raise AssertionError(
+                        f"malloc returned aliased memory {addr:#x}")
+            self.live[addr] = size
+
+    def consume_block(self, addr: int) -> None:
+        with self._lock:
+            if addr not in self.live:
+                raise AssertionError(f"free of non-live block {addr:#x}")
+            del self.live[addr]
+
+
+class SimOS:
+    """Simulated mmap: coarse-grained, page-aligned allocations."""
+
+    def __init__(self, ghost: Optional[GhostLedger]):
+        self._next = 1 << 32
+        self._lock = threading.Lock()
+        self.ghost = ghost
+        self.mmap_calls = 0
+
+    def mmap(self, size: int) -> int:
+        with self._lock:
+            addr = self._next
+            self._next += size
+            self.mmap_calls += 1
+        if self.ghost is not None:
+            self.ghost.deposit_mmap(addr, size)
+        return addr
+
+
+class Page:
+    """A run of equal-sized blocks with sharded free lists."""
+
+    __slots__ = ("addr", "block_size", "capacity", "free_list",
+                 "thread_free", "thread_free_lock", "used", "owner",
+                 "next_fresh")
+
+    def __init__(self, addr: int, block_size: int, owner: int):
+        self.addr = addr
+        self.block_size = block_size
+        self.capacity = PAGE_SIZE // block_size
+        self.free_list: list[int] = []        # local (owner-only)
+        self.thread_free: list[int] = []      # atomic cross-thread list
+        self.thread_free_lock = threading.Lock()  # models the CAS loop
+        self.used = 0
+        self.owner = owner
+        self.next_fresh = 0                   # bump pointer for fresh blocks
+
+    def pop_block(self) -> Optional[int]:
+        if self.free_list:
+            self.used += 1
+            return self.free_list.pop()
+        if self.next_fresh < self.capacity:
+            addr = self.addr + self.next_fresh * self.block_size
+            self.next_fresh += 1
+            self.used += 1
+            return addr
+        return None
+
+    def collect_thread_free(self) -> None:
+        """Atomically swap out the cross-thread list (mimalloc's collect)."""
+        with self.thread_free_lock:
+            grabbed, self.thread_free = self.thread_free, []
+        if grabbed:
+            self.free_list.extend(grabbed)
+            self.used -= len(grabbed)
+
+    def push_local(self, addr: int) -> None:
+        self.free_list.append(addr)
+        self.used -= 1
+
+    def push_thread_free(self, addr: int) -> None:
+        with self.thread_free_lock:  # CAS push in real mimalloc
+            self.thread_free.append(addr)
+
+
+class Segment:
+    __slots__ = ("addr", "pages_used", "owner")
+
+    def __init__(self, addr: int, owner: int):
+        self.addr = addr
+        self.pages_used = 0
+        self.owner = owner
+
+
+class Heap:
+    """A thread-local heap (mimalloc tld): current page per size class."""
+
+    def __init__(self, allocator: "Allocator", thread_id: int):
+        self.allocator = allocator
+        self.thread_id = thread_id
+        self.pages: dict[int, list[Page]] = {i: [] for i
+                                             in range(len(SIZE_CLASSES))}
+        self.current_segment: Optional[Segment] = None
+
+    def _fresh_page(self, class_index: int) -> Page:
+        allocator = self.allocator
+        seg = self.current_segment
+        if seg is None or seg.pages_used >= SEGMENT_SIZE // PAGE_SIZE:
+            seg = Segment(allocator.os.mmap(SEGMENT_SIZE), self.thread_id)
+            self.current_segment = seg
+        addr = seg.addr + seg.pages_used * PAGE_SIZE
+        seg.pages_used += 1
+        page = Page(addr, SIZE_CLASSES[class_index], self.thread_id)
+        self.pages[class_index].append(page)
+        allocator.register_page(page)
+        return page
+
+    def malloc(self, size: int) -> int:
+        ci = size_class_index(size)
+        pages = self.pages[ci]
+        if pages:
+            page = pages[-1]
+            block = page.pop_block()
+            if block is None:
+                page.collect_thread_free()
+                block = page.pop_block()
+            if block is not None:
+                return block
+        page = self._fresh_page(ci)
+        block = page.pop_block()
+        assert block is not None
+        return block
+
+
+class Allocator:
+    """The process-wide allocator: heaps + page lookup for frees."""
+
+    def __init__(self, ghost: bool = False):
+        self.ghost = GhostLedger() if ghost else None
+        self.os = SimOS(self.ghost)
+        self._heaps: dict[int, Heap] = {}
+        self._pages_by_addr: dict[int, Page] = {}  # page base -> Page
+        self._registry_lock = threading.Lock()
+
+    def heap(self, thread_id: Optional[int] = None) -> Heap:
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        with self._registry_lock:
+            h = self._heaps.get(tid)
+            if h is None:
+                h = Heap(self, tid)
+                self._heaps[tid] = h
+            return h
+
+    def register_page(self, page: Page) -> None:
+        with self._registry_lock:
+            self._pages_by_addr[page.addr] = page
+
+    def _page_of(self, addr: int) -> Page:
+        base = addr - (addr % PAGE_SIZE)
+        with self._registry_lock:
+            page = self._pages_by_addr.get(base)
+        if page is None:
+            raise AssertionError(f"free of unknown address {addr:#x}")
+        return page
+
+    def malloc(self, size: int, thread_id: Optional[int] = None) -> int:
+        block = self.heap(thread_id).malloc(size)
+        if self.ghost is not None:
+            page = self._page_of(block)
+            self.ghost.mint_block(block, page.block_size)
+        return block
+
+    def free(self, addr: int, thread_id: Optional[int] = None) -> None:
+        if self.ghost is not None:
+            self.ghost.consume_block(addr)
+        page = self._page_of(addr)
+        tid = thread_id if thread_id is not None else threading.get_ident()
+        if page.owner == tid:
+            page.push_local(addr)
+        else:
+            page.push_thread_free(addr)  # the lock-free cross-thread path
+
+
+class FastAllocator:
+    """The unverified comparator ("mimalloc" in Figure 13): same design,
+    no ghost ledger, minimal bookkeeping."""
+
+    def __init__(self):
+        self.inner = Allocator(ghost=False)
+
+    def malloc(self, size: int, thread_id: Optional[int] = None) -> int:
+        return self.inner.malloc(size, thread_id)
+
+    def free(self, addr: int, thread_id: Optional[int] = None) -> None:
+        self.inner.free(addr, thread_id)

@@ -1,0 +1,136 @@
+"""Verified facets of the allocator (§4.2.4).
+
+Three pieces, matching where the paper spends its proof effort:
+
+1. **Block-range disjointness** — distinct block indices in a page yield
+   disjoint byte ranges (``by(nonlinear_arith)``: products of index and
+   block size).  This is the heart of "every allocation returns
+   non-aliased memory".
+2. **Size rounding bit-tricks** — ``(size + 7) & ~7`` equals the
+   arithmetic rounding (``by(bit_vector)``), the kind of idiom mimalloc's
+   bucket computation uses.
+3. **The block lifecycle protocol** — a VerusSync system where every block
+   address is a ``map`` shard in state Free/Live/Delayed.  ``free_remote``
+   is the paper's cross-thread deallocation: it deposits the block into
+   the *delayed* state (the atomic list), and ``collect`` withdraws it.
+   Generated obligations prove freshness (no block is ever in two states)
+   and that double frees are unsatisfiable.
+"""
+
+from __future__ import annotations
+
+from ...lang import *
+from ...sync import SyncSystem
+
+BlockState = EnumType("MiBlockState").declare({
+    "Free": [],
+    "Live": [],
+    "Delayed": [],
+})
+
+
+def build_bit_tricks_module() -> Module:
+    mod = Module("mimalloc_bit_tricks")
+    size = var("size", U64)
+    n = var("n", U64)
+    NOT7 = ~7 & ((1 << 64) - 1)
+    exec_fn(mod, "round_up_8", [("size", U64)],
+            requires=[size < lit(1 << 60)],
+            body=[
+                # isolation (§3.3): the range premise must be written into
+                # the bit-vector assertion — ambient context does not leak in
+                assert_((((size + 7) & lit(NOT7)) & lit(7)).eq(0),
+                        by=BY_BIT_VECTOR, label="result is 8-aligned"),
+                assert_(((size + 7) & lit(NOT7)).eq(
+                    (size + 7) - ((size + 7) & lit(7))),
+                        by=BY_BIT_VECTOR, label="mask rounding identity"),
+                assert_((size < lit(1 << 60)).implies(
+                    size <= ((size + 7) & lit(NOT7))),
+                        by=BY_BIT_VECTOR, label="rounding never shrinks"),
+            ])
+    exec_fn(mod, "power_of_two_modulo", [("n", U64)],
+            body=[
+                assert_((n & lit(63)).eq(n % 64),
+                        by=BY_BIT_VECTOR, label="mask is mod for 2^6"),
+                assert_((n & lit(4095)).eq(n % 4096),
+                        by=BY_BIT_VECTOR, label="mask is mod for 2^12"),
+            ])
+    return mod
+
+
+def build_disjointness_module() -> Module:
+    mod = Module("mimalloc_disjointness")
+    start = var("start", INT)
+    bs = var("bs", INT)
+    i, j = var("i", INT), var("j", INT)
+    exec_fn(
+        mod, "blocks_disjoint",
+        [("start", INT), ("bs", INT), ("i", INT), ("j", INT)],
+        requires=[bs > 0, i >= 0, j >= 0, i < j],
+        body=[
+            # end of block i is at most the start of block j
+            assert_((i + 1) * bs <= j * bs,
+                    by=BY_NONLINEAR,
+                    premises=[bs > 0, i + 1 <= j],
+                    label="block ends before next begins"),
+            assert_(start + (i + 1) * bs <= start + j * bs,
+                    label="shifted ranges stay disjoint"),
+        ])
+    exec_fn(
+        mod, "block_inside_page",
+        [("start", INT), ("bs", INT), ("i", INT)],
+        requires=[bs > 0, i >= 0, (i + 1) * bs <= lit(65536)],
+        body=[
+            assert_(i * bs <= (i + 1) * bs,
+                    by=BY_NONLINEAR, premises=[bs > 0, i >= 0],
+                    label="block start below block end"),
+            assert_(start + i * bs <= start + lit(65536),
+                    label="block inside the page"),
+        ])
+    return mod
+
+
+def build_lifecycle_system() -> SyncSystem:
+    """The block-state protocol with the cross-thread delayed list."""
+    sys_ = SyncSystem("mimalloc_lifecycle")
+    sys_.field("blocks", "map", key=INT, value=BlockState)
+    sys_.init("initialize").init_field("blocks", map_empty(INT, BlockState))
+
+    b = sys_.param("b", INT)
+    # mmap minting: a brand-new address enters the Free state
+    sys_.transition("mint", params=[("b", INT)]) \
+        .require(sys_.pre("blocks").contains_key(b).not_()) \
+        .add("blocks", b, enum(BlockState, "Free"))
+    # malloc: Free -> Live
+    sys_.transition("alloc", params=[("b", INT)]) \
+        .remove("blocks", b, enum(BlockState, "Free")) \
+        .add("blocks", b, enum(BlockState, "Live"))
+    # same-thread free: Live -> Free
+    sys_.transition("free_local", params=[("b", INT)]) \
+        .remove("blocks", b, enum(BlockState, "Live")) \
+        .add("blocks", b, enum(BlockState, "Free"))
+    # cross-thread free: Live -> Delayed (deposit into the atomic list)
+    sys_.transition("free_remote", params=[("b", INT)]) \
+        .remove("blocks", b, enum(BlockState, "Live")) \
+        .add("blocks", b, enum(BlockState, "Delayed"))
+    # the owner collects the atomic list: Delayed -> Free
+    sys_.transition("collect", params=[("b", INT)]) \
+        .remove("blocks", b, enum(BlockState, "Delayed")) \
+        .add("blocks", b, enum(BlockState, "Free"))
+
+    # Non-aliasing rephrased: a block's state is unique (map shards make
+    # this structural); the checkable invariant is that states are legal.
+    sys_.invariant("states_legal", lambda sv: forall(
+        [("bb", INT)],
+        sv("blocks").contains_key(var("bb", INT)).implies(or_all(
+            sv("blocks").map_index(var("bb", INT)).is_variant("Free"),
+            sv("blocks").map_index(var("bb", INT)).is_variant("Live"),
+            sv("blocks").map_index(var("bb", INT)).is_variant("Delayed")))))
+
+    # property!: double-free is impossible — freeing needs the Live shard,
+    # and after free_local the shard is Free.
+    sys_.property_("no_double_free", params=[("b", INT)]) \
+        .have("blocks", b, enum(BlockState, "Free")) \
+        .assert_(sys_.pre("blocks").map_index(b)
+                 .is_variant("Live").not_())
+    return sys_

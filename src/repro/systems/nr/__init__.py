@@ -1,0 +1,1 @@
+"""Node Replication (§4.2.2): shared log + flat combining + VerusSync model."""

@@ -1,0 +1,90 @@
+"""NR's trait-based generic interface (§4.2.2).
+
+The paper stresses that Verus-NR, unlike IronSync-NR, keeps the original
+NR's *trait-based* interface so it can replicate arbitrary sequential
+structures, with runtime-chosen replica counts and dynamic thread
+registration.  :class:`Dispatch` is that trait; anything implementing it
+can be wrapped by :class:`repro.systems.nr.log.NodeReplicated` via
+:func:`replicated`.
+
+Two ready-made dispatch structures are provided:
+
+* :class:`KvDispatch` — the dict used by the tests,
+* :class:`PageTableDispatch` — an x86 page table, the very structure the
+  paper's Figure 11 benchmark replicates (NrOS's use case).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..pagetable.hw import MMU, PageTable
+from .log import NodeReplicated, SequentialDS
+
+
+class Dispatch:
+    """The NR trait: split operations into writes (via the log) and reads.
+
+    Implementations must be deterministic: replicas converge because every
+    replica applies the same write log in the same order.
+    """
+
+    def dispatch_write(self, op: tuple) -> Any:
+        raise NotImplementedError
+
+    def dispatch_read(self, op: tuple) -> Any:
+        raise NotImplementedError
+
+
+class KvDispatch(Dispatch, SequentialDS):
+    """Dict-backed structure (the default SequentialDS, trait-ified)."""
+
+    def dispatch_write(self, op: tuple) -> Any:
+        return self.apply_write(op)
+
+    def dispatch_read(self, op: tuple) -> Any:
+        _kind, key = op
+        return self.read(key)
+
+
+class PageTableDispatch(Dispatch):
+    """An x86-64 page table as the replicated structure (NrOS's workload).
+
+    Write ops: ("map", va, pa) and ("unmap", va); read op:
+    ("resolve", va).  Wrapped by NR, every replica maintains its own table
+    and MMU memory; determinism of map/unmap makes the replicas converge.
+    """
+
+    def __init__(self):
+        self.table = PageTable(MMU(), reclaim=True)
+
+    # SequentialDS-compatible surface so NodeReplicated can drive it.
+    def apply_write(self, op: tuple) -> Any:
+        kind = op[0]
+        if kind == "map":
+            _, va, pa = op
+            return self.table.map_frame(va, pa)
+        if kind == "unmap":
+            _, va = op
+            return self.table.unmap(va)
+        raise ValueError(f"unknown page-table write {kind}")
+
+    def read(self, key) -> Any:
+        return self.table.mmu.translate(key)
+
+    def dispatch_write(self, op: tuple) -> Any:
+        return self.apply_write(op)
+
+    def dispatch_read(self, op: tuple) -> Any:
+        _kind, va = op
+        return self.read(va)
+
+    def clone(self) -> "PageTableDispatch":  # pragma: no cover - unused
+        raise NotImplementedError("page tables replay the log instead")
+
+
+def replicated(ds_factory, num_replicas: int, ghost: bool = False
+               ) -> NodeReplicated:
+    """Wrap any Dispatch factory in NR (the generic constructor)."""
+    return NodeReplicated(num_replicas=num_replicas, ghost=ghost,
+                          ds_factory=ds_factory)

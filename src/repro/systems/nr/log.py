@@ -1,0 +1,170 @@
+"""NR runtime: node replication via a shared log + flat combining (§4.2.2).
+
+``NrLog`` is the shared cyclic buffer; ``Replica`` wraps one copy of the
+sequential data structure per NUMA node.  Writers append operations to the
+log (CAS on the tail); each replica's *combiner* batches outstanding log
+entries and applies them locally; readers sync their replica to the tail
+and then read locally.
+
+When constructed with ``ghost=True`` the implementation drives the
+VerusSync model of :mod:`.model` alongside every step, so the executable
+code is dynamically checked against the verified protocol (the runtime
+analogue of the ghost shards the paper's code manipulates).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from ...sync import ProtocolViolation, start
+from .model import ExecutorState, build_nr_system
+from ...vc.interp import EnumVal
+
+
+class SequentialDS:
+    """The black-box sequential structure NR replicates.
+
+    Default: a dict (the x86-page-table benchmark uses a dict-of-mappings;
+    any (apply_write, read) pair works).
+    """
+
+    def __init__(self):
+        self.state: dict = {}
+
+    def apply_write(self, op: tuple) -> Any:
+        kind, key, value = op
+        if kind == "set":
+            self.state[key] = value
+            return None
+        if kind == "del":
+            return self.state.pop(key, None)
+        raise ValueError(f"unknown op {kind}")
+
+    def read(self, key) -> Any:
+        return self.state.get(key)
+
+    def clone(self) -> "SequentialDS":
+        out = SequentialDS()
+        out.state = dict(self.state)
+        return out
+
+
+class NrLog:
+    """The shared log with a CAS-advanced tail."""
+
+    def __init__(self, ghost: bool = False):
+        self.entries: list[tuple] = []
+        self.tail = 0
+        self._lock = threading.Lock()
+        self.ghost = ghost
+        self.instance = None
+        self._ghost_tokens: dict = {}
+        if ghost:
+            self.instance, toks = start(build_nr_system(),
+                                        check_invariants=True, size=1 << 20)
+            self._ghost_tokens["tail"] = toks["tail"]
+
+    def append(self, ops: list[tuple]) -> int:
+        """Append a batch; returns the new tail."""
+        with self._lock:
+            self.entries.extend(ops)
+            self.tail += len(ops)
+            if self.ghost:
+                new = self.instance.apply(
+                    "append", tokens={"tail": self._ghost_tokens["tail"]},
+                    n=len(ops))
+                self._ghost_tokens["tail"] = new["tail"]
+            return self.tail
+
+    def read_range(self, start_idx: int, end_idx: int) -> list[tuple]:
+        return self.entries[start_idx:end_idx]
+
+
+class Replica:
+    """One replica: local copy + version + combiner lock + ghost tokens."""
+
+    def __init__(self, node_id: int, log: NrLog,
+                 ds_factory: Callable[[], SequentialDS] = SequentialDS):
+        self.node_id = node_id
+        self.log = log
+        self.ds = ds_factory()
+        self.version = 0
+        self.combiner = threading.Lock()
+        self._exec_token = None
+        self._version_token = None
+        if log.ghost:
+            minted = log.instance.apply("register_node", node_id=node_id)
+            self._version_token = minted["local_versions"]
+            self._exec_token = minted["executor"]
+
+    # -- protocol steps ------------------------------------------------------
+
+    def sync_up(self) -> None:
+        """Combiner: apply outstanding log entries to the local replica.
+
+        This is the executor protocol of Figure 5: Idle -> Starting ->
+        Range{start,end,cur} -> ... -> Idle, with the version published at
+        the end.
+        """
+        with self.combiner:
+            start_idx = self.version
+            inst = self.log.instance if self.log.ghost else None
+            if inst is not None:
+                self._exec_token = inst.apply(
+                    "reader_start",
+                    tokens={"executor": self._exec_token,
+                            "local_versions": self._version_token},
+                    node_id=self.node_id, ver=start_idx)["executor"]
+            end_idx = self.log.tail
+            if inst is not None:
+                self._exec_token = inst.apply(
+                    "reader_version",
+                    tokens={"executor": self._exec_token},
+                    node_id=self.node_id, start=start_idx,
+                    end=end_idx)["executor"]
+            cur = start_idx
+            for op in self.log.read_range(start_idx, end_idx):
+                self.ds.apply_write(op)
+                if inst is not None:
+                    self._exec_token = inst.apply(
+                        "reader_advance",
+                        tokens={"executor": self._exec_token},
+                        node_id=self.node_id, start=start_idx,
+                        end=end_idx, cur=cur)["executor"]
+                cur += 1
+            if inst is not None:
+                minted = inst.apply(
+                    "reader_finish",
+                    tokens={"executor": self._exec_token,
+                            "local_versions": self._version_token},
+                    node_id=self.node_id, start=start_idx, end=end_idx,
+                    cur=cur)
+                self._exec_token = minted["executor"]
+                self._version_token = minted["local_versions"]
+            self.version = end_idx
+
+    def execute_write(self, op: tuple) -> None:
+        self.log.append([op])
+        self.sync_up()
+
+    def execute_read(self, key) -> Any:
+        if self.version < self.log.tail:
+            self.sync_up()
+        return self.ds.read(key)
+
+
+class NodeReplicated:
+    """The public NR interface: a linearizable replicated structure."""
+
+    def __init__(self, num_replicas: int, ghost: bool = False,
+                 ds_factory: Callable[[], SequentialDS] = SequentialDS):
+        self.log = NrLog(ghost=ghost)
+        self.replicas = [Replica(i, self.log, ds_factory)
+                         for i in range(num_replicas)]
+
+    def write(self, replica_id: int, op: tuple) -> None:
+        self.replicas[replica_id].execute_write(op)
+
+    def read(self, replica_id: int, key) -> Any:
+        return self.replicas[replica_id].execute_read(key)

@@ -1,0 +1,1 @@
+"""OS page table (§4.2.3): 4-level x86-64 walker + verified entry ops."""

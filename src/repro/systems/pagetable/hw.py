@@ -1,0 +1,150 @@
+"""x86-64 4-level page table + MMU model (§4.2.3).
+
+The *trusted hardware spec* is :class:`MMU`: it owns the page-table memory
+(a dict of physical frames) and interprets it exactly as the ISA does —
+the runtime analogue of the paper's trusted MMU spec struct that
+encapsulates ownership of the page-table memory.
+
+:class:`PageTable` implements ``map_frame``/``unmap`` against that memory.
+The verified bit-level entry operations live in
+:mod:`.entry_verified`; this executable twin is what the Figure 12
+benchmark drives (with and without empty-directory reclamation — the
+design choice the paper measures).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+PAGE_SIZE = 4096
+ENTRIES = 512
+LEVELS = 4
+
+FLAG_PRESENT = 1 << 0
+FLAG_WRITE = 1 << 1
+FLAG_USER = 1 << 2
+ADDR_MASK = ((1 << 52) - 1) & ~((1 << 12) - 1)  # bits 12..51
+
+
+def entry_pack(addr: int, flags: int) -> int:
+    """Pack a physical address + flags into a 64-bit entry."""
+    return (addr & ADDR_MASK) | (flags & 0xFFF)
+
+
+def entry_addr(entry: int) -> int:
+    return entry & ADDR_MASK
+
+
+def entry_flags(entry: int) -> int:
+    return entry & 0xFFF
+
+
+def entry_present(entry: int) -> bool:
+    return bool(entry & FLAG_PRESENT)
+
+
+def vaddr_index(va: int, level: int) -> int:
+    """Index into the table at `level` (3 = top/PML4 ... 0 = leaf/PT)."""
+    return (va >> (12 + 9 * level)) & (ENTRIES - 1)
+
+
+class MMU:
+    """Trusted hardware spec: owns page-table memory, walks it like the ISA.
+
+    Memory is a dict: frame physical address -> list of 512 u64 entries.
+    """
+
+    def __init__(self):
+        self._next_frame = PAGE_SIZE  # frame 0 reserved as root
+        self.memory: dict[int, list[int]] = {0: [0] * ENTRIES}
+        self.root = 0
+        self.frames_allocated = 1
+        self.frames_freed = 0
+
+    def alloc_frame(self) -> int:
+        pa = self._next_frame
+        self._next_frame += PAGE_SIZE
+        self.memory[pa] = [0] * ENTRIES
+        self.frames_allocated += 1
+        return pa
+
+    def free_frame(self, pa: int) -> None:
+        del self.memory[pa]
+        self.frames_freed += 1
+
+    def read(self, frame: int, index: int) -> int:
+        return self.memory[frame][index]
+
+    def write(self, frame: int, index: int, entry: int) -> None:
+        self.memory[frame][index] = entry
+
+    def translate(self, va: int) -> Optional[int]:
+        """The hardware walk: virtual -> physical, or None (page fault)."""
+        frame = self.root
+        for level in range(LEVELS - 1, 0, -1):
+            entry = self.memory[frame][vaddr_index(va, level)]
+            if not entry_present(entry):
+                return None
+            frame = entry_addr(entry)
+        leaf = self.memory[frame][vaddr_index(va, 0)]
+        if not entry_present(leaf):
+            return None
+        return entry_addr(leaf) | (va & (PAGE_SIZE - 1))
+
+
+class PageTable:
+    """map/unmap against the MMU's memory; reclamation is the §4.2.3 knob."""
+
+    def __init__(self, mmu: Optional[MMU] = None, reclaim: bool = True):
+        self.mmu = mmu or MMU()
+        self.reclaim = reclaim
+        self.mapped = 0
+
+    def map_frame(self, va: int, pa: int, flags: int = FLAG_WRITE) -> bool:
+        """Map the 4K page at va -> pa. False if already mapped."""
+        mmu = self.mmu
+        frame = mmu.root
+        for level in range(LEVELS - 1, 0, -1):
+            idx = vaddr_index(va, level)
+            entry = mmu.read(frame, idx)
+            if not entry_present(entry):
+                new_frame = mmu.alloc_frame()
+                entry = entry_pack(new_frame,
+                                   FLAG_PRESENT | FLAG_WRITE | FLAG_USER)
+                mmu.write(frame, idx, entry)
+            frame = entry_addr(entry)
+        idx = vaddr_index(va, 0)
+        if entry_present(mmu.read(frame, idx)):
+            return False
+        mmu.write(frame, idx, entry_pack(pa, flags | FLAG_PRESENT))
+        self.mapped += 1
+        return True
+
+    def unmap(self, va: int) -> bool:
+        """Unmap va; with ``reclaim`` walk back up freeing empty tables."""
+        mmu = self.mmu
+        path: list[tuple[int, int]] = []  # (frame, index) per level
+        frame = mmu.root
+        for level in range(LEVELS - 1, 0, -1):
+            idx = vaddr_index(va, level)
+            entry = mmu.read(frame, idx)
+            if not entry_present(entry):
+                return False
+            path.append((frame, idx))
+            frame = entry_addr(entry)
+        idx = vaddr_index(va, 0)
+        if not entry_present(mmu.read(frame, idx)):
+            return False
+        mmu.write(frame, idx, 0)
+        self.mapped -= 1
+        if self.reclaim:
+            # Free now-empty directories bottom-up (what makes the paper's
+            # verified unmap slower than the non-reclaiming reference).
+            child = frame
+            for parent, pidx in reversed(path):
+                if any(entry_present(e) for e in mmu.memory[child]):
+                    break
+                mmu.free_frame(child)
+                mmu.write(parent, pidx, 0)
+                child = parent
+        return True

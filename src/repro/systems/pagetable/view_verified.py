@@ -1,0 +1,99 @@
+"""Verified map/unmap against the abstract address-space view (§4.2.3).
+
+The paper specifies page-table correctness "from the perspective of a
+user-space process": ``map`` and ``unmap`` expand and restrict the virtual
+memory domain, and the (trusted) MMU spec pins how translations relate to
+the table's memory.
+
+Here the trusted MMU interface is modeled as a pair of ``Map<va, pa>``
+views (the interpretation the hardware spec computes from table memory):
+exec functions ``pt_map_frame`` / ``pt_unmap`` manipulate the view and are
+verified to implement exactly the paper's contract — map adds one mapping
+and preserves all others; unmap removes exactly one; translations of
+untouched addresses never change (the user-space "reads return the most
+recently written value" guarantee lifted to the translation level).
+"""
+
+from __future__ import annotations
+
+from ...lang import *
+
+VaMap = MapType(U64, U64)
+
+
+def build_view_module() -> Module:
+    mod = Module("pagetable_view")
+    view = var("view", VaMap)
+    va, pa = var("va", U64), var("pa", U64)
+    out = var("out", VaMap)
+    q = ("q", U64)
+    vq = var("q", U64)
+
+    # map_frame: requires the page unmapped; adds exactly one mapping.
+    exec_fn(
+        mod, "pt_map_frame",
+        [("view", VaMap), ("va", U64), ("pa", U64)],
+        ret=("out", VaMap),
+        requires=[view.contains_key(va).not_()],
+        ensures=[
+            out.contains_key(va),
+            out.map_index(va).eq(pa),
+            # domain expansion: everything previously mapped stays put
+            forall([q], view.contains_key(vq).implies(and_all(
+                out.contains_key(vq),
+                out.map_index(vq).eq(view.map_index(vq))))),
+            # no stray mappings appear
+            forall([q], out.contains_key(vq).implies(or_all(
+                vq.eq(va), view.contains_key(vq)))),
+        ],
+        body=[ret(view.insert(va, pa))])
+
+    # unmap: requires mapped; removes exactly one mapping.
+    exec_fn(
+        mod, "pt_unmap",
+        [("view", VaMap), ("va", U64)],
+        ret=("out", VaMap),
+        requires=[view.contains_key(va)],
+        ensures=[
+            out.contains_key(va).not_(),
+            forall([q], and_all(view.contains_key(vq),
+                                vq.ne(va)).implies(and_all(
+                out.contains_key(vq),
+                out.map_index(vq).eq(view.map_index(vq))))),
+            forall([q], out.contains_key(vq).implies(
+                view.contains_key(vq))),
+        ],
+        body=[ret(view.remove(va))])
+
+    # map-then-unmap is the identity on the domain (the user-space
+    # round-trip property).
+    exec_fn(
+        mod, "pt_map_unmap_roundtrip",
+        [("view", VaMap), ("va", U64), ("pa", U64)],
+        requires=[view.contains_key(va).not_()],
+        body=[
+            call_stmt("pt_map_frame", [view, va, pa], binds=["mapped"]),
+            call_stmt("pt_unmap", [var("mapped", VaMap), va],
+                      binds=["back"]),
+            assert_(var("back", VaMap).contains_key(va).not_(),
+                    label="va unmapped again"),
+            assert_(forall([q], view.contains_key(vq).implies(
+                var("back", VaMap).map_index(vq).eq(view.map_index(vq)))),
+                label="all other translations unchanged"),
+        ])
+
+    # translation stability: mapping a FRESH va cannot change what any
+    # other va translates to (the no-aliasing guarantee user space sees).
+    other = var("other", U64)
+    exec_fn(
+        mod, "pt_translation_stable",
+        [("view", VaMap), ("va", U64), ("pa", U64), ("other", U64)],
+        requires=[view.contains_key(va).not_(),
+                  view.contains_key(other), other.ne(va)],
+        body=[
+            call_stmt("pt_map_frame", [view, va, pa], binds=["m2"]),
+            assert_(var("m2", VaMap).map_index(other).eq(
+                view.map_index(other)),
+                label="untouched translation unchanged"),
+        ])
+    return mod

@@ -1,0 +1,1 @@
+"""Persistent log (§4.2.5): crash-safe circular log on a pmem model."""

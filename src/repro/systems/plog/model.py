@@ -1,0 +1,70 @@
+"""Verified crash-safety protocol of the persistent log (§4.2.5).
+
+The log's write discipline is: write record bytes, flush them, only then
+commit the header's tail.  We model the persistence state machine in
+VerusSync:
+
+* ``p_tail`` — the tail committed in the persistent header,
+* ``d_flushed`` — how many data bytes are known flushed,
+* ``d_written`` — how many data bytes have been written (possibly still
+  in volatile buffers).
+
+``crash`` havocs nothing persistent: both ``p_tail`` and ``d_flushed``
+survive; the *volatile* write progress retreats to the flushed mark.  The
+inductive invariant — the header never points past flushed data — is what
+makes recovery sound: every byte below the recovered tail was flushed
+before the tail committed.
+
+The refinement to an abstract infinite log (reads below the tail return
+the appended bytes) is exercised end-to-end by the crash-injection tests
+against :class:`~repro.systems.plog.log.VerifiedLogLatest`.
+"""
+
+from __future__ import annotations
+
+from ...lang import *
+from ...sync import SyncSystem
+
+
+def build_crash_safety_system() -> SyncSystem:
+    sys_ = SyncSystem("plog_crash_safety")
+    sys_.field("p_tail", "variable", vtype=INT)
+    sys_.field("d_written", "variable", vtype=INT)
+    sys_.field("d_flushed", "variable", vtype=INT)
+
+    sys_.init("initialize") \
+        .init_field("p_tail", 0) \
+        .init_field("d_written", 0) \
+        .init_field("d_flushed", 0)
+
+    n = sys_.param("n", INT)
+    # write record bytes (volatile until flushed)
+    sys_.transition("write_data", params=[("n", INT)]) \
+        .require(n >= 0) \
+        .update("d_written", sys_.pre("d_written") + n)
+    # flush: everything written becomes persistent
+    sys_.transition("flush_data") \
+        .update("d_flushed", sys_.pre("d_written"))
+    # header commit: only up to flushed data
+    t = sys_.param("t", INT)
+    sys_.transition("commit_tail", params=[("t", INT)]) \
+        .require(and_all(t >= sys_.pre("p_tail"),
+                         t <= sys_.pre("d_flushed"))) \
+        .update("p_tail", t)
+    # crash: volatile write progress retreats to the flushed mark;
+    # persistent state survives.
+    sys_.transition("crash") \
+        .update("d_written", sys_.pre("d_flushed"))
+
+    sys_.invariant("flushed_below_written",
+                   lambda sv: sv("d_flushed") <= sv("d_written"))
+    sys_.invariant("tail_below_flushed",
+                   lambda sv: sv("p_tail") <= sv("d_flushed"))
+    sys_.invariant("nonneg", lambda sv: and_all(
+        sv("p_tail") >= 0, sv("d_flushed") >= 0, sv("d_written") >= 0))
+
+    # property!: at any crash point, recovery's tail covers only flushed
+    # bytes — the record below p_tail is fully persistent.
+    sys_.property_("recovery_sound") \
+        .assert_(sys_.pre("p_tail") <= sys_.pre("d_flushed"))
+    return sys_

@@ -1,0 +1,8 @@
+"""Verification-condition generation for the verified language."""
+
+from .errors import (FunctionResult, ModuleResult, Obligation,
+                     VerificationFailure)
+from .wp import VcConfig, VcGen
+
+__all__ = ["VcConfig", "VcGen", "ModuleResult", "FunctionResult",
+           "Obligation", "VerificationFailure"]

@@ -1,0 +1,363 @@
+"""Encoding of the verified language into SMT terms.
+
+Design follows the paper's §3.1 economy principles:
+
+* spec functions are pure & total → encoded directly as SMT functions,
+* no heap: values are encoded functionally (the Dafny/F* baselines override
+  this with an explicit heap to reproduce their cost),
+* collection and datatype theories are *axiomatized on demand*: only the
+  operations a query actually uses pull in their axioms, with conservative
+  triggers.
+
+The Encoder instance accumulates the axioms needed by everything it
+translated; the WP engine ships exactly those to the solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..smt import terms as T
+from ..smt.sorts import BOOL as SBOOL, INT as SINT, Sort, uninterpreted
+from . import ast as A
+from . import types as VT
+
+
+class EncodeError(Exception):
+    pass
+
+
+def _sort_tag(t: VT.VType) -> str:
+    """A short, unique, identifier-safe tag for a type."""
+    return (t.name.replace("<", "_").replace(">", "")
+            .replace(",", "_").replace(" ", ""))
+
+
+class Encoder:
+    """Translate types/expressions; collect the axioms they rely on."""
+
+    def __init__(self, type_invariants: bool = True):
+        self.axioms: list[T.Term] = []
+        self._axiom_keys: set = set()
+        self.type_invariants = type_invariants
+        self._decl_cache: dict[tuple, T.FuncDecl] = {}
+
+    # ------------------------------------------------------------- sorts
+
+    def sort_of(self, t: VT.VType) -> Sort:
+        if isinstance(t, (VT.IntType, VT.NatType, VT.BoundedIntType)):
+            return SINT
+        if isinstance(t, VT.BoolType):
+            return SBOOL
+        if isinstance(t, (VT.SeqType, VT.MapType, VT.StructType,
+                          VT.EnumType)):
+            return uninterpreted(_sort_tag(t))
+        raise EncodeError(f"no SMT sort for type {t!r}")
+
+    # ----------------------------------------------------------- helpers
+
+    def _axiom(self, key, term: T.Term) -> None:
+        if key in self._axiom_keys:
+            return
+        self._axiom_keys.add(key)
+        self.axioms.append(term)
+
+    def fn(self, name: str, arg_sorts, ret_sort) -> T.FuncDecl:
+        key = (name, tuple(arg_sorts), ret_sort)
+        decl = self._decl_cache.get(key)
+        if decl is None:
+            decl = T.FuncDecl(name, list(arg_sorts), ret_sort)
+            self._decl_cache[key] = decl
+        return decl
+
+    def range_assumption(self, t: VT.VType, term: T.Term) -> Optional[T.Term]:
+        bounds = VT.range_bounds(t)
+        if bounds is None:
+            return None
+        lo, hi = bounds
+        parts = [T.Ge(term, T.IntVal(lo))]
+        if hi is not None:
+            parts.append(T.Le(term, T.IntVal(hi)))
+        return T.And(*parts)
+
+    def _maybe_range_axiom(self, elem: VT.VType, app: T.Term, bound) -> None:
+        """Type invariant: values extracted from containers stay in range."""
+        if not self.type_invariants:
+            return
+        rng = self.range_assumption(elem, app)
+        if rng is not None:
+            self._axiom(("rng", app.payload),  # keyed by the FuncDecl
+                        T.ForAll(bound, rng, triggers=[[app]]))
+
+    # --------------------------------------------------------------- Seq
+
+    def seq_fns(self, t: VT.SeqType) -> dict:
+        tag = _sort_tag(t)
+        s = self.sort_of(t)
+        e = self.sort_of(t.elem)
+        fns = {
+            "len": self.fn(f"{tag}.len", [s], SINT),
+            "index": self.fn(f"{tag}.index", [s, SINT], e),
+            "empty": self.fn(f"{tag}.empty", [], s),
+            "singleton": self.fn(f"{tag}.singleton", [e], s),
+            "update": self.fn(f"{tag}.update", [s, SINT, e], s),
+            "concat": self.fn(f"{tag}.concat", [s, s], s),
+            "skip": self.fn(f"{tag}.skip", [s, SINT], s),
+            "take": self.fn(f"{tag}.take", [s, SINT], s),
+            "ext": self.fn(f"{tag}.ext", [s, s], SBOOL),
+        }
+        self._seq_axioms(t, fns)
+        return fns
+
+    def _seq_axioms(self, t: VT.SeqType, f: dict) -> None:
+        key = ("seq", _sort_tag(t))
+        if key in self._axiom_keys:
+            return
+        self._axiom_keys.add(key)
+        s = self.sort_of(t)
+        e = self.sort_of(t.elem)
+        a, b = T.Var("seq!a", s), T.Var("seq!b", s)
+        i, j, n = T.Var("seq!i", SINT), T.Var("seq!j", SINT), T.Var("seq!n", SINT)
+        v = T.Var("seq!v", e)
+        L = lambda x: f["len"](x)
+        ix = lambda x, k: f["index"](x, k)
+        ax = self.axioms.append
+
+        # len >= 0
+        ax(T.ForAll([a], T.Ge(L(a), T.IntVal(0)), triggers=[[L(a)]]))
+        # empty
+        ax(T.Eq(L(f["empty"]()), T.IntVal(0)))
+        # singleton
+        ax(T.ForAll([v], T.Eq(L(f["singleton"](v)), T.IntVal(1)),
+                    triggers=[[f["singleton"](v)]]))
+        ax(T.ForAll([v], T.Eq(ix(f["singleton"](v), T.IntVal(0)), v),
+                    triggers=[[f["singleton"](v)]]))
+        # update
+        upd = f["update"](a, i, v)
+        ax(T.ForAll([a, i, v], T.Eq(L(upd), L(a)), triggers=[[upd]]))
+        ax(T.ForAll([a, i, v],
+                    T.Implies(T.And(T.Le(T.IntVal(0), i), T.Lt(i, L(a))),
+                              T.Eq(ix(upd, i), v)),
+                    triggers=[[upd]]))
+        ax(T.ForAll([a, i, v, j],
+                    T.Implies(T.Ne(i, j), T.Eq(ix(upd, j), ix(a, j))),
+                    triggers=[[ix(upd, j)]]))
+        # concat
+        cat = f["concat"](a, b)
+        ax(T.ForAll([a, b], T.Eq(L(cat), T.Add(L(a), L(b))),
+                    triggers=[[cat]]))
+        ax(T.ForAll([a, b, i],
+                    T.Implies(T.And(T.Le(T.IntVal(0), i), T.Lt(i, L(a))),
+                              T.Eq(ix(cat, i), ix(a, i))),
+                    triggers=[[ix(cat, i)]]))
+        ax(T.ForAll([a, b, i],
+                    T.Implies(T.And(T.Le(L(a), i),
+                                    T.Lt(i, T.Add(L(a), L(b)))),
+                              T.Eq(ix(cat, i), ix(b, T.Sub(i, L(a))))),
+                    triggers=[[ix(cat, i)]]))
+        # skip
+        sk = f["skip"](a, n)
+        ax(T.ForAll([a, n],
+                    T.Implies(T.And(T.Le(T.IntVal(0), n), T.Le(n, L(a))),
+                              T.Eq(L(sk), T.Sub(L(a), n))),
+                    triggers=[[sk]]))
+        ax(T.ForAll([a, n, i],
+                    T.Implies(T.And(T.Le(T.IntVal(0), n),
+                                    T.Le(T.IntVal(0), i),
+                                    T.Lt(i, T.Sub(L(a), n))),
+                              T.Eq(ix(sk, i), ix(a, T.Add(i, n)))),
+                    triggers=[[ix(sk, i)]]))
+        # take
+        tk = f["take"](a, n)
+        ax(T.ForAll([a, n],
+                    T.Implies(T.And(T.Le(T.IntVal(0), n), T.Le(n, L(a))),
+                              T.Eq(L(tk), n)),
+                    triggers=[[tk]]))
+        ax(T.ForAll([a, n, i],
+                    T.Implies(T.And(T.Le(T.IntVal(0), i), T.Lt(i, n),
+                                    T.Le(n, L(a))),
+                              T.Eq(ix(tk, i), ix(a, i))),
+                    triggers=[[ix(tk, i)]]))
+        # extensional equality (the =~= operator)
+        ext = f["ext"](a, b)
+        pointwise = T.ForAll(
+            [j], T.Implies(T.And(T.Le(T.IntVal(0), j), T.Lt(j, L(a))),
+                           T.Eq(ix(a, j), ix(b, j))),
+            triggers=[[ix(a, j)], [ix(b, j)]])
+        ax(T.ForAll([a, b],
+                    T.Eq(ext, T.And(T.Eq(L(a), L(b)), pointwise)),
+                    triggers=[[ext]]))
+        ax(T.ForAll([a, b], T.Implies(ext, T.Eq(a, b)), triggers=[[ext]]))
+        # element type invariant
+        self._maybe_range_axiom(t.elem, ix(a, i), [a, i])
+
+    # --------------------------------------------------------------- Map
+
+    def map_fns(self, t: VT.MapType) -> dict:
+        tag = _sort_tag(t)
+        s = self.sort_of(t)
+        k_sort = self.sort_of(t.key)
+        v_sort = self.sort_of(t.value)
+        fns = {
+            "has": self.fn(f"{tag}.has", [s, k_sort], SBOOL),
+            "get": self.fn(f"{tag}.get", [s, k_sort], v_sort),
+            "empty": self.fn(f"{tag}.empty", [], s),
+            "insert": self.fn(f"{tag}.insert", [s, k_sort, v_sort], s),
+            "remove": self.fn(f"{tag}.remove", [s, k_sort], s),
+        }
+        self._map_axioms(t, fns)
+        return fns
+
+    def _map_axioms(self, t: VT.MapType, f: dict) -> None:
+        key = ("map", _sort_tag(t))
+        if key in self._axiom_keys:
+            return
+        self._axiom_keys.add(key)
+        s = self.sort_of(t)
+        ks = self.sort_of(t.key)
+        vs = self.sort_of(t.value)
+        m = T.Var("map!m", s)
+        k1, k2 = T.Var("map!k1", ks), T.Var("map!k2", ks)
+        v = T.Var("map!v", vs)
+        ax = self.axioms.append
+
+        ax(T.ForAll([k1], T.Not(f["has"](f["empty"](), k1)),
+                    triggers=[[f["has"](f["empty"](), k1)]]))
+        ins = f["insert"](m, k1, v)
+        ax(T.ForAll([m, k1, v], f["has"](ins, k1), triggers=[[ins]]))
+        ax(T.ForAll([m, k1, v], T.Eq(f["get"](ins, k1), v), triggers=[[ins]]))
+        ax(T.ForAll([m, k1, v, k2],
+                    T.Implies(T.Ne(k1, k2),
+                              T.Eq(f["has"](ins, k2), f["has"](m, k2))),
+                    triggers=[[f["has"](ins, k2)]]))
+        ax(T.ForAll([m, k1, v, k2],
+                    T.Implies(T.Ne(k1, k2),
+                              T.Eq(f["get"](ins, k2), f["get"](m, k2))),
+                    triggers=[[f["get"](ins, k2)]]))
+        rem = f["remove"](m, k1)
+        ax(T.ForAll([m, k1], T.Not(f["has"](rem, k1)), triggers=[[rem]]))
+        ax(T.ForAll([m, k1, k2],
+                    T.Implies(T.Ne(k1, k2),
+                              T.Eq(f["has"](rem, k2), f["has"](m, k2))),
+                    triggers=[[f["has"](rem, k2)]]))
+        ax(T.ForAll([m, k1, k2],
+                    T.Implies(T.Ne(k1, k2),
+                              T.Eq(f["get"](rem, k2), f["get"](m, k2))),
+                    triggers=[[f["get"](rem, k2)]]))
+        self._maybe_range_axiom(t.value, f["get"](m, k1), [m, k1])
+
+    # ----------------------------------------------------------- structs
+
+    def struct_fns(self, t: VT.StructType) -> dict:
+        tag = _sort_tag(t)
+        s = self.sort_of(t)
+        field_sorts = [self.sort_of(ft) for ft in t.fields.values()]
+        fns = {"mk": self.fn(f"{tag}.mk", field_sorts, s)}
+        for fname, ftype in t.fields.items():
+            fns[f"sel_{fname}"] = self.fn(f"{tag}.{fname}", [s],
+                                          self.sort_of(ftype))
+        self._struct_axioms(t, fns)
+        return fns
+
+    def _struct_axioms(self, t: VT.StructType, f: dict) -> None:
+        key = ("struct", _sort_tag(t))
+        if key in self._axiom_keys:
+            return
+        self._axiom_keys.add(key)
+        s = self.sort_of(t)
+        args = [T.Var(f"st!{name}", self.sort_of(ft))
+                for name, ft in t.fields.items()]
+        made = f["mk"](*args)
+        ax = self.axioms.append
+        for (fname, ftype), arg in zip(t.fields.items(), args):
+            ax(T.ForAll(args, T.Eq(f[f"sel_{fname}"](made), arg),
+                        triggers=[[made]]))
+        x = T.Var("st!x", s)
+        sels = [f[f"sel_{fname}"](x) for fname in t.fields]
+        if sels:
+            ax(T.ForAll([x], T.Eq(f["mk"](*sels), x), triggers=[[sels[0]]]))
+        for fname, ftype in t.fields.items():
+            self._maybe_range_axiom(ftype, f[f"sel_{fname}"](x), [x])
+
+    # ------------------------------------------------------------- enums
+
+    def enum_fns(self, t: VT.EnumType) -> dict:
+        tag = _sort_tag(t)
+        s = self.sort_of(t)
+        fns = {"tag": self.fn(f"{tag}.tag", [s], SINT)}
+        for vi, (vname, fields) in enumerate(t.variants.items()):
+            field_sorts = [self.sort_of(ft) for ft in fields.values()]
+            fns[f"mk_{vname}"] = self.fn(f"{tag}.mk.{vname}", field_sorts, s)
+            for fname, ftype in fields.items():
+                fns[f"sel_{vname}_{fname}"] = self.fn(
+                    f"{tag}.{vname}.{fname}", [s], self.sort_of(ftype))
+        self._enum_axioms(t, fns)
+        return fns
+
+    def variant_tag(self, t: VT.EnumType, variant: str) -> int:
+        return list(t.variants).index(variant)
+
+    def _enum_axioms(self, t: VT.EnumType, f: dict) -> None:
+        key = ("enum", _sort_tag(t))
+        if key in self._axiom_keys:
+            return
+        self._axiom_keys.add(key)
+        s = self.sort_of(t)
+        ax = self.axioms.append
+        x = T.Var("en!x", s)
+        nvars = len(t.variants)
+        ax(T.ForAll([x], T.And(T.Ge(f["tag"](x), T.IntVal(0)),
+                               T.Lt(f["tag"](x), T.IntVal(nvars))),
+                    triggers=[[f["tag"](x)]]))
+        for vi, (vname, fields) in enumerate(t.variants.items()):
+            args = [T.Var(f"en!{vname}!{fn_}", self.sort_of(ft))
+                    for fn_, ft in fields.items()]
+            made = f[f"mk_{vname}"](*args)
+            if args:
+                ax(T.ForAll(args, T.Eq(f["tag"](made), T.IntVal(vi)),
+                            triggers=[[made]]))
+                for (fname, ftype), arg in zip(fields.items(), args):
+                    ax(T.ForAll(args,
+                                T.Eq(f[f"sel_{vname}_{fname}"](made), arg),
+                                triggers=[[made]]))
+            else:
+                ax(T.Eq(f["tag"](made), T.IntVal(vi)))
+            # Inversion: tag says which constructor rebuilt the value.
+            sels = [f[f"sel_{vname}_{fname}"](x) for fname in fields]
+            ax(T.ForAll([x],
+                        T.Implies(T.Eq(f["tag"](x), T.IntVal(vi)),
+                                  T.Eq(f[f"mk_{vname}"](*sels), x)),
+                        triggers=[[f["tag"](x)]]))
+            for fname, ftype in fields.items():
+                self._maybe_range_axiom(
+                    ftype, f[f"sel_{vname}_{fname}"](x), [x])
+
+    # ----------------------------------------------- bit ops (default mode)
+
+    def bitop_fn(self, op: str, bits: int) -> T.FuncDecl:
+        """Uninterpreted int-level bit operator (& | ^ << >>).
+
+        Default mode leaves these uninterpreted apart from a range axiom;
+        real reasoning goes through `assert ... by(bit_vector)` (§3.3).
+        """
+        name = {"&": "bvand", "|": "bvor", "^": "bvxor",
+                "<<": "bvshl", ">>": "bvlshr"}[op] + str(bits)
+        decl = self.fn(name, [SINT, SINT], SINT)
+        key = ("bitop", name)
+        if key not in self._axiom_keys:
+            self._axiom_keys.add(key)
+            x, y = T.Var("bv!x", SINT), T.Var("bv!y", SINT)
+            app = decl(x, y)
+            self.axioms.append(T.ForAll(
+                [x, y],
+                T.And(T.Ge(app, T.IntVal(0)),
+                      T.Le(app, T.IntVal((1 << bits) - 1))),
+                triggers=[[app]]))
+            if op == "&":
+                # Masking can only shrink a non-negative operand.
+                self.axioms.append(T.ForAll(
+                    [x, y],
+                    T.Implies(T.And(T.Ge(x, T.IntVal(0)), T.Ge(y, T.IntVal(0))),
+                              T.And(T.Le(app, x), T.Le(app, y))),
+                    triggers=[[app]]))
+        return decl

@@ -1,0 +1,98 @@
+"""Verification results and error reporting.
+
+Figure 8 of the paper measures how fast tools localize *failures*; the
+per-obligation result objects here carry the label, status, and timing
+that the error-feedback benchmark reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+PROVED = "proved"
+FAILED = "failed"
+TIMEOUT = "unknown"
+
+
+class Obligation:
+    """One proof obligation with its provenance."""
+
+    def __init__(self, label: str, kind: str):
+        self.label = label          # e.g. "pop: ensures#0", "push: overflow +"
+        self.kind = kind            # requires/ensures/assert/overflow/...
+        self.status: str = "pending"
+        self.seconds: float = 0.0
+        self.stats: dict = {}
+
+    @property
+    def ok(self) -> bool:
+        return self.status == PROVED
+
+    def __repr__(self) -> str:
+        return f"<Obligation {self.label}: {self.status}>"
+
+
+class FunctionResult:
+    """All obligations of one function."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.obligations: list[Obligation] = []
+        self.seconds: float = 0.0
+        self.query_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.obligations)
+
+    def failures(self) -> list[Obligation]:
+        return [o for o in self.obligations if not o.ok]
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        return (f"<FunctionResult {self.name}: {status}, "
+                f"{len(self.obligations)} obligations>")
+
+
+class ModuleResult:
+    """Verification outcome of a whole module."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.functions: list[FunctionResult] = []
+        self.seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(f.ok for f in self.functions)
+
+    @property
+    def query_bytes(self) -> int:
+        return sum(f.query_bytes for f in self.functions)
+
+    def failures(self) -> list[tuple[str, Obligation]]:
+        return [(f.name, o) for f in self.functions for o in f.failures()]
+
+    def first_failure(self) -> Optional[tuple[str, Obligation]]:
+        fails = self.failures()
+        return fails[0] if fails else None
+
+    def report(self) -> str:
+        lines = [f"module {self.name}: "
+                 f"{'VERIFIED' if self.ok else 'FAILED'} "
+                 f"in {self.seconds:.2f}s ({self.query_bytes} query bytes)"]
+        for f in self.functions:
+            mark = "✓" if f.ok else "✗"
+            lines.append(f"  {mark} {f.name} "
+                         f"({len(f.obligations)} obligations, {f.seconds:.2f}s)")
+            for o in f.failures():
+                lines.append(f"      FAILED: {o.label} [{o.kind}]")
+        return "\n".join(lines)
+
+
+class VerificationFailure(Exception):
+    """Raised by check()-style helpers when a module fails to verify."""
+
+    def __init__(self, result: ModuleResult):
+        super().__init__(result.report())
+        self.result = result

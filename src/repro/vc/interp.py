@@ -1,0 +1,297 @@
+"""A concrete interpreter for the verified language's expressions.
+
+Used by:
+
+* VerusSync's runtime token machinery, which dynamically *checks* that
+  executable code follows the verified protocol (ghost-state checking),
+* tests, which cross-validate verified functions against their specs on
+  concrete inputs.
+
+Value representation: ints/bools are Python ints/bools, Seq is a tuple,
+Map is an immutable dict snapshot (we copy on update), structs are
+:class:`StructVal`, enums are :class:`EnumVal`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from . import ast as A
+from . import types as VT
+
+
+class StructVal:
+    __slots__ = ("vtype", "fields")
+
+    def __init__(self, vtype: VT.StructType, fields: dict):
+        self.vtype = vtype
+        self.fields = dict(fields)
+
+    def __eq__(self, other):
+        return (isinstance(other, StructVal) and self.vtype is other.vtype
+                and self.fields == other.fields)
+
+    def __hash__(self):
+        return hash((self.vtype.name, tuple(sorted(self.fields.items(),
+                                                   key=lambda kv: kv[0]))))
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}: {v!r}" for k, v in self.fields.items())
+        return f"{self.vtype.name}{{{inner}}}"
+
+
+class EnumVal:
+    __slots__ = ("vtype", "variant", "fields")
+
+    def __init__(self, vtype: VT.EnumType, variant: str, fields: dict):
+        self.vtype = vtype
+        self.variant = variant
+        self.fields = dict(fields)
+
+    def __eq__(self, other):
+        return (isinstance(other, EnumVal) and self.vtype is other.vtype
+                and self.variant == other.variant
+                and self.fields == other.fields)
+
+    def __hash__(self):
+        return hash((self.vtype.name, self.variant,
+                     tuple(sorted(self.fields.items(),
+                                  key=lambda kv: kv[0]))))
+
+    def __repr__(self):
+        inner = ", ".join(f"{k}: {v!r}" for k, v in self.fields.items())
+        return f"{self.vtype.name}::{self.variant}{{{inner}}}"
+
+
+class InterpError(Exception):
+    pass
+
+
+class Interp:
+    """Expression evaluator with an environment of concrete values.
+
+    ``spec_fns`` maps function names to Python callables or to
+    :class:`~repro.vc.ast.Function` spec definitions interpreted
+    recursively.
+    """
+
+    def __init__(self, module: Optional[A.Module] = None,
+                 spec_fns: Optional[dict[str, Callable]] = None):
+        self.module = module
+        self.spec_fns = spec_fns or {}
+
+    def eval(self, e: A.Expr, env: dict[str, Any]) -> Any:
+        method = getattr(self, f"_ev_{type(e).__name__}", None)
+        if method is None:
+            raise InterpError(f"cannot interpret {type(e).__name__}")
+        return method(e, env)
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _ev_Lit(self, e: A.Lit, env):
+        return e.value
+
+    def _ev_VarE(self, e: A.VarE, env):
+        try:
+            return env[e.name]
+        except KeyError:
+            raise InterpError(f"unbound variable {e.name}") from None
+
+    def _ev_Old(self, e: A.Old, env):
+        try:
+            return env[f"old!{e.name}"]
+        except KeyError:
+            raise InterpError(f"old({e.name}) not available") from None
+
+    # -- operators ---------------------------------------------------------------
+
+    def _ev_BinOp(self, e: A.BinOp, env):
+        op = e.op
+        if op == "&&":
+            return bool(self.eval(e.lhs, env)) and bool(self.eval(e.rhs, env))
+        if op == "||":
+            return bool(self.eval(e.lhs, env)) or bool(self.eval(e.rhs, env))
+        if op == "==>":
+            return (not self.eval(e.lhs, env)) or bool(self.eval(e.rhs, env))
+        if op == "<==>":
+            return bool(self.eval(e.lhs, env)) == bool(self.eval(e.rhs, env))
+        a = self.eval(e.lhs, env)
+        b = self.eval(e.rhs, env)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise InterpError("division by zero")
+            q = a // b if b > 0 else -(a // -b)
+            return q
+        if op == "%":
+            if b == 0:
+                raise InterpError("modulo by zero")
+            return a % abs(b)
+        if op == "&":
+            return a & b
+        if op == "|":
+            return a | b
+        if op == "^":
+            return a ^ b
+        if op == "<<":
+            return a << b
+        if op == ">>":
+            return a >> b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+        if op in ("==", "=~="):
+            return a == b
+        if op == "!=":
+            return a != b
+        raise InterpError(f"unknown operator {op}")
+
+    def _ev_UnOp(self, e: A.UnOp, env):
+        v = self.eval(e.operand, env)
+        return (not v) if e.op == "!" else (-v)
+
+    def _ev_IteE(self, e: A.IteE, env):
+        return (self.eval(e.then, env) if self.eval(e.cond, env)
+                else self.eval(e.els, env))
+
+    def _ev_LetE(self, e: A.LetE, env):
+        env2 = dict(env)
+        env2[e.name] = self.eval(e.value, env)
+        return self.eval(e.body, env2)
+
+    def _ev_Call(self, e: A.Call, env):
+        args = [self.eval(a, env) for a in e.args]
+        fn = self.spec_fns.get(e.fn_name)
+        if callable(fn):
+            return fn(*args)
+        if self.module is not None:
+            decl = self.module.lookup(e.fn_name)
+            if decl.is_spec and decl.body is not None:
+                inner = {p.name: v for p, v in zip(decl.params, args)}
+                return self.eval(decl.body, inner)
+        raise InterpError(f"no interpretation for function {e.fn_name}")
+
+    # -- structs / enums -------------------------------------------------------------
+
+    def _ev_FieldGet(self, e: A.FieldGet, env):
+        base = self.eval(e.base, env)
+        return base.fields[e.fieldname]
+
+    def _ev_StructLit(self, e: A.StructLit, env):
+        return StructVal(e.vtype,
+                         {k: self.eval(v, env) for k, v in e.fields.items()})
+
+    def _ev_StructUpdate(self, e: A.StructUpdate, env):
+        base = self.eval(e.base, env)
+        fields = dict(base.fields)
+        for k, v in e.updates.items():
+            fields[k] = self.eval(v, env)
+        return StructVal(e.vtype, fields)
+
+    def _ev_EnumLit(self, e: A.EnumLit, env):
+        return EnumVal(e.vtype, e.variant,
+                       {k: self.eval(v, env) for k, v in e.fields.items()})
+
+    def _ev_IsVariant(self, e: A.IsVariant, env):
+        return self.eval(e.base, env).variant == e.variant
+
+    def _ev_VariantGet(self, e: A.VariantGet, env):
+        base = self.eval(e.base, env)
+        if base.variant != e.variant:
+            raise InterpError(f"get {e.variant}.{e.fieldname} on "
+                              f"{base.variant} value")
+        return base.fields[e.fieldname]
+
+    # -- Seq ---------------------------------------------------------------------------
+
+    def _ev_SeqLit(self, e: A.SeqLit, env):
+        return tuple(self.eval(i, env) for i in e.items)
+
+    def _ev_SeqLen(self, e: A.SeqLen, env):
+        return len(self.eval(e.seq, env))
+
+    def _ev_SeqIndex(self, e: A.SeqIndex, env):
+        s = self.eval(e.seq, env)
+        i = self.eval(e.idx, env)
+        if not 0 <= i < len(s):
+            raise InterpError(f"sequence index {i} out of range {len(s)}")
+        return s[i]
+
+    def _ev_SeqUpdate(self, e: A.SeqUpdate, env):
+        s = list(self.eval(e.seq, env))
+        i = self.eval(e.idx, env)
+        s[i] = self.eval(e.value, env)
+        return tuple(s)
+
+    def _ev_SeqConcat(self, e: A.SeqConcat, env):
+        return tuple(self.eval(e.lhs, env)) + tuple(self.eval(e.rhs, env))
+
+    def _ev_SeqSkip(self, e: A.SeqSkip, env):
+        return tuple(self.eval(e.seq, env))[self.eval(e.n, env):]
+
+    def _ev_SeqTake(self, e: A.SeqTake, env):
+        return tuple(self.eval(e.seq, env))[: self.eval(e.n, env)]
+
+    # -- Map ---------------------------------------------------------------------------
+
+    def _ev_MapEmpty(self, e: A.MapEmpty, env):
+        return {}
+
+    def _ev_MapHas(self, e: A.MapHas, env):
+        return self.eval(e.key, env) in self.eval(e.m, env)
+
+    def _ev_MapGet(self, e: A.MapGet, env):
+        m = self.eval(e.m, env)
+        k = self.eval(e.key, env)
+        if k not in m:
+            raise InterpError(f"map key {k!r} absent")
+        return m[k]
+
+    def _ev_MapInsert(self, e: A.MapInsert, env):
+        m = dict(self.eval(e.m, env))
+        m[self.eval(e.key, env)] = self.eval(e.value, env)
+        return m
+
+    def _ev_MapRemove(self, e: A.MapRemove, env):
+        m = dict(self.eval(e.m, env))
+        m.pop(self.eval(e.key, env), None)
+        return m
+
+    # -- quantifiers (finite domains only) -------------------------------------------
+
+    def _ev_ForAllE(self, e: A.ForAllE, env):
+        return self._quant(e, env, all)
+
+    def _ev_ExistsE(self, e: A.ExistsE, env):
+        return self._quant(e, env, any)
+
+    def _quant(self, e, env, agg):
+        domain = env.get("$domains", {})
+
+        def expand(bound, env2):
+            if not bound:
+                yield env2
+                return
+            (name, vtype), *rest = bound
+            dom = domain.get(vtype) or domain.get(vtype.name)
+            if dom is None:
+                raise InterpError(
+                    f"cannot evaluate quantifier over {vtype.name}: provide "
+                    f"env['$domains'][{vtype.name!r}]")
+            for value in dom:
+                env3 = dict(env2)
+                env3[name] = value
+                yield env3
+
+        return agg(bool(self.eval(e.body, env2))
+                   for env2 in expand(list(e.bound), env))

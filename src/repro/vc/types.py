@@ -1,0 +1,208 @@
+"""The verified language's type system.
+
+Mirrors the Verus surface types our case studies need:
+
+* mathematical ``int`` and ``nat`` (unbounded; ``nat`` adds ``>= 0``),
+* bounded executable integers ``u8/u16/u32/u64/usize`` (SMT ints plus range
+  side-conditions and overflow proof obligations, exactly as Verus maps Rust
+  integers to SMT ints and demands overflow proofs),
+* ``bool``,
+* mathematical collections ``Seq<T>`` and ``Map<K,V>``,
+* user-defined structs and enums (algebraic datatypes).
+
+Ownership discipline: the language is functional-on-values — no aliasing is
+expressible, which models the paper's point that Rust's type system removes
+the need for heap encodings in the default pipeline (the Dafny/F* baselines
+re-introduce a heap on purpose).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+class VType:
+    """Base class of verified-language types; instances are interned."""
+
+    _interned: dict[tuple, "VType"] = {}
+
+    def __new__(cls, *key):
+        full_key = (cls, *key)
+        existing = VType._interned.get(full_key)
+        if existing is not None:
+            return existing
+        obj = super().__new__(cls)
+        VType._interned[full_key] = obj
+        return obj
+
+    def is_integral(self) -> bool:
+        return False
+
+    @property
+    def name(self) -> str:
+        raise NotImplementedError
+
+
+class IntType(VType):
+    """Mathematical integers (Verus `int`)."""
+
+    def __new__(cls):
+        return super().__new__(cls)
+
+    @property
+    def name(self):
+        return "int"
+
+    def is_integral(self):
+        return True
+
+
+class NatType(VType):
+    """Non-negative mathematical integers (Verus `nat`)."""
+
+    def __new__(cls):
+        return super().__new__(cls)
+
+    @property
+    def name(self):
+        return "nat"
+
+    def is_integral(self):
+        return True
+
+
+class BoundedIntType(VType):
+    """Fixed-width executable integer (u8..u64/usize)."""
+
+    def __new__(cls, bits: int, label: Optional[str] = None):
+        obj = super().__new__(cls, bits)
+        obj.bits = bits
+        obj._label = label or f"u{bits}"
+        return obj
+
+    @property
+    def name(self):
+        return self._label
+
+    def is_integral(self):
+        return True
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.bits) - 1
+
+
+class BoolType(VType):
+    def __new__(cls):
+        return super().__new__(cls)
+
+    @property
+    def name(self):
+        return "bool"
+
+
+class SeqType(VType):
+    """Mathematical sequence Seq<T>."""
+
+    def __new__(cls, elem: VType):
+        obj = super().__new__(cls, elem)
+        obj.elem = elem
+        return obj
+
+    @property
+    def name(self):
+        return f"Seq<{self.elem.name}>"
+
+
+class MapType(VType):
+    """Mathematical map Map<K, V> (partial: has-key + select)."""
+
+    def __new__(cls, key: VType, value: VType):
+        obj = super().__new__(cls, key, value)
+        obj.key = key
+        obj.value = value
+        return obj
+
+    @property
+    def name(self):
+        return f"Map<{self.key.name},{self.value.name}>"
+
+
+class StructType(VType):
+    """A named struct with ordered, typed fields."""
+
+    def __new__(cls, name: str):
+        obj = super().__new__(cls, name)
+        if not hasattr(obj, "_name"):
+            obj._name = name
+            obj.fields: dict[str, VType] = {}
+            obj._sealed = False
+        return obj
+
+    def declare(self, fields: Sequence[tuple[str, VType]]) -> "StructType":
+        if self._sealed and list(self.fields.items()) != list(fields):
+            raise ValueError(f"struct {self._name} redeclared differently")
+        self.fields = dict(fields)
+        self._sealed = True
+        return self
+
+    @property
+    def name(self):
+        return self._name
+
+    def field_type(self, field: str) -> VType:
+        try:
+            return self.fields[field]
+        except KeyError:
+            raise KeyError(f"struct {self._name} has no field {field!r}") \
+                from None
+
+
+class EnumType(VType):
+    """A named tagged union; each variant has ordered, typed fields."""
+
+    def __new__(cls, name: str):
+        obj = super().__new__(cls, name)
+        if not hasattr(obj, "_name"):
+            obj._name = name
+            obj.variants: dict[str, dict[str, VType]] = {}
+            obj._sealed = False
+        return obj
+
+    def declare(self, variants: dict[str, Sequence[tuple[str, VType]]]
+                ) -> "EnumType":
+        if self._sealed:
+            return self
+        self.variants = {v: dict(fields) for v, fields in variants.items()}
+        self._sealed = True
+        return self
+
+    @property
+    def name(self):
+        return self._name
+
+    def variant_fields(self, variant: str) -> dict[str, VType]:
+        try:
+            return self.variants[variant]
+        except KeyError:
+            raise KeyError(f"enum {self._name} has no variant {variant!r}") \
+                from None
+
+
+INT = IntType()
+NAT = NatType()
+BOOL = BoolType()
+U8 = BoundedIntType(8)
+U16 = BoundedIntType(16)
+U32 = BoundedIntType(32)
+U64 = BoundedIntType(64)
+USIZE = BoundedIntType(64, "usize")
+
+
+def range_bounds(t: VType) -> Optional[tuple[int, Optional[int]]]:
+    """(lo, hi) range invariant for integral types; None when unconstrained."""
+    if isinstance(t, NatType):
+        return (0, None)
+    if isinstance(t, BoundedIntType):
+        return (0, t.max_value)
+    return None

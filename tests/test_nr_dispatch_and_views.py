@@ -1,0 +1,108 @@
+"""Tests: NR's trait interface (incl. replicated page table), the verified
+page-table view module, and the CRC-table by(compute) proof."""
+
+import pytest
+
+from repro.systems.nr.dispatch import (KvDispatch, PageTableDispatch,
+                                       replicated)
+
+
+class TestNrTraitInterface:
+    def test_kv_dispatch(self):
+        nr = replicated(KvDispatch, num_replicas=2, ghost=True)
+        nr.write(0, ("set", "k", 5))
+        assert nr.read(1, "k") == 5
+
+    def test_replicated_page_table(self):
+        """Figure 11's actual workload: NR wrapping an x86 page table."""
+        nr = replicated(PageTableDispatch, num_replicas=2, ghost=True)
+        nr.write(0, ("map", 0x40000000, 0x1000))
+        nr.write(1, ("map", 0x40001000, 0x2000))
+        # both replicas' MMUs translate both mappings
+        assert nr.read(0, 0x40001000) == 0x2000
+        assert nr.read(1, 0x40000000) == 0x1000
+        nr.write(0, ("unmap", 0x40000000))
+        assert nr.read(1, 0x40000000) is None
+
+    def test_replicas_converge_on_page_tables(self):
+        nr = replicated(PageTableDispatch, num_replicas=3, ghost=True)
+        for i in range(20):
+            nr.write(i % 3, ("map", 0x1000000 + i * 0x1000, 0x5000 + i))
+        for r in range(3):
+            nr.replicas[r].sync_up()
+        for i in range(20):
+            va = 0x1000000 + i * 0x1000
+            expected = (0x5000 + i) & ~0xFFF
+            for r in range(3):
+                got = nr.replicas[r].ds.read(va)
+                assert got == expected | (va & 0), (r, i, got)
+
+    def test_dynamic_registration(self):
+        # runtime-chosen replica counts (IronSync-NR fixed them statically)
+        from repro.systems.nr.log import NrLog, Replica
+        log = NrLog(ghost=True)
+        replicas = [Replica(i, log) for i in range(2)]
+        replicas.append(Replica(2, log))  # registered later, dynamically
+        replicas[0].execute_write(("set", "x", 1))
+        assert replicas[2].execute_read("x") == 1
+
+
+class TestPageTableViewModule:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.systems.pagetable.view_verified import build_view_module
+        from repro.vc.wp import VcGen
+        return VcGen(build_view_module()).verify_module()
+
+    def test_verifies(self, result):
+        assert result.ok, result.report()
+
+    def test_covers_all_contracts(self, result):
+        names = {f.name for f in result.functions}
+        assert names == {"pt_map_frame", "pt_unmap",
+                         "pt_map_unmap_roundtrip", "pt_translation_stable"}
+
+    def test_missing_precondition_caught(self):
+        from repro.lang import (MapType, Module, U64, call_stmt, exec_fn,
+                                var)
+        from repro.systems.pagetable.view_verified import build_view_module
+        from repro.vc.wp import VcGen
+        base = build_view_module()
+        VaMap = MapType(U64, U64)
+        mod = Module("pt_view_bad")
+        mod.import_module(base)
+        view = var("view", VaMap)
+        exec_fn(mod, "double_map", [("view", VaMap), ("va", U64),
+                                    ("pa", U64)],
+                body=[
+                    # no requires: mapping an already-mapped page must fail
+                    call_stmt("pt_map_frame",
+                              [view, var("va", U64), var("pa", U64)],
+                              binds=["m"]),
+                ])
+        res = VcGen(mod).verify_module()
+        assert not res.ok
+
+
+class TestCrcTableByCompute:
+    def test_table_entries_proved_by_computation(self):
+        from repro.systems.plog.crc_verified import build_crc_table_module
+        from repro.vc.wp import VcGen
+        mod = build_crc_table_module(entries=(0, 1, 7, 255))
+        res = VcGen(mod).verify_module()
+        assert res.ok, res.report()
+
+    def test_wrong_entry_rejected(self):
+        from repro.lang import (Module, assert_, call, exec_fn, lit,
+                                BY_COMPUTE)
+        from repro.systems.plog.crc_verified import build_crc_table_module
+        from repro.vc.wp import VcGen
+        base = build_crc_table_module(entries=(0,))
+        mod = Module("crc_bad")
+        mod.import_module(base)
+        exec_fn(mod, "wrong_entry", [],
+                body=[assert_(
+                    call(mod, "crc_steps", lit(1), lit(8)).eq(12345),
+                    by=BY_COMPUTE)])
+        res = VcGen(mod).verify_module()
+        assert not res.ok

@@ -1,0 +1,173 @@
+"""Tests for the runtime substrates: CRC, pmem, network, DES scheduler."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.crc import TABLE, crc32, crc32_bitwise
+from repro.runtime.des import Resource, Simulator
+from repro.runtime.network import Network
+from repro.runtime.pmem import CACHELINE, PmemCrash, PmemDevice
+
+
+class TestCrc32:
+    def test_against_zlib(self):
+        import zlib
+        for data in (b"", b"a", b"hello world", bytes(range(256)) * 3):
+            assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=100)
+    def test_table_matches_bitwise(self, data):
+        assert crc32(data) == crc32_bitwise(data)
+
+    def test_table_entries_precomputed(self):
+        # the by(compute) anecdote: every table entry equals the 8-step
+        # polynomial division
+        from repro.runtime.crc import _table_entry
+        assert TABLE == tuple(_table_entry(i) for i in range(256))
+
+    def test_detects_single_bit_flip(self):
+        data = bytearray(b"some metadata record")
+        baseline = crc32(bytes(data))
+        data[3] ^= 0x10
+        assert crc32(bytes(data)) != baseline
+
+
+class TestPmem:
+    def test_write_read(self):
+        dev = PmemDevice(4096)
+        dev.write(100, b"hello")
+        assert dev.read(100, 5) == b"hello"
+
+    def test_unflushed_lost_on_crash(self):
+        dev = PmemDevice(4096)
+        dev.write(0, b"persist-me")
+        dev.flush(0, 10)
+        dev.write(200, b"volatile")
+        dev.crash()
+        assert dev.read_persistent(0, 10) == b"persist-me"
+        assert dev.read_persistent(200, 8) == b"\x00" * 8
+
+    def test_flush_granularity_is_cacheline(self):
+        dev = PmemDevice(4096)
+        dev.write(0, b"A" * CACHELINE)
+        dev.write(CACHELINE, b"B" * CACHELINE)
+        dev.flush(0, 1)  # only the first line
+        dev.crash()
+        assert dev.read_persistent(0, 1) == b"A"
+        assert dev.read_persistent(CACHELINE, 1) == b"\x00"
+
+    def test_scheduled_crash_raises(self):
+        dev = PmemDevice(4096)
+        dev.schedule_crash(after_writes=2)
+        dev.write(0, b"x")
+        with pytest.raises(PmemCrash):
+            dev.write(64, b"y")
+
+    def test_corrupt_flips_persistent_bits(self):
+        dev = PmemDevice(4096)
+        dev.write(0, b"\x00")
+        dev.flush(0, 1)
+        dev.corrupt(0, 1)
+        assert dev.read_persistent(0, 1) != b"\x00"
+
+    def test_bounds_checked(self):
+        dev = PmemDevice(128)
+        with pytest.raises(ValueError):
+            dev.write(120, b"0123456789")
+
+    def test_cost_model_accumulates(self):
+        dev = PmemDevice(4096)
+        dev.write(0, b"x" * 100)
+        dev.flush(0, 100)
+        assert dev.elapsed_ns >= 100 * dev.write_ns_per_byte + dev.flush_ns
+
+
+class TestNetwork:
+    def test_send_recv(self):
+        net = Network()
+        a, b = net.endpoint("a"), net.endpoint("b")
+        a.send("b", b"ping")
+        assert b.recv(timeout=1.0) == ("a", b"ping")
+
+    def test_unknown_destination_dropped(self):
+        net = Network()
+        a = net.endpoint("a")
+        a.send("nobody", b"lost")
+        assert net.stats["dropped"] == 1
+
+    def test_drop_injection(self):
+        net = Network(drop_rate=1.0)
+        a, b = net.endpoint("a"), net.endpoint("b")
+        a.send("b", b"gone")
+        assert b.try_recv() is None
+        assert net.stats["dropped"] == 1
+
+    def test_duplication_injection(self):
+        net = Network(dup_rate=1.0)
+        a, b = net.endpoint("a"), net.endpoint("b")
+        a.send("b", b"twice")
+        assert b.recv(timeout=1.0) is not None
+        assert b.recv(timeout=1.0) is not None
+
+    def test_concurrent_senders(self):
+        net = Network()
+        dst = net.endpoint("dst")
+        senders = [threading.Thread(
+            target=lambda i=i: net.endpoint(f"s{i}").send("dst", bytes([i])))
+            for i in range(8)]
+        for t in senders:
+            t.start()
+        for t in senders:
+            t.join()
+        got = {dst.recv(timeout=1.0)[1] for _ in range(8)}
+        assert len(got) == 8
+
+
+class TestSimulator:
+    def test_single_thread_ops(self):
+        sim = Simulator()
+
+        def body(thread):
+            while True:
+                yield ("op_done", 1.0)
+
+        sim.thread("t0", 0, body)
+        stats = sim.run(horizon=100.0)
+        assert 90 <= stats["ops"] <= 101
+
+    def test_parallel_scaling_without_contention(self):
+        def make(n):
+            sim = Simulator()
+
+            def body(thread):
+                while True:
+                    yield ("op_done", 1.0)
+
+            for i in range(n):
+                sim.thread(f"t{i}", i % 4, body)
+            return sim.run(horizon=100.0)["ops"]
+
+        assert make(8) >= make(2) * 3.5
+
+    def test_resource_serializes(self):
+        sim = Simulator()
+        shared = Resource(sim, "lock")
+
+        def body(thread):
+            while True:
+                release = shared.acquire_at(thread.now, 1.0)
+                yield ("op_done", max(0.0, release - thread.now))
+
+        for i in range(8):
+            sim.thread(f"t{i}", 0, body)
+        stats = sim.run(horizon=100.0)
+        # the resource allows ~100 total holds regardless of thread count
+        assert stats["ops"] <= 130
+
+    def test_cross_socket_penalty(self):
+        sim = Simulator(remote_penalty=3.0)
+        assert sim.cross_socket_cost(0, 0, 2.0) == 2.0
+        assert sim.cross_socket_cost(0, 1, 2.0) == 6.0

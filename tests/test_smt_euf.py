@@ -1,0 +1,119 @@
+"""Unit tests for congruence closure and its explanations."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.euf import EufConflict, EufSolver
+from repro.smt.sorts import INT, uninterpreted
+
+S = uninterpreted("S")
+f = T.FuncDecl("f", [S], S)
+g = T.FuncDecl("g", [S, S], S)
+a, b, c, d = (T.Var(n, S) for n in "abcd")
+
+
+def test_transitivity_and_congruence():
+    e = EufSolver()
+    e.assert_eq(a, b, "r1")
+    e.assert_eq(b, c, "r2")
+    e.add_term(f(a))
+    e.add_term(f(c))
+    e.flush()
+    assert e.are_equal(f(a), f(c))
+
+
+def test_explanation_is_exact():
+    e = EufSolver()
+    e.assert_eq(a, b, "r1")
+    e.assert_eq(b, c, "r2")
+    e.assert_eq(c, d, "r3")  # irrelevant for f(a)=f(b)
+    e.add_term(f(a))
+    e.add_term(f(b))
+    e.flush()
+    assert e.explain(f(a), f(b)) == frozenset({"r1"})
+
+
+def test_binary_congruence_conflict():
+    e = EufSolver()
+    e.assert_neq(g(a, b), g(c, d), "rneq")
+    e.assert_eq(a, c, "r1")
+    with pytest.raises(EufConflict) as exc:
+        e.assert_eq(b, d, "r2")
+    assert exc.value.reasons == frozenset({"rneq", "r1", "r2"})
+
+
+def test_distinct_constants_conflict():
+    e = EufSolver()
+    x = T.Var("x", INT)
+    e.assert_eq(x, T.IntVal(1), "p")
+    with pytest.raises(EufConflict) as exc:
+        e.assert_eq(x, T.IntVal(2), "q")
+    assert exc.value.reasons == frozenset({"p", "q"})
+
+
+def test_fn_power_chain():
+    # f^5(a) = a and f^3(a) = a imply f(a) = a.
+    def fn(t, n):
+        for _ in range(n):
+            t = f(t)
+        return t
+
+    e = EufSolver()
+    e.assert_eq(fn(a, 5), a, "h5")
+    e.assert_eq(fn(a, 3), a, "h3")
+    assert e.are_equal(f(a), a)
+    assert e.explain(f(a), a) <= frozenset({"h5", "h3"})
+
+
+def test_disequality_without_conflict():
+    e = EufSolver()
+    e.assert_neq(a, b, "n")
+    e.assert_eq(a, c, "r")
+    assert not e.are_equal(a, b)
+    assert e.are_equal(a, c)
+
+
+def test_diseq_then_merge_conflict():
+    e = EufSolver()
+    e.assert_neq(a, b, "n")
+    e.assert_eq(a, c, "r1")
+    with pytest.raises(EufConflict) as exc:
+        e.assert_eq(c, b, "r2")
+    assert exc.value.reasons == frozenset({"n", "r1", "r2"})
+
+
+def test_registration_congruence_found_on_flush():
+    e = EufSolver()
+    e.assert_eq(a, b, "r")
+    e.add_term(f(a))
+    e.add_term(f(b))
+    e.flush()
+    assert e.are_equal(f(a), f(b))
+
+
+def test_value_of_prefers_constants():
+    e = EufSolver()
+    x = T.Var("x", INT)
+    e.assert_eq(x, T.IntVal(7), "p")
+    v = e.value_of(x)
+    assert v is not None and v.payload == 7
+
+
+def test_class_of_members():
+    e = EufSolver()
+    e.assert_eq(a, b, "r1")
+    e.assert_eq(b, c, "r2")
+    members = set(e.class_of(a))
+    assert {a, b, c} <= members
+
+
+def test_interpreted_op_congruence():
+    # EUF treats + as a function: x=y implies x+1 ~ y+1.
+    e = EufSolver()
+    x, y = T.Var("x", INT), T.Var("y", INT)
+    tx = T.Term(T.ADD, INT, (x, T.IntVal(1)))
+    ty = T.Term(T.ADD, INT, (y, T.IntVal(1)))
+    e.add_term(tx)
+    e.add_term(ty)
+    e.assert_eq(x, y, "r")
+    assert e.are_equal(tx, ty)

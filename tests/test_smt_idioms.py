@@ -1,0 +1,169 @@
+"""Tests for the §3.3 idiom engines: integer_ring, nonlinear_arith, compute."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.compute import ComputeEnv, OutOfFuel, evaluate, prove_by_compute
+from repro.smt.nonlinear import prove_nonlinear
+from repro.smt.ring import RingError, prove_ring
+from repro.smt.sorts import INT
+
+a, b, c, q, x, y, z = (T.Var(n, INT) for n in ("a", "b", "c", "q", "x", "y", "z"))
+I = T.IntVal
+
+
+class TestIntegerRing:
+    def test_paper_subtract_mod_eq_zero(self):
+        # requires a % c == 0, b % c == 0, ensures (b - a) % c == 0
+        hyp = [T.Eq(T.Mod(a, c), I(0)), T.Eq(T.Mod(b, c), I(0))]
+        assert prove_ring(hyp, T.Eq(T.Mod(T.Sub(b, a), c), I(0)))
+
+    def test_unprovable_offset_rejected(self):
+        hyp = [T.Eq(T.Mod(a, c), I(0)), T.Eq(T.Mod(b, c), I(0))]
+        assert not prove_ring(
+            hyp, T.Eq(T.Mod(T.Sub(T.Add(b, I(1)), a), c), I(0)))
+
+    def test_constant_modulus(self):
+        hyp = [T.Eq(T.Mod(a, I(4)), I(0))]
+        assert prove_ring(hyp, T.Eq(T.Mod(T.Mul(I(3), a), I(4)), I(0)))
+        assert prove_ring(hyp, T.Eq(T.Mod(T.Mul(a, a), I(16)), I(0)))
+        assert not prove_ring(hyp, T.Eq(T.Mod(T.Mul(a, a), I(32)), I(0)))
+
+    def test_binomial_identity(self):
+        lhs = T.Mul(T.Add(x, y), T.Add(x, y))
+        rhs = T.Add(T.Add(T.Mul(x, x), T.Mul(T.Mul(I(2), x), y)),
+                    T.Mul(y, y))
+        assert prove_ring([], T.Eq(lhs, rhs))
+
+    def test_wrong_identity_rejected(self):
+        lhs = T.Mul(T.Add(x, y), T.Add(x, y))
+        assert not prove_ring([], T.Eq(lhs, T.Mul(x, y)))
+
+    def test_equality_hypothesis_squares(self):
+        assert prove_ring([T.Eq(a, b)], T.Eq(T.Mul(a, a), T.Mul(b, b)))
+
+    def test_congruence_from_difference(self):
+        hyp = [T.Eq(T.Mod(T.Sub(a, b), c), I(0))]
+        assert prove_ring(hyp, T.Eq(T.Mod(a, c), T.Mod(b, c)))
+
+    def test_mod_mul_distributes(self):
+        goal = T.Eq(T.Mod(T.Mul(T.Mod(a, c), T.Mod(b, c)), c),
+                    T.Mod(T.Mul(a, b), c))
+        assert prove_ring([], goal)
+
+    def test_mixed_modulus_rejected_as_out_of_fragment(self):
+        with pytest.raises(RingError):
+            prove_ring([], T.Eq(T.Mod(a, c), T.Mod(a, b)))
+
+    def test_inequality_rejected(self):
+        with pytest.raises(RingError):
+            prove_ring([T.Le(a, b)], T.Eq(a, b))
+
+
+class TestNonlinearArith:
+    def test_paper_example(self):
+        # q > 2 ==> (a*a + 1) * q >= (a*a + 1) * 2
+        prem = [T.Gt(q, I(2))]
+        aa1 = T.Add(T.Mul(a, a), I(1))
+        goal = T.Ge(T.Mul(aa1, q), T.Mul(aa1, I(2)))
+        assert prove_nonlinear(prem, goal)
+
+    def test_product_of_nonnegatives(self):
+        assert prove_nonlinear([T.Ge(x, I(0)), T.Ge(y, I(0))],
+                               T.Ge(T.Mul(x, y), I(0)))
+
+    def test_product_of_positives_strict(self):
+        assert prove_nonlinear([T.Gt(x, I(0)), T.Gt(y, I(0))],
+                               T.Gt(T.Mul(x, y), I(0)))
+
+    def test_monotonicity(self):
+        assert prove_nonlinear([T.Ge(x, I(0)), T.Le(y, z)],
+                               T.Le(T.Mul(x, y), T.Mul(x, z)))
+
+    def test_am_gm(self):
+        assert prove_nonlinear([], T.Ge(T.Add(T.Mul(x, x), T.Mul(y, y)),
+                                        T.Mul(I(2), T.Mul(x, y))))
+
+    def test_square_nonneg(self):
+        assert prove_nonlinear([], T.Ge(T.Mul(x, x), I(0)))
+
+    def test_false_goal_not_proved(self):
+        assert not prove_nonlinear([], T.Ge(T.Mul(x, y), I(0)))
+
+    def test_distribution_identity(self):
+        assert prove_nonlinear([], T.Eq(T.Mul(x, T.Add(y, z)),
+                                        T.Add(T.Mul(x, y), T.Mul(x, z))))
+
+    def test_isolation_requires_explicit_premise(self):
+        # Without the premise inside the query, the goal must NOT prove —
+        # this is the paper's predictability-by-isolation property.
+        aa1 = T.Add(T.Mul(a, a), I(1))
+        goal = T.Ge(T.Mul(aa1, q), T.Mul(aa1, I(2)))
+        assert not prove_nonlinear([], goal)
+
+
+class TestCompute:
+    def test_ground_arith(self):
+        t = T.Add(T.Mul(I(6), I(7)), I(0))
+        assert evaluate(t) is I(42)
+
+    def test_recursive_definition(self):
+        fact = T.FuncDecl("fact", [INT], INT)
+        n = T.Var("n", INT)
+        env = ComputeEnv()
+        env.define(fact, [n],
+                   T.Ite(T.Le(n, I(0)), I(1),
+                         T.Mul(n, fact(T.Sub(n, I(1))))))
+        assert evaluate(fact(I(6)), env) is I(720)
+
+    def test_prove_by_compute_true(self):
+        fib = T.FuncDecl("fib", [INT], INT)
+        n = T.Var("n", INT)
+        env = ComputeEnv()
+        env.define(fib, [n],
+                   T.Ite(T.Le(n, I(1)), n,
+                         T.Add(fib(T.Sub(n, I(1))), fib(T.Sub(n, I(2))))))
+        ok, residual = prove_by_compute(T.Eq(fib(I(10)), I(55)), env)
+        assert ok and residual is None
+
+    def test_prove_by_compute_false_residual(self):
+        ok, residual = prove_by_compute(T.Eq(T.Add(x, I(0)), T.Add(x, I(1))))
+        assert not ok
+        assert residual is not None
+
+    def test_partial_evaluation_residual(self):
+        # x + (2*3) evaluates to x + 6; the residual goes to SMT.
+        t = T.Add(x, T.Mul(I(2), I(3)))
+        out = evaluate(t)
+        assert out is T.Add(x, I(6))
+
+    def test_fuel_exhaustion(self):
+        loop = T.FuncDecl("loop", [INT], INT)
+        n = T.Var("n", INT)
+        env = ComputeEnv()
+        env.define(loop, [n], loop(T.Add(n, I(1))))
+        with pytest.raises(OutOfFuel):
+            evaluate(loop(I(0)), env, fuel=1000)
+
+    def test_bv_folding(self):
+        t = T.BvAnd(T.BVVal(0b1100, 8), T.BVVal(0b1010, 8))
+        assert evaluate(t).payload == 0b1000
+
+    def test_crc_style_table_check(self):
+        # A miniature of the paper's CRC table anecdote: prove that a
+        # precomputed table entry equals the 8-step polynomial division.
+        step = T.FuncDecl("crc_step", [INT, INT], INT)
+        i_, v_ = T.Var("i", INT), T.Var("v", INT)
+        env = ComputeEnv()
+        # One reflected CRC-32 step on an integer-modelled register.
+        lsb = T.Mod(v_, I(2))
+        half = T.Div(v_, I(2))
+        poly = I(0xEDB88320)
+        xored = T.Add(half, T.Mul(lsb, poly))  # approximation is fine: this
+        # test only checks compute-vs-compute consistency, not real CRC.
+        env.define(step, [i_, v_],
+                   T.Ite(T.Le(i_, I(0)), v_,
+                         step(T.Sub(i_, I(1)), xored)))
+        expected = evaluate(step(I(8), I(1)), env)
+        ok, _ = prove_by_compute(T.Eq(step(I(8), I(1)), expected), env)
+        assert ok

@@ -1,0 +1,138 @@
+"""Unit tests for the CDCL SAT core, including a brute-force cross-check."""
+
+import random
+
+import pytest
+
+from repro.smt.sat import SatSolver, lit, lit_sign, lit_var, neg
+
+
+def _brute_force_sat(num_vars, clauses):
+    for assign in range(1 << num_vars):
+        if all(any((bool(assign >> (l >> 1) & 1)) == ((l & 1) == 0)
+                   for l in c) for c in clauses):
+            return True
+    return False
+
+
+def _model_satisfies(model, clauses):
+    return all(any(model[l >> 1] == ((l & 1) == 0) for l in c)
+               for c in clauses)
+
+
+def test_literal_encoding():
+    assert lit(3) == 6
+    assert lit(3, False) == 7
+    assert lit_var(lit(3, False)) == 3
+    assert lit_sign(lit(3)) is True
+    assert lit_sign(lit(3, False)) is False
+    assert neg(lit(3)) == lit(3, False)
+
+
+def test_unit_propagation():
+    s = SatSolver()
+    a, b = s.new_var(), s.new_var()
+    s.add_clause([lit(a)])
+    s.add_clause([lit(a, False), lit(b)])
+    assert s.solve() is True
+    m = s.model()
+    assert m[a] and m[b]
+
+
+def test_trivially_unsat():
+    s = SatSolver()
+    a = s.new_var()
+    s.add_clause([lit(a)])
+    assert s.add_clause([lit(a, False)]) is False
+    assert s.solve() is False
+
+
+def test_tautology_clause_ignored():
+    s = SatSolver()
+    a = s.new_var()
+    assert s.add_clause([lit(a), lit(a, False)]) is True
+    assert s.solve() is True
+
+
+def test_empty_clause_via_iterable():
+    s = SatSolver()
+    s.new_var()
+    assert s.add_clause([]) is False
+    assert s.solve() is False
+
+
+def _pigeonhole(pigeons, holes):
+    s = SatSolver()
+    v = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for p in range(pigeons):
+        s.add_clause([lit(v[p][h]) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                s.add_clause([lit(v[p1][h], False), lit(v[p2][h], False)])
+    return s
+
+
+def test_pigeonhole_unsat():
+    assert _pigeonhole(5, 4).solve() is False
+
+
+def test_pigeonhole_sat():
+    s = _pigeonhole(4, 4)
+    assert s.solve() is True
+
+
+def test_pigeonhole_larger_unsat():
+    assert _pigeonhole(7, 6).solve() is False
+
+
+def test_assumptions_sat_then_blocked():
+    s = SatSolver()
+    x, y = s.new_var(), s.new_var()
+    s.add_clause([lit(x, False), lit(y)])
+    assert s.solve([lit(x)]) is True
+    assert s.model()[y] is True
+    s.add_clause([lit(y, False)])
+    assert s.solve([lit(x)]) is False
+    assert s.solve() is True  # still sat without the assumption
+
+
+def test_add_clause_after_solve_at_root():
+    s = SatSolver()
+    x = s.new_var()
+    assert s.solve() is True
+    s.add_clause([lit(x)])
+    assert s.solve() is True
+    assert s.model()[x] is True
+
+
+def test_conflict_budget_returns_none():
+    s = _pigeonhole(8, 7)
+    assert s.solve(conflict_budget=3) is None
+    # and the solver remains usable afterwards
+    assert s.solve() is False
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_3sat_against_brute_force(seed):
+    rng = random.Random(seed)
+    for _ in range(120):
+        nv = rng.randint(3, 9)
+        nc = rng.randint(3, 40)
+        clauses = [[lit(v, rng.random() < .5)
+                    for v in rng.sample(range(nv), 3)] for _ in range(nc)]
+        s = SatSolver()
+        for _ in range(nv):
+            s.new_var()
+        ok = all(s.add_clause(list(c)) for c in clauses)
+        res = s.solve() if ok else False
+        assert res == _brute_force_sat(nv, clauses)
+        if res:
+            assert _model_satisfies(s.model(), clauses)
+
+
+def test_statistics_counters_move():
+    s = _pigeonhole(6, 5)
+    s.solve()
+    assert s.num_conflicts > 0
+    assert s.num_propagations > 0

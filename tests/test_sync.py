@@ -1,0 +1,268 @@
+"""Tests for VerusSync: obligations, runtime tokens, atomics, RA laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang import *
+from repro.sync import (AtomicGhost, ProtocolViolation, SyncError,
+                        SyncSystem, start)
+from repro.sync.ra import (BOT, algebra_for, check_monoid_laws)
+
+
+def _agreement_system():
+    sys_ = SyncSystem("ts_agreement")
+    sys_.field("a", "variable", vtype=INT)
+    sys_.field("b", "variable", vtype=INT)
+    sys_.init("initialize").init_field("a", 0).init_field("b", 0)
+    val = sys_.param("val", INT)
+    sys_.transition("update", params=[("val", INT)]) \
+        .update("a", val).update("b", val)
+    sys_.property_("agreement").assert_(sys_.pre("a").eq(sys_.pre("b")))
+    sys_.invariant("agree", lambda sv: sv("a").eq(sv("b")))
+    return sys_
+
+
+class TestObligations:
+    def test_figure4_agreement_verifies(self):
+        res = _agreement_system().check()
+        assert res.ok
+        names = {f.name for f in res.functions}
+        assert names == {"initialize#establishes", "update#preserves",
+                         "agreement#property"}
+
+    def test_non_inductive_invariant_fails(self):
+        sys_ = SyncSystem("ts_broken")
+        sys_.field("a", "variable", vtype=INT)
+        sys_.field("b", "variable", vtype=INT)
+        sys_.init("initialize").init_field("a", 0).init_field("b", 0)
+        val = sys_.param("val", INT)
+        sys_.transition("update", params=[("val", INT)]).update("a", val)
+        sys_.invariant("agree", lambda sv: sv("a").eq(sv("b")))
+        res = sys_.check()
+        assert not res.ok
+
+    def test_init_establishes_checked(self):
+        sys_ = SyncSystem("ts_badinit")
+        sys_.field("a", "variable", vtype=INT)
+        sys_.init("initialize").init_field("a", 5)
+        sys_.invariant("zero", lambda sv: sv("a").eq(0))
+        res = sys_.check()
+        assert not res.ok
+        assert any("establishes" in f.name for f in res.functions
+                   if not f.ok)
+
+    def test_uninitialized_field_rejected(self):
+        sys_ = SyncSystem("ts_uninit")
+        sys_.field("a", "variable", vtype=INT)
+        sys_.field("b", "variable", vtype=INT)
+        sys_.init("initialize").init_field("a", 0)
+        with pytest.raises(SyncError):
+            sys_.check()
+
+    def test_constant_update_rejected(self):
+        sys_ = SyncSystem("ts_const")
+        sys_.field("size", "constant", vtype=INT)
+        t = sys_.transition("t")
+        with pytest.raises(SyncError):
+            t.update("size", 3)
+
+    def test_map_remove_add_with_freshness(self):
+        St = EnumType("TsExec").declare(
+            {"Idle": [], "Busy": [("j", INT)]})
+        sys_ = SyncSystem("ts_map")
+        sys_.field("executor", "map", key=INT, value=St)
+        sys_.init("initialize").init_field("executor",
+                                           map_empty(INT, St))
+        n = sys_.param("n", INT)
+        sys_.transition("go", params=[("n", INT)]) \
+            .remove("executor", n, enum(St, "Idle")) \
+            .add("executor", n, enum(St, "Busy", j=lit(0)))
+        sys_.invariant("trivial", lambda sv: lit(True))
+        res = sys_.check()
+        assert res.ok
+        assert any("fresh" in f.name for f in res.functions)
+
+    def test_count_strategy(self):
+        sys_ = SyncSystem("ts_count")
+        sys_.field("refs", "count")
+        sys_.init("initialize").init_field("refs", 0)
+        sys_.transition("acquire").add_count("refs", 1)
+        sys_.transition("release").remove_count("refs", 1)
+        sys_.invariant("nonneg", lambda sv: sv("refs") >= 0)
+        assert sys_.check().ok
+
+    def test_require_becomes_enabling_condition(self):
+        sys_ = SyncSystem("ts_req")
+        sys_.field("x", "variable", vtype=INT)
+        sys_.init("initialize").init_field("x", 0)
+        v = sys_.param("v", INT)
+        sys_.transition("set_pos", params=[("v", INT)]) \
+            .require(v >= 0).update("x", v)
+        sys_.invariant("nonneg", lambda sv: sv("x") >= 0)
+        assert sys_.check().ok
+
+
+class TestRuntimeTokens:
+    def test_agreement_token_flow(self):
+        sys_ = _agreement_system()
+        inst, toks = start(sys_)
+        new = inst.apply("update", tokens={"a": toks["a"], "b": toks["b"]},
+                         val=42)
+        assert new["a"].value == 42
+        assert not toks["a"].valid
+
+    def test_consumed_token_rejected(self):
+        sys_ = _agreement_system()
+        inst, toks = start(sys_)
+        new = inst.apply("update", tokens={"a": toks["a"], "b": toks["b"]},
+                         val=1)
+        with pytest.raises(ProtocolViolation):
+            inst.apply("update", tokens={"a": toks["a"], "b": new["b"]},
+                       val=2)
+
+    def test_cross_instance_token_rejected(self):
+        sys_ = _agreement_system()
+        inst1, toks1 = start(sys_)
+        inst2, toks2 = start(sys_)
+        with pytest.raises(ProtocolViolation):
+            inst1.apply("update", tokens={"a": toks2["a"], "b": toks1["b"]},
+                        val=3)
+
+    def test_require_checked_at_runtime(self):
+        sys_ = SyncSystem("ts_rt_req")
+        sys_.field("x", "variable", vtype=INT)
+        sys_.init("initialize").init_field("x", 0)
+        v = sys_.param("v", INT)
+        sys_.transition("set_pos", params=[("v", INT)]) \
+            .require(v >= 0).update("x", v)
+        inst, toks = start(sys_)
+        with pytest.raises(ProtocolViolation):
+            inst.apply("set_pos", tokens={"x": toks["x"]}, v=-1)
+        # failed apply must not consume the token
+        assert toks["x"].valid
+        inst.apply("set_pos", tokens={"x": toks["x"]}, v=5)
+
+    def test_map_freshness_at_runtime(self):
+        St = EnumType("TsExecRt").declare({"Idle": []})
+        sys_ = SyncSystem("ts_rt_map")
+        sys_.field("m", "map", key=INT, value=St)
+        sys_.init("initialize").init_field("m", map_empty(INT, St))
+        n = sys_.param("n", INT)
+        sys_.transition("register", params=[("n", INT)]) \
+            .add("m", n, enum(St, "Idle"))
+        inst, _ = start(sys_)
+        inst.apply("register", n=0)
+        with pytest.raises(ProtocolViolation):
+            inst.apply("register", n=0)
+
+    def test_remove_wrong_value_rejected(self):
+        St = EnumType("TsExecRt2").declare(
+            {"Idle": [], "Busy": [("j", INT)]})
+        sys_ = SyncSystem("ts_rt_map2")
+        sys_.field("m", "map", key=INT, value=St)
+        sys_.init("initialize").init_field("m", map_empty(INT, St))
+        n = sys_.param("n", INT)
+        sys_.transition("register", params=[("n", INT)]) \
+            .add("m", n, enum(St, "Busy", j=lit(7)))
+        sys_.transition("finish", params=[("n", INT)]) \
+            .remove("m", n, enum(St, "Idle"))  # expects Idle, holds Busy
+        inst, _ = start(sys_)
+        tok = inst.apply("register", n=0)["m"]
+        with pytest.raises(ProtocolViolation):
+            inst.apply("finish", tokens={"m": tok}, n=0)
+
+    def test_invariant_checked_dynamically(self):
+        # An unverified system whose transition breaks the invariant is
+        # caught at runtime (this is the point of ghost checking).
+        sys_ = SyncSystem("ts_rt_inv")
+        sys_.field("a", "variable", vtype=INT)
+        sys_.field("b", "variable", vtype=INT)
+        sys_.init("initialize").init_field("a", 0).init_field("b", 0)
+        v = sys_.param("v", INT)
+        sys_.transition("desync", params=[("v", INT)]).update("a", v)
+        sys_.invariant("agree", lambda sv: sv("a").eq(sv("b")))
+        inst, toks = start(sys_)
+        with pytest.raises(ProtocolViolation):
+            inst.apply("desync", tokens={"a": toks["a"]}, v=9)
+
+
+class TestAtomicGhost:
+    def test_pairing_invariant_enforced(self):
+        sys_ = _agreement_system()
+        inst, toks = start(sys_)
+        cell = AtomicGhost(0, toks["a"],
+                           pairing=lambda v, tok: tok.value == v)
+        assert cell.load() == 0
+
+    def test_store_with_ghost_update(self):
+        sys_ = _agreement_system()
+        inst, toks = start(sys_)
+        cell = AtomicGhost(0, toks["a"],
+                           pairing=lambda v, tok: tok.value == v)
+        holder = {"b": toks["b"]}
+
+        def ghost(tok):
+            new = inst.apply("update", tokens={"a": tok, "b": holder["b"]},
+                             val=5)
+            holder["b"] = new["b"]
+            return new["a"]
+
+        cell.store(5, ghost)
+        assert cell.load() == 5
+        assert cell.token.value == 5
+
+    def test_broken_pairing_detected(self):
+        sys_ = _agreement_system()
+        inst, toks = start(sys_)
+        with pytest.raises(ProtocolViolation):
+            AtomicGhost(1, toks["a"],  # token holds 0, value says 1
+                        pairing=lambda v, tok: tok.value == v)
+
+    def test_cas(self):
+        cell = AtomicGhost(10)
+        ok, old_v = cell.compare_exchange(10, 20)
+        assert ok and old_v == 10
+        ok, old_v = cell.compare_exchange(10, 30)
+        assert not ok and old_v == 20
+
+
+class TestResourceAlgebraLaws:
+    SAMPLES = {
+        "variable": [None, ("v", 1), ("v", 2)],
+        "constant": [None, ("c", 1), ("c", 2)],
+        "map": [{}, {1: "a"}, {2: "b"}, {1: "a", 2: "b"}],
+        "set": [frozenset(), frozenset({1}), frozenset({2}),
+                frozenset({1, 2})],
+        "count": [0, 1, 2, 5],
+    }
+
+    @pytest.mark.parametrize("strategy", list(SAMPLES))
+    def test_monoid_laws(self, strategy):
+        ra = algebra_for(strategy)
+        assert check_monoid_laws(ra, self.SAMPLES[strategy]) == []
+
+    def test_variable_exclusivity(self):
+        ra = algebra_for("variable")
+        assert ra.compose(("v", 1), ("v", 1)) is BOT
+
+    def test_constant_duplicable(self):
+        ra = algebra_for("constant")
+        assert ra.compose(("c", 1), ("c", 1)) == ("c", 1)
+        assert ra.compose(("c", 1), ("c", 2)) is BOT
+
+    def test_map_disjointness(self):
+        ra = algebra_for("map")
+        assert ra.compose({1: "a"}, {1: "b"}) is BOT
+        assert ra.compose({1: "a"}, {2: "b"}) == {1: "a", 2: "b"}
+
+    @given(st.integers(0, 100), st.integers(0, 100), st.integers(0, 100))
+    def test_count_associativity_hypothesis(self, a, b, c):
+        ra = algebra_for("count")
+        assert ra.compose(ra.compose(a, b), c) == ra.compose(a, ra.compose(b, c))
+
+    @given(st.sets(st.integers(0, 10)), st.sets(st.integers(0, 10)))
+    def test_set_commutativity_hypothesis(self, a, b):
+        ra = algebra_for("set")
+        x = ra.compose(frozenset(a), frozenset(b))
+        y = ra.compose(frozenset(b), frozenset(a))
+        assert (x is BOT and y is BOT) or x == y

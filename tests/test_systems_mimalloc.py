@@ -1,0 +1,160 @@
+"""Tests for the mimalloc case study (§4.2.4)."""
+
+import random
+import threading
+
+import pytest
+
+from repro.systems.mimalloc.alloc import (Allocator, FastAllocator,
+                                          PAGE_SIZE, SIZE_CLASSES,
+                                          size_class_index)
+from repro.systems.mimalloc.verified import (build_bit_tricks_module,
+                                             build_disjointness_module,
+                                             build_lifecycle_system)
+
+
+class TestSizeClasses:
+    def test_classes_sorted(self):
+        assert SIZE_CLASSES == sorted(SIZE_CLASSES)
+
+    def test_index_fits(self):
+        for size in (1, 8, 9, 100, 1024, 60000):
+            ci = size_class_index(size)
+            assert SIZE_CLASSES[ci] >= size
+            if ci > 0:
+                assert SIZE_CLASSES[ci - 1] < size
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            size_class_index(1 << 20)
+
+
+class TestAllocator:
+    def test_unique_addresses(self):
+        a = Allocator(ghost=True)
+        seen = set()
+        for _ in range(1000):
+            p = a.malloc(64)
+            assert p not in seen
+            seen.add(p)
+
+    def test_reuse_after_free(self):
+        a = Allocator(ghost=True)
+        p = a.malloc(64)
+        a.free(p)
+        q = a.malloc(64)
+        assert q == p  # LIFO free list reuses the block
+
+    def test_double_free_detected(self):
+        a = Allocator(ghost=True)
+        p = a.malloc(32)
+        a.free(p)
+        with pytest.raises(AssertionError):
+            a.free(p)
+
+    def test_foreign_free_detected(self):
+        a = Allocator(ghost=True)
+        with pytest.raises(AssertionError):
+            a.free(0xDEAD000)
+
+    def test_blocks_do_not_alias(self):
+        a = Allocator(ghost=True)
+        live = {}
+        rng = random.Random(5)
+        for _ in range(2000):
+            if live and rng.random() < 0.4:
+                addr = rng.choice(list(live))
+                a.free(addr)
+                del live[addr]
+            else:
+                size = rng.choice([8, 16, 100, 1000, 30000])
+                addr = a.malloc(size)
+                ci = size_class_index(size)
+                end = addr + SIZE_CLASSES[ci]
+                for other, other_end in live.items():
+                    assert end <= other or other_end <= addr
+                live[addr] = end
+
+    def test_cross_thread_free(self):
+        a = Allocator(ghost=True)
+        # a size class with capacity 1 per page: the next malloc after a
+        # cross-thread free MUST collect the atomic list to make progress
+        block = a.malloc(60000, thread_id=1)
+        a.free(block, thread_id=2)           # lands on page.thread_free
+        page = a._page_of(block)
+        assert page.thread_free == [block]
+        reused = a.malloc(60000, thread_id=1)
+        assert reused == block               # collected and reused
+        assert page.thread_free == []
+
+    def test_concurrent_stress(self):
+        a = Allocator(ghost=True)
+        errors = []
+
+        def worker(tid):
+            try:
+                rng = random.Random(tid)
+                mine = []
+                for _ in range(500):
+                    if mine and rng.random() < 0.5:
+                        a.free(mine.pop(), thread_id=tid)
+                    else:
+                        mine.append(a.malloc(rng.choice([16, 64, 256]),
+                                             thread_id=tid))
+                for p in mine:
+                    a.free(p, thread_id=tid)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert not a.ghost.live
+
+    def test_fast_allocator_has_no_ledger(self):
+        fa = FastAllocator()
+        p = fa.malloc(64)
+        fa.free(p)
+        assert fa.inner.ghost is None
+
+    def test_page_capacity_respected(self):
+        a = Allocator(ghost=True)
+        count = PAGE_SIZE // 8
+        blocks = [a.malloc(8) for _ in range(count + 10)]
+        assert len(set(blocks)) == len(blocks)
+
+
+class TestVerifiedFacets:
+    def test_bit_tricks_verify(self):
+        from repro.vc.wp import VcGen
+        res = VcGen(build_bit_tricks_module()).verify_module()
+        assert res.ok, res.report()
+
+    def test_disjointness_verifies(self):
+        from repro.vc.wp import VcGen
+        res = VcGen(build_disjointness_module()).verify_module()
+        assert res.ok, res.report()
+
+    def test_lifecycle_protocol_verifies(self):
+        res = build_lifecycle_system().check()
+        assert res.ok, res.report()
+        names = {f.name for f in res.functions}
+        assert "free_remote#preserves" in names
+        assert "no_double_free#property" in names
+
+    def test_lifecycle_tokens_at_runtime(self):
+        from repro.sync import ProtocolViolation, start
+        sys_ = build_lifecycle_system()
+        inst, _ = start(sys_)
+        tok = inst.apply("mint", b=0x1000)["blocks"]
+        tok = inst.apply("alloc", tokens={"blocks": tok}, b=0x1000)["blocks"]
+        tok = inst.apply("free_remote", tokens={"blocks": tok},
+                         b=0x1000)["blocks"]
+        # double free: the Live shard is gone
+        with pytest.raises(ProtocolViolation):
+            inst.apply("free_local", tokens={"blocks": tok}, b=0x1000)
+        inst.apply("collect", tokens={"blocks": tok}, b=0x1000)

@@ -1,0 +1,123 @@
+"""Tests for the page-table case study (§4.2.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import count_idioms
+from repro.systems.pagetable.entry_verified import build_entry_module
+from repro.systems.pagetable.hw import (ENTRIES, FLAG_PRESENT, FLAG_WRITE,
+                                        LEVELS, MMU, PAGE_SIZE, PageTable,
+                                        entry_addr, entry_flags, entry_pack,
+                                        entry_present, vaddr_index)
+
+
+class TestEntryOps:
+    @given(st.integers(0, (1 << 52) - 1), st.integers(0, 0xFFF))
+    def test_pack_unpack(self, addr, flags):
+        addr &= ~0xFFF
+        e = entry_pack(addr, flags)
+        assert entry_addr(e) == addr
+        assert entry_flags(e) == flags
+
+    def test_present(self):
+        assert entry_present(entry_pack(0x1000, FLAG_PRESENT))
+        assert not entry_present(entry_pack(0x1000, FLAG_WRITE))
+
+    @given(st.integers(0, (1 << 48) - 1))
+    def test_vaddr_index_in_range(self, va):
+        for level in range(LEVELS):
+            assert 0 <= vaddr_index(va, level) < ENTRIES
+
+    def test_vaddr_index_decomposition(self):
+        va = (3 << 39) | (7 << 30) | (500 << 21) | (511 << 12) | 0xABC
+        assert vaddr_index(va, 3) == 3
+        assert vaddr_index(va, 2) == 7
+        assert vaddr_index(va, 1) == 500
+        assert vaddr_index(va, 0) == 511
+
+
+class TestMapUnmap:
+    def test_translate_roundtrip(self):
+        pt = PageTable()
+        assert pt.map_frame(0x12345000, 0xABC000)
+        assert pt.mmu.translate(0x12345123) == 0xABC123
+
+    def test_unmapped_faults(self):
+        pt = PageTable()
+        assert pt.mmu.translate(0x5000) is None
+
+    def test_double_map_rejected(self):
+        pt = PageTable()
+        assert pt.map_frame(0x1000, 0x2000)
+        assert not pt.map_frame(0x1000, 0x3000)
+
+    def test_unmap_missing(self):
+        pt = PageTable()
+        assert not pt.unmap(0x1000)
+
+    def test_reclamation_frees_empty_directories(self):
+        pt = PageTable(reclaim=True)
+        pt.map_frame(0x12345000, 0x1000)
+        pt.map_frame(0x12346000, 0x2000)  # same leaf table
+        assert pt.unmap(0x12345000)
+        assert pt.mmu.frames_freed == 0   # sibling keeps the table alive
+        assert pt.unmap(0x12346000)
+        assert pt.mmu.frames_freed == 3   # PT, PD, PDPT reclaimed
+
+    def test_no_reclamation_keeps_tables(self):
+        pt = PageTable(reclaim=False)
+        pt.map_frame(0x12345000, 0x1000)
+        pt.unmap(0x12345000)
+        assert pt.mmu.frames_freed == 0
+        # remapping reuses the retained tables: no new allocations
+        before = pt.mmu.frames_allocated
+        pt.map_frame(0x12345000, 0x9000)
+        assert pt.mmu.frames_allocated == before
+
+    def test_randomized_against_reference(self):
+        rng = random.Random(0)
+        pt = PageTable(reclaim=True)
+        ref = {}
+        vas = [rng.randrange(1 << 36) * PAGE_SIZE % (1 << 42)
+               for _ in range(80)]
+        for _ in range(1500):
+            va = rng.choice(vas)
+            if va in ref:
+                assert pt.unmap(va)
+                del ref[va]
+            else:
+                pa = rng.randrange(1 << 24) * PAGE_SIZE
+                assert pt.map_frame(va, pa)
+                ref[va] = pa
+            probe = rng.choice(vas)
+            expect = (ref[probe] | 0x21) if probe in ref else None
+            assert pt.mmu.translate(probe + 0x21) == expect
+
+    def test_reclaim_then_translate_consistent(self):
+        pt = PageTable(reclaim=True)
+        pt.map_frame(0x40000000, 0x1000)
+        pt.unmap(0x40000000)
+        assert pt.mmu.translate(0x40000000) is None
+        pt.map_frame(0x40000000, 0x7000)
+        assert pt.mmu.translate(0x40000000) == 0x7000
+
+
+class TestVerifiedEntries:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.vc.wp import VcGen
+        mod = build_entry_module()
+        return mod, VcGen(mod).verify_module()
+
+    def test_module_verifies(self, result):
+        mod, res = result
+        assert res.ok, res.report()
+
+    def test_idiom_usage_reported(self, result):
+        mod, _ = result
+        counts = count_idioms(mod)
+        assert counts["bit_vector"] >= 10
+        assert counts["nonlinear_arith"] >= 1
+        assert counts["compute"] >= 2

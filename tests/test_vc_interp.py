@@ -1,0 +1,144 @@
+"""Tests for the concrete expression interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang import *
+from repro.vc.interp import EnumVal, Interp, InterpError, StructVal
+
+
+def ev(expr, env=None, module=None):
+    return Interp(module=module).eval(expr, env or {})
+
+
+class TestArith:
+    def test_basic_ops(self):
+        x = var("x", INT)
+        env = {"x": 10}
+        assert ev(x + 5, env) == 15
+        assert ev(x - 3, env) == 7
+        assert ev(x * 2, env) == 20
+        assert ev(x // 3, env) == 3
+        assert ev(x % 3, env) == 1
+
+    def test_euclidean_semantics_match_smt(self):
+        # The interpreter's / and % must match the SMT encoding exactly.
+        x = var("x", INT)
+        assert ev(x // 2, {"x": -7}) == -4  # floor for positive divisor
+        assert ev(x % 2, {"x": -7}) == 1
+
+    def test_bool_ops(self):
+        p, q = var("p", BOOL), var("q", BOOL)
+        env = {"p": True, "q": False}
+        assert ev(p.and_(q), env) is False
+        assert ev(p.or_(q), env) is True
+        assert ev(p.implies(q), env) is False
+        assert ev(q.implies(p), env) is True
+        assert ev(p.not_(), env) is False
+
+    def test_division_by_zero_raises(self):
+        x = var("x", INT)
+        with pytest.raises(InterpError):
+            ev(x // 0, {"x": 1})
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_comparisons_match_python(self, a, b):
+        x, y = var("x", INT), var("y", INT)
+        env = {"x": a, "y": b}
+        assert ev(x < y, env) == (a < b)
+        assert ev(x.eq(y), env) == (a == b)
+
+
+class TestCollections:
+    def test_seq_ops(self):
+        SeqI = SeqType(INT)
+        s = var("s", SeqI)
+        env = {"s": (1, 2, 3, 4)}
+        assert ev(s.length(), env) == 4
+        assert ev(s.index(2), env) == 3
+        assert ev(s.update(0, lit(9)), env) == (9, 2, 3, 4)
+        assert ev(s.skip(1), env) == (2, 3, 4)
+        assert ev(s.take(2), env) == (1, 2)
+        assert ev(s.push(5), env) == (1, 2, 3, 4, 5)
+
+    def test_seq_index_oob(self):
+        s = var("s", SeqType(INT))
+        with pytest.raises(InterpError):
+            ev(s.index(9), {"s": (1,)})
+
+    def test_map_ops(self):
+        MI = MapType(INT, INT)
+        m = var("m", MI)
+        env = {"m": {1: 10}}
+        assert ev(m.contains_key(1), env) is True
+        assert ev(m.map_index(1), env) == 10
+        assert ev(m.insert(2, lit(20)), env) == {1: 10, 2: 20}
+        assert ev(m.remove(1), env) == {}
+        # original untouched (immutability)
+        assert env["m"] == {1: 10}
+
+    def test_struct_and_enum(self):
+        P = StructType("TIPoint").declare([("x", INT), ("y", INT)])
+        Opt = EnumType("TIOpt").declare({"N": [], "S": [("v", INT)]})
+        p = var("p", P)
+        env = {"p": StructVal(P, {"x": 1, "y": 2})}
+        assert ev(p.field("x"), env) == 1
+        assert ev(struct_update(p, x=lit(9)), env).fields == {"x": 9, "y": 2}
+        o = var("o", Opt)
+        env = {"o": EnumVal(Opt, "S", {"v": 5})}
+        assert ev(o.is_variant("S"), env) is True
+        assert ev(o.get("S", "v"), env) == 5
+        with pytest.raises(InterpError):
+            ev(o.get("S", "v"), {"o": EnumVal(Opt, "N", {})})
+
+
+class TestSpecCalls:
+    def test_module_spec_fn(self):
+        mod = Module("ti_mod")
+        n = var("n", INT)
+        spec_fn(mod, "triple", [("n", INT)], INT, body=n * 3)
+        out = ev(call(mod, "triple", lit(4)), {}, module=mod)
+        assert out == 12
+
+    def test_recursive_spec_fn(self):
+        mod = Module("ti_rec")
+        n = var("n", INT)
+        spec_fn(mod, "fact", [("n", INT)], INT,
+                body=ite(n <= 0, lit(1), n * rec_call("fact", INT, n - 1)))
+        assert ev(call(mod, "fact", lit(5)), {}, module=mod) == 120
+
+    def test_python_callable_binding(self):
+        from repro.vc import ast as A
+        interp = Interp(spec_fns={"sq": lambda v: v * v})
+        expr = A.Call("sq", [lit(7)], INT)
+        assert interp.eval(expr, {}) == 49
+
+
+class TestQuantifiers:
+    def test_finite_domain(self):
+        k = var("k", INT)
+        f = forall([("k", INT)], k >= 0)
+        assert Interp().eval(f, {"$domains": {INT: range(5)}}) is True
+        assert Interp().eval(f, {"$domains": {INT: range(-2, 5)}}) is False
+
+    def test_exists(self):
+        k = var("k", INT)
+        e = exists([("k", INT)], k.eq(3))
+        assert Interp().eval(e, {"$domains": {INT: range(5)}}) is True
+        assert Interp().eval(e, {"$domains": {INT: range(3)}}) is False
+
+    def test_unbounded_domain_raises(self):
+        f = forall([("k", INT)], var("k", INT) >= 0)
+        with pytest.raises(InterpError):
+            Interp().eval(f, {})
+
+
+class TestOldAndLet:
+    def test_old(self):
+        x = var("x", INT)
+        assert ev(old("x", INT) + x, {"x": 5, "old!x": 3}) == 8
+
+    def test_let(self):
+        x = var("x", INT)
+        expr = let("y", x + 1, var("y", INT) * 2)
+        assert ev(expr, {"x": 4}) == 10
