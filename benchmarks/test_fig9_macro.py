@@ -12,13 +12,13 @@ must survive: every system verifies, proof LoC dominates code LoC, and
 verification parallelizes across modules (the 8-core column).
 """
 
-import concurrent.futures
 import os
 import time
 
 import pytest
 
 import repro
+from repro.vc.scheduler import run_builder_job, run_builder_jobs
 from conftest import banner, emit, table
 
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
@@ -32,24 +32,6 @@ def _loc(*relpaths) -> int:
             total += sum(1 for line in fh
                          if line.strip() and not line.strip().startswith("#"))
     return total
-
-
-# Top-level so ProcessPoolExecutor can pickle them by reference.
-def _verify_builder(job):
-    kind, dotted = job
-    module_path, func_name = dotted.rsplit(".", 1)
-    import importlib
-    builder = getattr(importlib.import_module(module_path), func_name)
-    built = builder()
-    if kind == "vc":
-        from repro.vc.wp import VcGen
-        res = VcGen(built).verify_module()
-    elif kind == "epr":
-        from repro.epr import verify_epr_module
-        res = verify_epr_module(built)
-    else:  # sync
-        res = built.check()
-    return res.ok, res.query_bytes
 
 
 SYSTEMS = [
@@ -114,10 +96,10 @@ def macro():
     for name, spec in SYSTEMS:
         all_jobs.extend(spec["jobs"])
     # 8-core pass over the whole suite (module granularity, as Verus
-    # parallelizes) — measured once for the total row.
+    # parallelizes) — measured once for the total row, through the
+    # verification scheduler's process fan-out.
     t0 = time.perf_counter()
-    with concurrent.futures.ProcessPoolExecutor(max_workers=8) as pool:
-        parallel_results = list(pool.map(_verify_builder, all_jobs))
+    parallel_results = run_builder_jobs(all_jobs, max_workers=8)
     t8_total = time.perf_counter() - t0
     assert all(ok for ok, _ in parallel_results)
 
@@ -129,7 +111,7 @@ def macro():
         qbytes = 0
         ok = True
         for job in spec["jobs"]:
-            job_ok, job_q = _verify_builder(job)
+            job_ok, job_q = run_builder_job(job)
             ok = ok and job_ok
             qbytes += job_q
         t1 = time.perf_counter() - t0

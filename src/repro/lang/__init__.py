@@ -247,15 +247,28 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
 # Verification entry points
 # ---------------------------------------------------------------------------
 
-def verify_module(mod: A.Module, config: Optional[VcConfig] = None
-                  ) -> ModuleResult:
-    """Verify a module, returning the detailed result."""
-    return VcGen(mod, config).verify_module()
+def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
+                  jobs: Optional[int] = None, cache=None) -> ModuleResult:
+    """Verify a module, returning the detailed result.
+
+    ``jobs``: obligation-level parallelism — ``N > 1`` fans obligations
+    out across a process pool (default ``$REPRO_JOBS`` or 1 = serial).
+    ``cache``: proof-cache directory (str), a
+    :class:`~repro.vc.cache.ProofCache`, ``False`` to disable, or
+    ``None`` for the ``$REPRO_CACHE_DIR`` env default.
+    """
+    from ..vc.scheduler import Scheduler
+    scheduler = Scheduler(jobs=jobs, cache=cache)
+    return VcGen(mod, config).verify_module(scheduler)
 
 
-def verify(mod: A.Module, config: Optional[VcConfig] = None) -> ModuleResult:
-    """Verify a module; raise VerificationFailure if anything fails."""
-    result = verify_module(mod, config)
+def verify(mod: A.Module, config: Optional[VcConfig] = None,
+           jobs: Optional[int] = None, cache=None) -> ModuleResult:
+    """Verify a module; raise VerificationFailure if anything fails.
+
+    Accepts the same ``jobs``/``cache`` knobs as :func:`verify_module`.
+    """
+    result = verify_module(mod, config, jobs=jobs, cache=cache)
     if not result.ok:
         raise VerificationFailure(result)
     return result

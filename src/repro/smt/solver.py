@@ -40,7 +40,14 @@ UNKNOWN = "unknown"
 
 
 class Stats:
-    """Counters for one solver instance (cumulative across checks)."""
+    """Counters for one solver instance (cumulative across checks).
+
+    The same class doubles as the aggregate reported by the verification
+    scheduler (:mod:`repro.vc.scheduler`): per-obligation snapshots are
+    :meth:`merge`-d into one Stats, so solver counters, proof-cache
+    hits/misses, and per-obligation wall-clock all surface through a
+    single uniform :meth:`snapshot` shape.
+    """
 
     def __init__(self):
         self.conflicts = 0
@@ -50,9 +57,22 @@ class Stats:
         self.rounds = 0
         self.query_bytes = 0
         self.solve_seconds = 0.0
+        # Scheduler-level counters (always 0 on a bare solver instance).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.obligations = 0
+        self.obligation_seconds = 0.0
+        self.wall_seconds = 0.0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
+
+    def merge(self, snap: dict) -> None:
+        """Accumulate another snapshot's numeric counters into this one."""
+        for k, v in snap.items():
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                continue
+            setattr(self, k, getattr(self, k, 0) + v)
 
 
 class SolverConfig:
@@ -136,6 +156,11 @@ class SmtSolver:
 
     def _preprocess(self, formula: T.Term) -> int:
         """NNF + skolemize + lift + CNF; returns the root SAT literal."""
+        # The ITE-lift cache is scoped to one assertion batch: sharing a
+        # lift variable across `add` calls on a reused solver would let a
+        # stale rewrite leak between batches, so each assertion re-lifts
+        # with fresh variables (and fresh defining clauses).
+        self._ite_cache.clear()
         nnf = self._nnf(formula, True, ())
         nnf = self._lift_ground(nnf)
         return self._tseitin(nnf)

@@ -68,13 +68,17 @@ class NrLog:
     def append(self, ops: list[tuple]) -> int:
         """Append a batch; returns the new tail."""
         with self._lock:
-            self.entries.extend(ops)
-            self.tail += len(ops)
+            # Ghost tail first: combiners snapshot the physical tail
+            # *without* this lock, so the ghost tail must never lag it —
+            # otherwise reader_version's `end <= tail` require can observe
+            # a physical tail the ghost protocol hasn't admitted yet.
             if self.ghost:
                 new = self.instance.apply(
                     "append", tokens={"tail": self._ghost_tokens["tail"]},
                     n=len(ops))
                 self._ghost_tokens["tail"] = new["tail"]
+            self.entries.extend(ops)
+            self.tail += len(ops)
             return self.tail
 
     def read_range(self, start_idx: int, end_idx: int) -> list[tuple]:

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk proof cache.
+
+Entries are keyed by the sha256 digest computed in
+:func:`repro.smt.fingerprint.obligation_digest` — the canonical SMT-LIB2
+text of the full query (context axioms + path assumptions + negated
+goal), the :class:`~repro.smt.solver.SolverConfig` knobs, and the
+discharge strategy.  Any change to a postcondition, a reachable spec
+function, or a solver knob changes the digest, so invalidation is
+automatic: the stale entry is simply never addressed again.
+
+Writes are atomic (temp file + ``os.replace``) so parallel workers can
+share one cache directory without torn entries; corrupt or truncated
+entries are detected at lookup, dropped, and rewritten after re-solving.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from .errors import FAILED, PROVED, TIMEOUT
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DEFAULT_DIRNAME = ".pv_cache"
+
+_VALID_STATUS = (PROVED, FAILED, TIMEOUT)
+
+
+class ProofCache:
+    """One cache directory plus hit/miss/store/corruption counters."""
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    @classmethod
+    def from_env(cls) -> Optional["ProofCache"]:
+        """The cache named by ``$REPRO_CACHE_DIR``, or None if unset."""
+        root = os.environ.get(CACHE_DIR_ENV)
+        return cls(root) if root else None
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def lookup(self, digest: str) -> Optional[dict]:
+        """Return the stored entry for ``digest``, or None on miss.
+
+        A malformed entry (truncated write, wrong digest, bogus status)
+        counts as a miss: it is deleted so the fresh verdict can be
+        rewritten cleanly.
+        """
+        path = self._path(digest)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if (not isinstance(entry, dict)
+                    or entry.get("digest") != digest
+                    or entry.get("status") not in _VALID_STATUS
+                    or not isinstance(entry.get("query_bytes", 0), int)
+                    or not isinstance(entry.get("stats", {}), dict)):
+                raise ValueError("malformed cache entry")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, OSError, UnicodeDecodeError):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, digest: str, status: str, stats: Optional[dict] = None,
+              query_bytes: int = 0, label: str = "") -> None:
+        """Persist a verdict (atomic; best-effort on filesystem errors)."""
+        if status not in _VALID_STATUS:
+            return
+        path = self._path(digest)
+        entry = {"digest": digest, "status": status,
+                 "query_bytes": int(query_bytes),
+                 "stats": stats or {}, "label": label}
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stores += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {"cache_hits": self.hits, "cache_misses": self.misses,
+                "cache_stores": self.stores, "cache_corrupt": self.corrupt}
+
+    def __repr__(self) -> str:
+        return (f"<ProofCache {self.root}: {self.hits} hits, "
+                f"{self.misses} misses>")

@@ -61,6 +61,9 @@ class ModuleResult:
         self.name = name
         self.functions: list[FunctionResult] = []
         self.seconds: float = 0.0
+        # Scheduler stats snapshot (cache hits/misses, obligation
+        # wall-clock, ...) — empty when verified without a scheduler.
+        self.stats: dict = {}
 
     @property
     def ok(self) -> bool:
@@ -81,6 +84,12 @@ class ModuleResult:
         lines = [f"module {self.name}: "
                  f"{'VERIFIED' if self.ok else 'FAILED'} "
                  f"in {self.seconds:.2f}s ({self.query_bytes} query bytes)"]
+        hits = self.stats.get("cache_hits", 0)
+        misses = self.stats.get("cache_misses", 0)
+        if hits or misses:
+            rate = hits / (hits + misses)
+            lines.append(f"  proof cache: {hits} hits / {misses} misses "
+                         f"({rate:.0%} hit rate)")
         for f in self.functions:
             mark = "✓" if f.ok else "✗"
             lines.append(f"  {mark} {f.name} "

@@ -1,0 +1,349 @@
+"""Parallel obligation scheduler for the VC pipeline.
+
+The paper's headline claim (§3.1, Fig 9) is *query economy*: each SMT
+obligation is small and self-contained, so proof work parallelizes across
+obligations and modules ("1/8 cores" in Fig 9) and unchanged obligations
+never need re-solving.  This layer supplies both halves:
+
+* :class:`Scheduler` consumes the self-contained obligation jobs emitted
+  by :meth:`repro.vc.wp.VcGen.plan_function` and discharges them through a
+  pluggable executor — in-process serial by default (byte-identical to the
+  historical eager behavior), or a ``ProcessPoolExecutor`` fan-out across
+  obligations with per-job timeouts and a graceful serial fallback.
+
+* Before any solving, each job is looked up in the content-addressed
+  proof cache (:mod:`repro.vc.cache`) keyed on the canonical SMT-LIB2
+  query text plus solver knobs, so cache-warm re-verification skips the
+  solver entirely.
+
+Environment knobs (all optional):
+
+* ``REPRO_JOBS`` — default worker count (``1`` = serial).
+* ``REPRO_CACHE_DIR`` — enable the proof cache at this directory.
+* ``REPRO_JOB_TIMEOUT`` — per-job timeout in seconds for parallel runs.
+
+:func:`run_builder_jobs` is the coarse-grained companion used by the
+Fig 9 macrobenchmark: whole-module verification jobs named by dotted
+builder paths, fanned out across processes with the same fallback story.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as _cf
+import os
+import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from ..smt import terms as T
+from ..smt.fingerprint import (deserialize_terms, obligation_digest,
+                               serialize_terms, solver_config_key)
+from ..smt.solver import SAT, SmtSolver, SolverConfig, Stats, UNSAT
+from .cache import ProofCache
+from .errors import FAILED, PROVED, TIMEOUT, ModuleResult
+
+JOBS_ENV = "REPRO_JOBS"
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+
+def default_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (1 = serial, the default)."""
+    raw = os.environ.get(JOBS_ENV)
+    try:
+        return max(1, int(raw)) if raw else 1
+    except ValueError:
+        return 1
+
+
+def _default_timeout() -> Optional[float]:
+    raw = os.environ.get(JOB_TIMEOUT_ENV)
+    try:
+        return float(raw) if raw else None
+    except ValueError:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Obligation jobs (picklable, self-contained)
+# ---------------------------------------------------------------------------
+
+class ObligationJob:
+    """A self-contained solver job that can cross a process boundary.
+
+    Carries the serialized assertion list (context axioms + path
+    assumptions + negated goal, in solver ``add`` order) and the solver
+    knobs — everything a fresh worker needs to reproduce the default
+    discharge exactly.
+    """
+
+    __slots__ = ("payload", "config_dict", "label")
+
+    def __init__(self, payload: tuple, config_dict: dict, label: str):
+        self.payload = payload
+        self.config_dict = config_dict
+        self.label = label
+
+    def run(self) -> tuple:
+        """Solve; returns ``(status, stats_snapshot, query_bytes, secs)``."""
+        t0 = time.perf_counter()
+        assertions = deserialize_terms(self.payload)
+        solver = SmtSolver(SolverConfig(**self.config_dict))
+        for a in assertions:
+            solver.add(a)
+        verdict = solver.check()
+        status = (PROVED if verdict == UNSAT
+                  else FAILED if verdict == SAT else TIMEOUT)
+        return (status, solver.stats.snapshot(), solver.stats.query_bytes,
+                time.perf_counter() - t0)
+
+
+def _execute_job(job: ObligationJob) -> tuple:
+    # Top-level so ProcessPoolExecutor can pickle it by reference.
+    return job.run()
+
+
+class _Task:
+    """Scheduler-internal handle pairing a pending obligation with its
+    (lazily computed) assertions, digest, and owning function plan."""
+
+    __slots__ = ("item", "plan", "assertions", "config", "digest", "done")
+
+    def __init__(self, item, plan):
+        self.item = item
+        self.plan = plan
+        self.assertions: Optional[list] = None
+        self.config: Optional[SolverConfig] = None
+        self.digest: Optional[str] = None
+        self.done = False
+
+
+# ---------------------------------------------------------------------------
+# The scheduler
+# ---------------------------------------------------------------------------
+
+class Scheduler:
+    """Discharges emitted obligations through cache + executor.
+
+    ``jobs``: worker processes (default ``$REPRO_JOBS`` or 1 = serial).
+    ``cache``: a :class:`ProofCache`, a directory path, ``False`` to
+    disable even if ``$REPRO_CACHE_DIR`` is set, or ``None`` for the
+    env default.  ``timeout``: per-job seconds for parallel execution.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache=None,
+                 timeout: Optional[float] = None):
+        self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
+        if cache is None:
+            cache = ProofCache.from_env()
+        elif cache is False:
+            cache = None
+        elif isinstance(cache, str):
+            cache = ProofCache(cache)
+        self.cache: Optional[ProofCache] = cache
+        self.timeout = timeout if timeout is not None else _default_timeout()
+        self.stats = Stats()
+
+    # ------------------------------------------------------------- public
+
+    def run_module(self, gen) -> ModuleResult:
+        """Plan, discharge, and assemble results for a whole module."""
+        from . import ast as A
+        t0 = time.perf_counter()
+        hits0, misses0 = ((self.cache.hits, self.cache.misses)
+                          if self.cache is not None else (0, 0))
+        result = ModuleResult(gen.module.name)
+        plans = []
+        tasks: list[_Task] = []
+        # Planning runs the §3.3 idiom engines eagerly; hand them the
+        # cache so e.g. bit-blasting verdicts are reused on warm runs.
+        gen.proof_cache = self.cache
+        try:
+            for fn in gen.module.functions.values():
+                if fn.mode in (A.EXEC, A.PROOF) and fn.body is not None:
+                    plan = gen.plan_function(fn)
+                    plans.append(plan)
+                    result.functions.append(plan.result)
+                    tasks.extend(self._plan_tasks(gen, plan))
+            self._run_tasks(gen, tasks)
+        finally:
+            gen.proof_cache = None
+        if self.cache is not None:
+            self.stats.cache_hits += self.cache.hits - hits0
+            self.stats.cache_misses += self.cache.misses - misses0
+        for plan in plans:
+            plan.result.seconds = plan.gen_seconds + sum(
+                o.seconds for o in plan.result.obligations)
+        self.stats.wall_seconds += time.perf_counter() - t0
+        result.seconds = time.perf_counter() - t0
+        result.stats = self.stats.snapshot()
+        return result
+
+    # ----------------------------------------------------------- planning
+
+    def _offloadable(self, gen) -> bool:
+        """Cross-process dispatch replicates only the *default* discharge;
+        pipelines that override the retry strategy stay in-process."""
+        from .wp import VcGen
+        return type(gen)._solve_obligation is VcGen._solve_obligation
+
+    def _plan_tasks(self, gen, plan) -> list[_Task]:
+        tasks = []
+        ctx_axioms = None
+        cfg = None
+        need_assertions = (self.cache is not None
+                           or (self.jobs > 1 and self._offloadable(gen)))
+        for item in plan.pending:
+            ob = item.obligation
+            plan.result.obligations.append(ob)
+            if item.direct_result is not None:
+                # Idiom engines (§3.3) decided eagerly during planning.
+                ob.status = PROVED if item.direct_result else FAILED
+                ob.seconds = 0.0
+                continue
+            task = _Task(item, plan)
+            if need_assertions:
+                if ctx_axioms is None:
+                    ctx_axioms = list(gen.context_axioms(plan.encoder,
+                                                         plan.spec_axioms))
+                    cfg = gen.config.make_solver_config()
+                task.assertions = (ctx_axioms + list(item.assumptions)
+                                   + [T.Not(item.goal)])
+                task.config = cfg
+            tasks.append(task)
+        return tasks
+
+    # ---------------------------------------------------------- execution
+
+    def _run_tasks(self, gen, tasks: list[_Task]) -> None:
+        unsolved = []
+        strategy = type(gen).__qualname__
+        for task in tasks:
+            if self.cache is not None:
+                task.digest = obligation_digest(
+                    task.assertions, solver_config_key(task.config), strategy)
+                entry = self.cache.lookup(task.digest)
+                if entry is not None:
+                    stats = dict(entry.get("stats") or {})
+                    self._apply(task, entry["status"], stats,
+                                entry.get("query_bytes", 0), 0.0,
+                                from_cache=True)
+                    continue
+            unsolved.append(task)
+        if len(unsolved) > 1 and self.jobs > 1 and self._offloadable(gen):
+            unsolved = self._run_parallel(unsolved)
+        for task in unsolved:
+            self._run_serial(gen, task)
+
+    def _run_serial(self, gen, task: _Task) -> None:
+        t0 = time.perf_counter()
+        status, stats, qbytes = gen._solve_obligation(
+            task.item, task.plan.encoder, task.plan.spec_axioms)
+        seconds = time.perf_counter() - t0
+        self._apply(task, status, stats, qbytes, seconds)
+        self._store(task, status, stats, qbytes)
+
+    def _run_parallel(self, tasks: list[_Task]) -> list[_Task]:
+        """Fan tasks out across processes; returns tasks that still need
+        the in-process serial fallback."""
+        try:
+            jobs = [ObligationJob(serialize_terms(task.assertions),
+                                  dict(vars(task.config)),
+                                  task.item.obligation.label)
+                    for task in tasks]
+        except (ValueError, TypeError, pickle.PicklingError):
+            return tasks  # unserializable content: solve in-process
+        leftovers: list[_Task] = []
+        try:
+            workers = min(self.jobs, len(tasks))
+            with _cf.ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [(task, pool.submit(_execute_job, job))
+                           for task, job in zip(tasks, jobs)]
+                for task, fut in futures:
+                    try:
+                        status, stats, qbytes, secs = fut.result(
+                            timeout=self.timeout)
+                    except _cf.TimeoutError:
+                        fut.cancel()
+                        # A killed job is not a solver verdict: report
+                        # TIMEOUT but never cache it.
+                        self._apply(task, TIMEOUT, {"job_timeouts": 1},
+                                    0, self.timeout or 0.0)
+                        continue
+                    except (BrokenProcessPool, OSError, RuntimeError):
+                        leftovers.append(task)
+                        continue
+                    self._apply(task, status, stats, qbytes, secs)
+                    self._store(task, status, stats, qbytes)
+        except (BrokenProcessPool, OSError, RuntimeError):
+            pass
+        leftovers.extend(t for t in tasks
+                         if not t.done and t not in leftovers)
+        return leftovers
+
+    # -------------------------------------------------------- bookkeeping
+
+    def _apply(self, task: _Task, status: str, stats: dict, qbytes: int,
+               seconds: float, from_cache: bool = False) -> None:
+        ob = task.item.obligation
+        ob.status = status
+        ob.seconds = seconds
+        self.stats.merge(stats)
+        if from_cache:
+            stats = dict(stats)
+            stats["cache_hit"] = True
+        ob.stats = stats
+        task.plan.result.query_bytes += qbytes
+        self.stats.obligations += 1
+        self.stats.obligation_seconds += seconds
+        task.done = True
+
+    def _store(self, task: _Task, status: str, stats: dict,
+               qbytes: int) -> None:
+        if self.cache is not None and task.digest is not None:
+            self.cache.store(task.digest, status, stats, qbytes,
+                             label=task.item.obligation.label)
+
+
+# ---------------------------------------------------------------------------
+# Module-granularity fan-out (Fig 9 "8 cores" column)
+# ---------------------------------------------------------------------------
+
+def run_builder_job(job: tuple) -> tuple:
+    """Verify one ``(kind, dotted_builder)`` module job in this process.
+
+    ``kind`` selects the machinery: ``"vc"`` (default pipeline, honors
+    the env-configured scheduler, so workers share the proof cache),
+    ``"epr"`` (§3.2 EPR mode), anything else builds a VerusSync system
+    and calls ``check()``.  Returns ``(ok, query_bytes)``.
+    """
+    import importlib
+    kind, dotted = job
+    module_path, func_name = dotted.rsplit(".", 1)
+    built = getattr(importlib.import_module(module_path), func_name)()
+    if kind == "vc":
+        from .wp import VcGen
+        res = VcGen(built).verify_module()
+    elif kind == "epr":
+        from ..epr import verify_epr_module
+        res = verify_epr_module(built)
+    else:  # sync
+        res = built.check()
+    return res.ok, res.query_bytes
+
+
+def run_builder_jobs(jobs: Sequence[tuple], max_workers: Optional[int] = None,
+                     timeout: Optional[float] = None) -> list[tuple]:
+    """Discharge module jobs across a process pool, serial on fallback."""
+    jobs = list(jobs)
+    max_workers = max_workers if max_workers else default_jobs()
+    if max_workers > 1 and len(jobs) > 1:
+        try:
+            with _cf.ProcessPoolExecutor(
+                    max_workers=min(max_workers, len(jobs))) as pool:
+                futures = [pool.submit(run_builder_job, j) for j in jobs]
+                return [f.result(timeout=timeout) for f in futures]
+        except (BrokenProcessPool, OSError, _cf.TimeoutError,
+                pickle.PicklingError):
+            pass  # fall through to the serial path
+    return [run_builder_job(j) for j in jobs]

@@ -86,8 +86,36 @@ class _PendingObligation:
         self.direct_result = direct_result  # idiom engines decide eagerly
 
 
+class FunctionPlan:
+    """One function's emitted-but-undischarged obligations.
+
+    ``pending`` carries the labeled goals with their path assumptions;
+    ``encoder``/``spec_axioms`` supply the context axioms every job ships
+    with.  The scheduler (or the eager :meth:`VcGen.verify_function`
+    path) turns the plan into a populated ``result``.
+    """
+
+    __slots__ = ("fn", "result", "pending", "encoder", "spec_axioms",
+                 "gen_seconds")
+
+    def __init__(self, fn: A.Function, result: FunctionResult,
+                 pending: list, encoder: Encoder, spec_axioms: list):
+        self.fn = fn
+        self.result = result
+        self.pending = pending
+        self.encoder = encoder
+        self.spec_axioms = spec_axioms
+        self.gen_seconds = 0.0
+
+
 class VcGen:
     """Verifies a module function-by-function."""
+
+    # Set (and restored) by the scheduler for the duration of a run, so
+    # the §3.3 idiom engines — which resolve eagerly during planning —
+    # can reuse cached verdicts through the same content-addressed store
+    # as the SMT obligations.
+    proof_cache = None
 
     def __init__(self, module: A.Module, config: Optional[VcConfig] = None):
         self.module = module
@@ -96,28 +124,41 @@ class VcGen:
 
     # ------------------------------------------------------------- public
 
-    def verify_module(self) -> ModuleResult:
-        result = ModuleResult(self.module.name)
-        t0 = time.perf_counter()
-        for fn in self.module.functions.values():
-            if fn.mode in (A.EXEC, A.PROOF) and fn.body is not None:
-                result.functions.append(self.verify_function(fn))
-        result.seconds = time.perf_counter() - t0
-        return result
+    def verify_module(self, scheduler=None) -> ModuleResult:
+        """Verify every exec/proof function via the obligation scheduler.
+
+        With no ``scheduler`` argument, the env-configured default is
+        used: serial in-process discharge (byte-identical to eager
+        verification) unless ``REPRO_JOBS``/``REPRO_CACHE_DIR`` request
+        parallelism or proof caching.
+        """
+        from .scheduler import Scheduler
+        return (scheduler or Scheduler()).run_module(self)
 
     CTX_CLS: type  # set below; baseline pipelines substitute their own
 
-    def verify_function(self, fn: A.Function) -> FunctionResult:
+    def plan_function(self, fn: A.Function) -> FunctionPlan:
+        """Symbolically execute ``fn`` and *emit* its obligations as
+        self-contained jobs instead of eagerly discharging them."""
         t0 = time.perf_counter()
-        fnres = FunctionResult(fn.name)
         encoder = Encoder()
         ctx = self.CTX_CLS(self, fn, encoder)
         pending = ctx.run()
         spec_axioms = self._spec_axioms(fn, encoder, ctx)
-        for item in pending:
-            self._discharge(item, encoder, spec_axioms, fnres)
-        fnres.seconds = time.perf_counter() - t0
-        return fnres
+        plan = FunctionPlan(fn, FunctionResult(fn.name), pending, encoder,
+                            spec_axioms)
+        plan.gen_seconds = time.perf_counter() - t0
+        return plan
+
+    def verify_function(self, fn: A.Function) -> FunctionResult:
+        """Eagerly plan and discharge one function (serial, cache-less)."""
+        t0 = time.perf_counter()
+        plan = self.plan_function(fn)
+        for item in plan.pending:
+            self._discharge(item, plan.encoder, plan.spec_axioms,
+                            plan.result)
+        plan.result.seconds = time.perf_counter() - t0
+        return plan.result
 
     # --------------------------------------------------------- spec axioms
 
@@ -237,6 +278,27 @@ class VcGen:
                        ) -> list[T.Term]:
         """The axiom context shipped with every query (pruned for Verus)."""
         return list(encoder.axioms) + list(spec_axioms)
+
+    def _idiom_cached(self, engine: str, terms: Sequence[T.Term],
+                      compute: Callable[[], bool]) -> bool:
+        """Discharge a §3.3 idiom obligation through the proof cache.
+
+        Idiom engines are pure functions of their translated terms, so
+        their verdicts are content-addressable exactly like SMT queries.
+        With no cache attached this is just ``compute()``.
+        """
+        cache = self.proof_cache
+        if cache is None:
+            return compute()
+        from ..smt.fingerprint import idiom_digest
+        digest = idiom_digest(engine, terms)
+        entry = cache.lookup(digest)
+        if entry is not None:
+            return entry["status"] == PROVED
+        ok = compute()
+        cache.store(digest, PROVED if ok else FAILED, {"engine": engine}, 0,
+                    label=f"by({engine})")
+        return ok
 
     def fresh(self, prefix: str) -> str:
         self._fresh[0] += 1
@@ -481,7 +543,9 @@ class _FnCtx:
                              f"{label} by(nonlinear_arith) premise #{i}",
                              "assert")
             goal = self.tr(stmt.expr, state.env, spec_mode=True)
-            ok = prove_nonlinear(premises, goal)
+            ok = self.gen._idiom_cached(
+                A.BY_NONLINEAR, premises + [goal],
+                lambda: prove_nonlinear(premises, goal))
             self._oblige_direct(ok, f"{label} by(nonlinear_arith)", "assert")
         elif stmt.by == A.BY_INTEGER_RING:
             premises = [self.tr(p, state.env, spec_mode=True)
@@ -492,7 +556,9 @@ class _FnCtx:
                              "assert")
             goal = self.tr(stmt.expr, state.env, spec_mode=True)
             try:
-                ok = prove_ring(premises, goal)
+                ok = self.gen._idiom_cached(
+                    A.BY_INTEGER_RING, premises + [goal],
+                    lambda: prove_ring(premises, goal))
             except RingError as err:
                 raise VcError(f"{self.fn.name}: {label}: {err}") from err
             self._oblige_direct(ok, f"{label} by(integer_ring)", "assert")
@@ -534,7 +600,9 @@ class _FnCtx:
         """Translate the assertion to pure BV terms and refute its negation."""
         translator = _BvTranslator(self)
         formula = translator.tr(expr, state.env)
-        return bv_check_sat(T.Not(formula)) is False
+        return self.gen._idiom_cached(
+            A.BY_BIT_VECTOR, [formula],
+            lambda: bv_check_sat(T.Not(formula)) is False)
 
     def _exec_call(self, stmt: A.SCall, state: _State) -> None:
         callee = self.module.lookup(stmt.fn_name)
@@ -927,6 +995,7 @@ class _BvTranslator:
     def __init__(self, ctx: _FnCtx):
         self.ctx = ctx
         self._vars: dict[T.Term, T.Term] = {}
+        self._scopes = 0
 
     def tr(self, e: A.Expr, env: dict) -> T.Term:
         return self._tr(e, env)
@@ -972,8 +1041,13 @@ class _BvTranslator:
         if isinstance(e, A.ForAllE):
             # Bound BV variables: scope them through env with fresh markers.
             saved = {}
+            self._scopes += 1
             for name, _vtype in e.bound:
-                marker = T.Var(f"bvscope!{name}!{id(e)}", bv_sort(self.WIDTH))
+                # Deterministic scope counter (not id()): the translated
+                # formula's text is the idiom cache key, so names must be
+                # reproducible across runs and processes.
+                marker = T.Var(f"bvscope!{name}!{self._scopes}",
+                               bv_sort(self.WIDTH))
                 saved[name] = env.get(name)
                 env[name] = marker
             try:

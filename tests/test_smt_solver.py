@@ -176,3 +176,39 @@ class TestStats:
         s.add(T.Lt(x, y))
         s.check()
         assert s.stats.solve_seconds > 0
+
+
+class TestItecacheLifetime:
+    """Regression: the ITE-lift cache must not leak across `add` batches.
+
+    `_preprocess` clears `_ite_cache`, so a reused solver re-lifts the
+    same ITE term with a fresh variable (and fresh defining clauses) in
+    each assertion batch instead of resurrecting a stale rewrite.
+    """
+
+    def test_cache_cleared_between_adds(self):
+        s = SmtSolver()
+        ite = T.Ite(T.Lt(x, y), I(1), I(2))
+        s.add(T.Eq(z, ite))
+        first = s._ite_cache.get(ite)
+        assert first is not None
+        s.add(T.Eq(z, ite))
+        second = s._ite_cache.get(ite)
+        assert second is not None and second is not first
+
+    def test_relift_keeps_semantics(self):
+        # Both batches lift the same ITE independently; the defining
+        # clauses must still force them equal under the same condition.
+        s = SmtSolver()
+        ite = T.Ite(T.Lt(x, I(0)), I(1), I(2))
+        s.add(T.Eq(y, ite))
+        s.add(T.Eq(z, ite))
+        s.add(T.Ne(y, z))
+        assert s.check() == UNSAT
+
+    def test_relift_sat_side(self):
+        s = SmtSolver()
+        ite = T.Ite(T.Lt(x, I(0)), I(1), I(2))
+        s.add(T.Eq(y, ite))
+        s.add(T.Eq(z, ite))
+        assert s.check() == SAT

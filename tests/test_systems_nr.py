@@ -63,6 +63,37 @@ class TestNrRuntime:
         assert all(s == states[0] for s in states)
         assert len(states[0]) == 100
 
+    def test_ghost_tail_never_lags_physical_tail(self):
+        """Regression: append must admit the ghost tail before bumping the
+        physical one — combiners snapshot `log.tail` without the log lock,
+        and a stale ghost tail makes reader_version's `end <= tail`
+        require fail.  Aggressive GIL switching reproduced this reliably
+        before the ordering fix."""
+        import sys
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(0.0001)
+        try:
+            for _ in range(4):
+                nr = NodeReplicated(num_replicas=3, ghost=True)
+                errors = []
+
+                def writer(rid):
+                    try:
+                        for j in range(30):
+                            nr.write(rid, ("set", f"k{rid}_{j}", j))
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [threading.Thread(target=writer, args=(r,))
+                           for r in range(3)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors, errors
+        finally:
+            sys.setswitchinterval(old)
+
     def test_ghost_versions_track_log(self):
         nr = NodeReplicated(num_replicas=2, ghost=True)
         nr.write(0, ("set", "x", 1))
