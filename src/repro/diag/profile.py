@@ -1,0 +1,54 @@
+"""Quantifier-instantiation profiler — the ``--profile`` of Verus/Z3.
+
+Slow or flaky proofs are usually quantifier storms: one badly triggered
+axiom instantiating itself thousands of times.  The solver records every
+instantiation in ``Stats.inst_profile`` as
+``{quantifier label: {trigger label: count}}`` (MBQI instantiations use
+the reserved trigger label ``"<mbqi>"``); this module aggregates that
+raw profile into the top-k table users act on.
+"""
+
+from __future__ import annotations
+
+from ..smt.solver import SmtSolver
+
+MBQI_TRIGGER = SmtSolver.MBQI_TRIGGER
+
+
+def top_instantiations(inst_profile: dict, k: int = 5) -> list[dict]:
+    """Top-k ``{"quantifier", "trigger", "count", "mechanism"}`` rows.
+
+    One row per (quantifier, trigger) pair, ordered by count descending
+    (ties broken textually for determinism).  ``mechanism`` is
+    ``"e-matching"`` or ``"mbqi"``.
+    """
+    rows = []
+    for quant, per in inst_profile.items():
+        for trigger, count in per.items():
+            mech = "mbqi" if trigger == MBQI_TRIGGER else "e-matching"
+            rows.append({"quantifier": quant,
+                         "trigger": "" if mech == "mbqi" else trigger,
+                         "count": count, "mechanism": mech})
+    rows.sort(key=lambda r: (-r["count"], r["quantifier"], r["trigger"]))
+    return rows[:k]
+
+
+def profile_table(rows: list[dict]) -> str:
+    """Render top-k rows as an aligned text table."""
+    if not rows:
+        return "(no quantifier instantiations)"
+    lines = []
+    width = max(len(str(r["count"])) for r in rows)
+    for r in rows:
+        via = r["mechanism"] if r["mechanism"] == "mbqi" \
+            else f"e-matching on {r['trigger']}"
+        lines.append(f"{r['count']:>{width}} × {r['quantifier']}  "
+                     f"[{via}]")
+    return "\n".join(lines)
+
+
+def module_profile(result, k: int = 10) -> list[dict]:
+    """Top-k rows for a whole :class:`~repro.vc.errors.ModuleResult`
+    (the scheduler merges every obligation's profile into
+    ``result.stats["inst_profile"]``)."""
+    return top_instantiations(result.stats.get("inst_profile") or {}, k)

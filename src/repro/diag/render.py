@@ -1,0 +1,78 @@
+"""Rendering: diagnostics → human-readable text and machine JSON.
+
+``render_diagnostic`` produces the indented failure section that
+:meth:`repro.vc.errors.ModuleResult.report` splices under each FAILED
+line; ``module_to_json`` produces the full machine-readable result the
+CI/demo scripts and error-feedback benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from ..vc.errors import PROVED
+from .profile import profile_table
+from .taxonomy import Diagnostic
+
+
+def render_diagnostic(diag: Diagnostic) -> str:
+    """Multi-line human rendering of one failure's diagnostic payload."""
+    lines: list[str] = []
+    if diag.witness:
+        lines.append("counterexample:")
+        width = max(len(r["name"]) for r in diag.witness)
+        for r in diag.witness:
+            lines.append(f"  {r['name']:<{width}} = {r['value']}")
+    if diag.conjuncts:
+        failing = [c for c in diag.conjuncts if c["status"] != PROVED]
+        lines.append(f"split: {len(failing)} of {len(diag.conjuncts)} "
+                     f"conjuncts fail")
+        for c in diag.conjuncts:
+            mark = "✓" if c["status"] == PROVED else "✗"
+            lines.append(f"  {mark} [{c['index']}] {c['text']}")
+    if diag.qi_profile:
+        lines.append("quantifier instantiations (top "
+                     f"{len(diag.qi_profile)}):")
+        for tl in profile_table(diag.qi_profile).splitlines():
+            lines.append(f"  {tl}")
+    for note in diag.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def obligation_to_json(o) -> dict:
+    return {
+        "label": o.label,
+        "kind": o.kind,
+        "status": o.status,
+        "seq": o.seq,
+        "span": str(o.span) if o.span is not None else None,
+        "error_type": None if o.ok else o.error_type,
+        "seconds": round(o.seconds, 6),
+        "diag": o.diag.to_dict() if o.diag is not None else None,
+    }
+
+
+def module_to_json(result) -> dict:
+    """Machine-readable rendering of a ModuleResult."""
+    return {
+        "module": result.name,
+        "ok": result.ok,
+        "seconds": round(result.seconds, 6),
+        "query_bytes": result.query_bytes,
+        "functions": [
+            {
+                "name": f.name,
+                "ok": f.ok,
+                "seconds": round(f.seconds, 6),
+                "obligations": [obligation_to_json(o)
+                                for o in f.obligations],
+            }
+            for f in result.functions
+        ],
+        "failures": [
+            {"function": fn, **obligation_to_json(o)}
+            for fn, o in result.failures()
+        ],
+        "stats": {k: v for k, v in result.stats.items()
+                  if k != "inst_profile"},
+        "inst_profile": result.stats.get("inst_profile") or {},
+    }

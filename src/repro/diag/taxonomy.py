@@ -1,0 +1,144 @@
+"""Failure taxonomy: Verus-style structured error classes.
+
+Verus reports every verification failure as a member of a small closed
+error taxonomy (the classes AutoVerus's repair loop dispatches on);
+we derive the same classification from an :class:`~repro.vc.errors.
+Obligation`'s ``kind`` and label.  The :class:`Diagnostic` record is the
+machine-readable payload attached to a failed obligation: taxonomy
+class, source span, counterexample witness, split conjuncts, and the
+quantifier-instantiation profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from ..vc.errors import FAILED, PROVED, TIMEOUT
+
+
+class VerusErrorType(enum.Enum):
+    """Closed failure taxonomy, mirroring Verus's structured errors."""
+
+    PRE_COND_FAIL = "PreCondFail"          # precondition at a call site
+    POST_COND_FAIL = "PostCondFail"        # ensures clause
+    INV_FAIL_FRONT = "InvFailFront"        # loop invariant on entry
+    INV_FAIL_END = "InvFailEnd"            # loop invariant preserved
+    ASSERT_FAIL = "AssertFail"             # plain assert
+    SPLIT_ASSERT_FAIL = "SplitAssertFail"  # conjunctive assert, split
+    ARITH_OVERFLOW = "ArithmeticOverflow"  # overflow/underflow/div-by-zero
+    BOUNDS_FAIL = "BoundsFail"             # seq index / map key
+    DECREASES_FAIL = "DecreasesFail"       # termination measure
+    RLIMIT_EXCEEDED = "RlimitExceeded"     # solver gave up (unknown)
+    UNKNOWN_FAIL = "UnknownFail"           # anything else
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify(kind: str, label: str = "", status: str = FAILED
+             ) -> VerusErrorType:
+    """Map an obligation's (kind, label, status) to its taxonomy class.
+
+    The kind wins even for solver-unknown verdicts — like Verus, a
+    postcondition the solver gave up on is still reported *as* a
+    postcondition failure; RlimitExceeded is reserved for obligations
+    with no more specific class (and for killed parallel jobs, which
+    the scheduler tags explicitly).
+    """
+    if kind == "requires":
+        return VerusErrorType.PRE_COND_FAIL
+    if kind == "ensures":
+        return VerusErrorType.POST_COND_FAIL
+    if kind == "invariant":
+        if "on entry" in label:
+            return VerusErrorType.INV_FAIL_FRONT
+        return VerusErrorType.INV_FAIL_END
+    if kind == "assert":
+        return VerusErrorType.ASSERT_FAIL
+    if kind == "overflow":
+        return VerusErrorType.ARITH_OVERFLOW
+    if kind == "bounds":
+        return VerusErrorType.BOUNDS_FAIL
+    if kind == "termination":
+        return VerusErrorType.DECREASES_FAIL
+    if status == TIMEOUT:
+        return VerusErrorType.RLIMIT_EXCEEDED
+    return VerusErrorType.UNKNOWN_FAIL
+
+
+class Diagnostic:
+    """The full diagnostic payload of one failed obligation.
+
+    Every field is plain data (strings, ints, lists, dicts) so the
+    record serializes losslessly across the process-pool boundary and
+    into proof-cache entries:
+
+    * ``error_type``: the :class:`VerusErrorType` value (a string),
+    * ``label``/``kind``: the obligation's provenance,
+    * ``span``: rendered source span ("file.py:123") or None,
+    * ``witness``: counterexample assignment — a list of
+      ``{"name", "value", "term"}`` dicts, sorted by name,
+    * ``conjuncts``: assert-splitting outcome — a list of
+      ``{"index", "text", "status"}`` dicts (empty when the goal was
+      not conjunctive or splitting was disabled),
+    * ``qi_profile``: top-k quantifier-instantiation rows — a list of
+      ``{"quantifier", "trigger", "count", "mechanism"}`` dicts,
+    * ``notes``: free-form strings (e.g. "verdict changed on re-solve").
+    """
+
+    __slots__ = ("error_type", "label", "kind", "span", "witness",
+                 "conjuncts", "qi_profile", "notes")
+
+    def __init__(self, error_type: str, label: str = "", kind: str = "",
+                 span: Optional[str] = None, witness: Optional[list] = None,
+                 conjuncts: Optional[list] = None,
+                 qi_profile: Optional[list] = None,
+                 notes: Optional[list] = None):
+        self.error_type = error_type
+        self.label = label
+        self.kind = kind
+        self.span = span
+        self.witness = witness or []
+        self.conjuncts = conjuncts or []
+        self.qi_profile = qi_profile or []
+        self.notes = notes or []
+
+    @classmethod
+    def for_obligation(cls, obligation) -> "Diagnostic":
+        """Taxonomy-only diagnostic (e.g. for §3.3 idiom obligations,
+        which never touch the SMT model)."""
+        etype = classify(obligation.kind, obligation.label,
+                         obligation.status)
+        return cls(etype.value, obligation.label, obligation.kind,
+                   span=str(obligation.span)
+                   if obligation.span is not None else None)
+
+    def failing_conjuncts(self) -> list[dict]:
+        return [c for c in self.conjuncts if c["status"] != PROVED]
+
+    def to_dict(self) -> dict:
+        return {"error_type": self.error_type, "label": self.label,
+                "kind": self.kind, "span": self.span,
+                "witness": list(self.witness),
+                "conjuncts": list(self.conjuncts),
+                "qi_profile": list(self.qi_profile),
+                "notes": list(self.notes)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Diagnostic":
+        return cls(d.get("error_type", VerusErrorType.UNKNOWN_FAIL.value),
+                   d.get("label", ""), d.get("kind", ""), d.get("span"),
+                   list(d.get("witness") or []),
+                   list(d.get("conjuncts") or []),
+                   list(d.get("qi_profile") or []),
+                   list(d.get("notes") or []))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Diagnostic)
+                and self.to_dict() == other.to_dict())
+
+    def __repr__(self) -> str:
+        return (f"<Diagnostic {self.error_type} {self.label!r}: "
+                f"{len(self.witness)} witness entries, "
+                f"{len(self.failing_conjuncts())} failing conjuncts>")

@@ -21,6 +21,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import sys
 from typing import Optional, Sequence, Union
 
 from ..vc import ast as A
@@ -28,6 +29,29 @@ from ..vc import types as VT
 from ..vc.errors import ModuleResult, VerificationFailure
 from ..vc.wp import VcConfig, VcGen
 from ..smt.quant import BROAD, CONSERVATIVE
+
+
+def _span() -> Optional[A.Span]:
+    """Source span of the user code calling a lang helper.
+
+    Walks out of this module so nested helpers (and future wrappers here)
+    still attribute the construct to the user's file/line.
+    """
+    try:
+        frame = sys._getframe(1)
+    except Exception:  # pragma: no cover - _getframe is CPython-specific
+        return None
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return None
+    return A.Span(frame.f_code.co_filename, frame.f_lineno)
+
+
+def _with_span(node):
+    if node.span is None:
+        node.span = _span()
+    return node
 
 # Re-export the type vocabulary.
 INT = VT.INT
@@ -159,40 +183,43 @@ def or_all(*parts) -> A.Expr:
 # ---------------------------------------------------------------------------
 
 def let_(name: str, value) -> A.SLet:
-    return A.SLet(name, A.coerce(value))
+    return _with_span(A.SLet(name, A.coerce(value)))
 
 
 def assign(name: str, value) -> A.SAssign:
-    return A.SAssign(name, A.coerce(value))
+    return _with_span(A.SAssign(name, A.coerce(value)))
 
 
 def if_(cond, then: Sequence[A.Stmt], els: Sequence[A.Stmt] = ()) -> A.SIf:
-    return A.SIf(A.coerce(cond), then, els)
+    return _with_span(A.SIf(A.coerce(cond), then, els))
 
 
 def while_(cond, invariants: Sequence, body: Sequence[A.Stmt],
            decreases=None) -> A.SWhile:
-    return A.SWhile(A.coerce(cond), [A.coerce(i) for i in invariants], body,
-                    A.coerce(decreases) if decreases is not None else None)
+    return _with_span(
+        A.SWhile(A.coerce(cond), [A.coerce(i) for i in invariants], body,
+                 A.coerce(decreases) if decreases is not None else None))
 
 
 def assert_(expr, by: Optional[str] = None, premises: Sequence = (),
             label: str = "") -> A.SAssert:
-    return A.SAssert(A.coerce(expr), by,
-                     [A.coerce(p) for p in premises], label)
+    return _with_span(A.SAssert(A.coerce(expr), by,
+                                [A.coerce(p) for p in premises], label))
 
 
 def assume_(expr) -> A.SAssume:
-    return A.SAssume(A.coerce(expr))
+    return _with_span(A.SAssume(A.coerce(expr)))
 
 
 def call_stmt(fn_name: str, args: Sequence = (), binds: Sequence[str] = (),
               mut_args: Sequence[str] = ()) -> A.SCall:
-    return A.SCall(fn_name, [A.coerce(a) for a in args], binds, mut_args)
+    return _with_span(
+        A.SCall(fn_name, [A.coerce(a) for a in args], binds, mut_args))
 
 
 def ret(expr=None) -> A.SReturn:
-    return A.SReturn(A.coerce(expr) if expr is not None else None)
+    return _with_span(
+        A.SReturn(A.coerce(expr) if expr is not None else None))
 
 
 # ---------------------------------------------------------------------------
@@ -216,7 +243,7 @@ def spec_fn(mod: A.Module, name: str, params: Sequence, ret_type: VT.VType,
                     body=A.coerce(body),
                     decreases=A.coerce(decreases) if decreases is not None
                     else None)
-    return mod.add(fn)
+    return mod.add(_with_span(fn))
 
 
 def exec_fn(mod: A.Module, name: str, params: Sequence,
@@ -229,7 +256,7 @@ def exec_fn(mod: A.Module, name: str, params: Sequence,
                     requires=[A.coerce(r) for r in requires],
                     ensures=[A.coerce(e) for e in ensures],
                     body=body, attrs=attrs)
-    return mod.add(fn)
+    return mod.add(_with_span(fn))
 
 
 def proof_fn(mod: A.Module, name: str, params: Sequence,
@@ -240,7 +267,7 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
                     requires=[A.coerce(r) for r in requires],
                     ensures=[A.coerce(e) for e in ensures],
                     body=body if body is not None else [])
-    return mod.add(fn)
+    return mod.add(_with_span(fn))
 
 
 # ---------------------------------------------------------------------------
@@ -248,7 +275,8 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
 # ---------------------------------------------------------------------------
 
 def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
-                  jobs: Optional[int] = None, cache=None) -> ModuleResult:
+                  jobs: Optional[int] = None, cache=None,
+                  diagnostics: Optional[bool] = None) -> ModuleResult:
     """Verify a module, returning the detailed result.
 
     ``jobs``: obligation-level parallelism — ``N > 1`` fans obligations
@@ -256,22 +284,39 @@ def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
     ``cache``: proof-cache directory (str), a
     :class:`~repro.vc.cache.ProofCache`, ``False`` to disable, or
     ``None`` for the ``$REPRO_CACHE_DIR`` env default.
+    ``diagnostics``: attach a full :class:`~repro.diag.taxonomy.
+    Diagnostic` (counterexample witness, split conjuncts, QI profile) to
+    every failed obligation (default ``$REPRO_DIAG`` or off).
     """
     from ..vc.scheduler import Scheduler
-    scheduler = Scheduler(jobs=jobs, cache=cache)
+    scheduler = Scheduler(jobs=jobs, cache=cache, diagnostics=diagnostics)
     return VcGen(mod, config).verify_module(scheduler)
 
 
 def verify(mod: A.Module, config: Optional[VcConfig] = None,
-           jobs: Optional[int] = None, cache=None) -> ModuleResult:
+           jobs: Optional[int] = None, cache=None,
+           diagnostics: Optional[bool] = None) -> ModuleResult:
     """Verify a module; raise VerificationFailure if anything fails.
 
-    Accepts the same ``jobs``/``cache`` knobs as :func:`verify_module`.
+    Accepts the same ``jobs``/``cache``/``diagnostics`` knobs as
+    :func:`verify_module`.
     """
-    result = verify_module(mod, config, jobs=jobs, cache=cache)
+    result = verify_module(mod, config, jobs=jobs, cache=cache,
+                           diagnostics=diagnostics)
     if not result.ok:
         raise VerificationFailure(result)
     return result
+
+
+def diagnose(mod: A.Module, config: Optional[VcConfig] = None,
+             jobs: Optional[int] = None, cache=None) -> ModuleResult:
+    """Verify with the diagnostics engine on: every failure carries its
+    taxonomy class, source span, counterexample witness, failing
+    conjuncts, and quantifier-instantiation profile.  Never raises —
+    inspect ``result.ok`` / ``result.report()`` / ``result.to_json()``.
+    """
+    return verify_module(mod, config, jobs=jobs, cache=cache,
+                         diagnostics=True)
 
 
 def count_idioms(mod: A.Module) -> dict[str, int]:
@@ -308,5 +353,5 @@ __all__ = [
     "let_", "assign", "if_", "while_", "assert_", "assume_", "call_stmt",
     "ret",
     "spec_fn", "exec_fn", "proof_fn",
-    "verify", "verify_module", "count_idioms",
+    "verify", "verify_module", "diagnose", "count_idioms",
 ]

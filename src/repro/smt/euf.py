@@ -253,3 +253,17 @@ class EufSolver:
             return t if t.is_const() else None
         r = self.find(t)
         return r if r.is_const() else None
+
+    def representative(self, t: T.Term) -> T.Term:
+        """A readable canonical member of t's congruence class.
+
+        Model export for diagnostics: prefer a constant if the class has
+        one, otherwise the smallest member (ties broken by hash so the
+        choice is deterministic across runs and processes).
+        """
+        if t not in self._repr:
+            return t
+        val = self.value_of(t)
+        if val is not None:
+            return val
+        return min(self.class_of(t), key=lambda m: (m.size(), m._hash))

@@ -319,6 +319,9 @@ class LiaSolver:
         self.branch_budget = branch_budget
         self.num_branches = 0
         self._root_simplex: Optional[Simplex] = None
+        # Most recent satisfying integer model (model export for
+        # counterexample diagnostics); None until check() succeeds.
+        self.last_model: Optional[dict] = None
 
     def _note_vars(self, expr: LinExpr) -> None:
         for v in expr.coeffs:
@@ -349,7 +352,15 @@ class LiaSolver:
         """Return an integer model, or raise LiaConflict / LiaUnknown."""
         self._gcd_tests()
         budget = [self.branch_budget]
-        return self._solve(list(self._constraints), budget, depth=0)
+        self.last_model = self._solve(list(self._constraints), budget,
+                                      depth=0)
+        return self.last_model
+
+    def model_value(self, v: Hashable) -> Optional[int]:
+        """Value of one variable in the last satisfying model, if any."""
+        if self.last_model is None:
+            return None
+        return self.last_model.get(v)
 
     def _gcd_tests(self) -> None:
         for kind, expr, reason in self._constraints:

@@ -378,6 +378,12 @@ class SatSolver:
         """Variable assignment after a sat result (unassigned vars -> False)."""
         return [a == 1 for a in self._assign]
 
+    def model_value(self, var: int) -> Optional[bool]:
+        """Assignment of one variable, or None if it was never decided."""
+        if var < 0 or var >= len(self._assign) or self._assign[var] < 0:
+            return None
+        return self._assign[var] == 1
+
     def root_forced(self) -> Optional[set[int]]:
         """Literals forced by unit propagation at decision level 0.
 

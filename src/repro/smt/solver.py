@@ -29,7 +29,7 @@ from typing import Iterable, Optional
 from . import terms as T
 from .euf import EufConflict, EufSolver
 from .lia import LiaConflict, LiaSolver, LiaUnknown, LinExpr
-from .printer import query_size_bytes
+from .printer import query_size_bytes, term_to_str
 from .quant import CONSERVATIVE, EMatcher, TriggerError, select_triggers
 from .sat import SatSolver, lit as mk_lit, neg
 from .sorts import BOOL, INT
@@ -57,6 +57,11 @@ class Stats:
         self.rounds = 0
         self.query_bytes = 0
         self.solve_seconds = 0.0
+        # Per-quantifier/per-trigger instantiation counts:
+        # {quantifier label: {trigger label: count}}.  MBQI instantiations
+        # are recorded under the reserved trigger label "<mbqi>" so the
+        # profiler (repro.diag.profile) can separate the two mechanisms.
+        self.inst_profile: dict = {}
         # Scheduler-level counters (always 0 on a bare solver instance).
         self.cache_hits = 0
         self.cache_misses = 0
@@ -65,11 +70,21 @@ class Stats:
         self.wall_seconds = 0.0
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        snap = dict(self.__dict__)
+        snap["inst_profile"] = {q: dict(per)
+                                for q, per in self.inst_profile.items()}
+        return snap
 
     def merge(self, snap: dict) -> None:
         """Accumulate another snapshot's numeric counters into this one."""
         for k, v in snap.items():
+            if k == "inst_profile":
+                if isinstance(v, dict):
+                    for q, per in v.items():
+                        mine = self.inst_profile.setdefault(q, {})
+                        for trig, n in per.items():
+                            mine[trig] = mine.get(trig, 0) + n
+                continue
             if isinstance(v, bool) or not isinstance(v, (int, float)):
                 continue
             setattr(self, k, getattr(self, k, 0) + v)
@@ -112,6 +127,7 @@ class SmtSolver:
         self._divmod_done: set = set()
         self._ite_cache: dict[T.Term, T.Term] = {}
         self._last_model: Optional[_TheoryModel] = None
+        self._label_cache: dict = {}
         self._ground_terms: set[T.Term] = set()
         self._probed_none: dict[T.Term, tuple] = {}
         self._max_ground_size = 8
@@ -150,7 +166,50 @@ class SmtSolver:
         v = self._atom_var.get(atom)
         if v is None:
             return None
-        return self._last_model.sat_model[v]
+        model = self._last_model.sat_model
+        if model is None:
+            return None
+        return model[v]
+
+    @property
+    def last_model(self) -> Optional["_TheoryModel"]:
+        """The theory model behind the most recent SAT answer, if any."""
+        return self._last_model
+
+    def model_repr(self, term: T.Term) -> Optional[str]:
+        """A readable value for ``term`` in the last SAT model.
+
+        Integers come from the LIA model, booleans from the SAT
+        assignment, and everything else from its EUF congruence class —
+        either the constant the class contains or its smallest member
+        (rendered symbolically).  Returns None when the model says
+        nothing about the term.
+        """
+        m = self._last_model
+        if m is None:
+            return None
+        if term.sort is INT:
+            v = m.int_value(term)
+            if v is not None:
+                return str(v)
+        if term.sort is BOOL:
+            b = self.model_bool(term)
+            if b is None and term in m.euf._repr:
+                if m.euf.are_equal(term, T.TRUE):
+                    b = True
+                elif m.euf.are_equal(term, T.FALSE):
+                    b = False
+            if b is not None:
+                return "true" if b else "false"
+        if term in m.euf._repr:
+            rep = m.euf.representative(term)
+            if rep is not term:
+                if rep.kind == T.INT_CONST:
+                    return str(rep.payload)
+                if rep.kind == T.BOOL_CONST:
+                    return "true" if rep.payload else "false"
+                return term_to_str(rep)
+        return None
 
     # -------------------------------------------------------- preprocessing
 
@@ -522,7 +581,25 @@ class SmtSolver:
 
     # ------------------------------------------------------ instantiation
 
-    def _instantiate(self, quant: T.Term, sub: dict) -> bool:
+    MBQI_TRIGGER = "<mbqi>"
+
+    def _term_label(self, t: T.Term, width: int = 120) -> str:
+        """Stable readable label for a term (cached, truncated)."""
+        label = self._label_cache.get(t)
+        if label is None:
+            label = term_to_str(t)
+            if len(label) > width:
+                label = label[: width - 3] + "..."
+            self._label_cache[t] = label
+        return label
+
+    def _record_instantiation(self, quant: T.Term, trigger_label: str
+                              ) -> None:
+        per = self.stats.inst_profile.setdefault(self._term_label(quant), {})
+        per[trigger_label] = per.get(trigger_label, 0) + 1
+
+    def _instantiate(self, quant: T.Term, sub: dict,
+                     trigger_label: str = MBQI_TRIGGER) -> bool:
         key = (quant, tuple(sub.get(v) for v in quant.bound_vars))
         if key in self._instances_seen:
             return False
@@ -530,6 +607,7 @@ class SmtSolver:
             return False
         self._instances_seen.add(key)
         self.stats.instantiations += 1
+        self._record_instantiation(quant, trigger_label)
         body = T.substitute(quant.body, sub)
         body = self._nnf(body, True, ())
         body = self._lift_ground(body)
@@ -560,6 +638,11 @@ class SmtSolver:
                 except TriggerError:
                     continue  # MBQI may still handle it
                 for group in groups:
+                    trigger_label = self._label_cache.get(group)
+                    if trigger_label is None:
+                        trigger_label = "; ".join(self._term_label(p)
+                                                  for p in group)
+                        self._label_cache[group] = trigger_label
                     for sub in matcher.match_group(group, quant.bound_vars):
                         full = {}
                         for v in quant.bound_vars:
@@ -589,7 +672,7 @@ class SmtSolver:
                         if any(t.size() > self._guard_limit
                                for t in full.values()):
                             continue
-                        if self._instantiate(quant, full):
+                        if self._instantiate(quant, full, trigger_label):
                             added = True
                             body = T.substitute(quant.body, full)
                             self._optimistic_assert(match_euf, body)

@@ -27,10 +27,51 @@ BY_INTEGER_RING = "integer_ring"
 BY_COMPUTE = "compute"
 
 
+class Span:
+    """Source provenance of an AST node (where the builder was called).
+
+    Captured by the :mod:`repro.lang` statement/function helpers and
+    threaded onto obligations by :class:`repro.vc.wp.VcGen`, so failure
+    diagnostics can point back at the build site — the role Verus error
+    spans play in Fig 8's failure-localization story.
+    """
+
+    __slots__ = ("file", "line")
+
+    def __init__(self, file: str, line: int):
+        self.file = file
+        self.line = line
+
+    def __str__(self) -> str:
+        import os
+        return f"{os.path.basename(self.file)}:{self.line}"
+
+    def __repr__(self) -> str:
+        return f"<Span {self}>"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Span)
+                and other.file == self.file and other.line == self.line)
+
+    def __hash__(self) -> int:
+        return hash((self.file, self.line))
+
+    def to_dict(self) -> dict:
+        return {"file": self.file, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, d: Optional[dict]) -> Optional["Span"]:
+        if not isinstance(d, dict) or "file" not in d:
+            return None
+        return cls(d["file"], int(d.get("line", 0)))
+
+
 class Expr:
     """Base expression; overloads build new expressions."""
 
     vtype: VT.VType
+    # Source provenance, when the lang helpers captured one.
+    span: Optional[Span] = None
 
     # -- operator sugar ------------------------------------------------------
 
@@ -413,7 +454,7 @@ class LetE(Expr):
 
 
 class Stmt:
-    pass
+    span: Optional[Span] = None
 
 
 class SLet(Stmt):
@@ -504,6 +545,8 @@ class Param:
 
 class Function:
     """A spec, proof, or exec function."""
+
+    span: Optional[Span] = None
 
     def __init__(self, name: str, mode: str,
                  params: Sequence[Param],

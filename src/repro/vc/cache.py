@@ -62,7 +62,8 @@ class ProofCache:
                     or entry.get("digest") != digest
                     or entry.get("status") not in _VALID_STATUS
                     or not isinstance(entry.get("query_bytes", 0), int)
-                    or not isinstance(entry.get("stats", {}), dict)):
+                    or not isinstance(entry.get("stats", {}), dict)
+                    or not isinstance(entry.get("diag") or {}, dict)):
                 raise ValueError("malformed cache entry")
         except FileNotFoundError:
             self.misses += 1
@@ -79,14 +80,22 @@ class ProofCache:
         return entry
 
     def store(self, digest: str, status: str, stats: Optional[dict] = None,
-              query_bytes: int = 0, label: str = "") -> None:
-        """Persist a verdict (atomic; best-effort on filesystem errors)."""
+              query_bytes: int = 0, label: str = "",
+              diag: Optional[dict] = None) -> None:
+        """Persist a verdict (atomic; best-effort on filesystem errors).
+
+        ``diag`` is the serialized diagnostic payload for non-PROVED
+        verdicts, so cache-warm failures replay the same counterexample
+        /split/profile report without re-solving.
+        """
         if status not in _VALID_STATUS:
             return
         path = self._path(digest)
         entry = {"digest": digest, "status": status,
                  "query_bytes": int(query_bytes),
                  "stats": stats or {}, "label": label}
+        if diag is not None:
+            entry["diag"] = diag
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),

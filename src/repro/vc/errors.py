@@ -1,8 +1,11 @@
 """Verification results and error reporting.
 
 Figure 8 of the paper measures how fast tools localize *failures*; the
-per-obligation result objects here carry the label, status, and timing
-that the error-feedback benchmark reports.
+per-obligation result objects here carry the label, status, timing, and
+— since the diagnostics engine (:mod:`repro.diag`) landed — the source
+span, taxonomy class, and full diagnostic payload (counterexample
+witness, split conjuncts, quantifier-instantiation profile) that the
+error-feedback benchmark reports.
 """
 
 from __future__ import annotations
@@ -15,7 +18,14 @@ TIMEOUT = "unknown"
 
 
 class Obligation:
-    """One proof obligation with its provenance."""
+    """One proof obligation with its provenance.
+
+    ``seq`` is the emission index inside the owning function (assigned at
+    planning time), so failure ordering is a property of the *program*,
+    not of which worker finished first.  ``span`` is the build-site
+    provenance captured by the lang helpers; ``diag`` carries the
+    :class:`repro.diag.taxonomy.Diagnostic` when diagnostics ran.
+    """
 
     def __init__(self, label: str, kind: str):
         self.label = label          # e.g. "pop: ensures#0", "push: overflow +"
@@ -23,10 +33,25 @@ class Obligation:
         self.status: str = "pending"
         self.seconds: float = 0.0
         self.stats: dict = {}
+        self.seq: int = 0           # emission order within the function
+        self.span = None            # Optional[repro.vc.ast.Span]
+        self.diag = None            # Optional[repro.diag.taxonomy.Diagnostic]
 
     @property
     def ok(self) -> bool:
         return self.status == PROVED
+
+    @property
+    def error_type(self) -> str:
+        """Taxonomy class of this obligation's failure (VerusErrorType).
+
+        Prefers the attached diagnostic's class when one ran — splitting
+        can upgrade AssertFail to SplitAssertFail.
+        """
+        if self.diag is not None:
+            return self.diag.error_type
+        from ..diag.taxonomy import classify
+        return classify(self.kind, self.label, self.status).value
 
     def __repr__(self) -> str:
         return f"<Obligation {self.label}: {self.status}>"
@@ -46,7 +71,10 @@ class FunctionResult:
         return all(o.ok for o in self.obligations)
 
     def failures(self) -> list[Obligation]:
-        return [o for o in self.obligations if not o.ok]
+        """Failed obligations in emission order (identical between serial,
+        parallel, and cache-warm runs)."""
+        return sorted((o for o in self.obligations if not o.ok),
+                      key=lambda o: o.seq)
 
     def __repr__(self) -> str:
         status = "ok" if self.ok else "FAILED"
@@ -62,7 +90,8 @@ class ModuleResult:
         self.functions: list[FunctionResult] = []
         self.seconds: float = 0.0
         # Scheduler stats snapshot (cache hits/misses, obligation
-        # wall-clock, ...) — empty when verified without a scheduler.
+        # wall-clock, instantiation profile, ...) — empty when verified
+        # without a scheduler.
         self.stats: dict = {}
 
     @property
@@ -74,13 +103,19 @@ class ModuleResult:
         return sum(f.query_bytes for f in self.functions)
 
     def failures(self) -> list[tuple[str, Obligation]]:
+        """(function, obligation) pairs in module/emission order."""
         return [(f.name, o) for f in self.functions for o in f.failures()]
 
     def first_failure(self) -> Optional[tuple[str, Obligation]]:
         fails = self.failures()
         return fails[0] if fails else None
 
-    def report(self) -> str:
+    def report(self, diagnostics: bool = True) -> str:
+        """Human-readable report; rich failure sections when available.
+
+        ``diagnostics=False`` restores the bare one-line-per-failure
+        output regardless of attached payloads.
+        """
         lines = [f"module {self.name}: "
                  f"{'VERIFIED' if self.ok else 'FAILED'} "
                  f"in {self.seconds:.2f}s ({self.query_bytes} query bytes)"]
@@ -95,8 +130,20 @@ class ModuleResult:
             lines.append(f"  {mark} {f.name} "
                          f"({len(f.obligations)} obligations, {f.seconds:.2f}s)")
             for o in f.failures():
-                lines.append(f"      FAILED: {o.label} [{o.kind}]")
+                loc = f" @ {o.span}" if o.span is not None else ""
+                lines.append(f"      FAILED: {o.label} "
+                             f"[{o.error_type}]{loc}")
+                if diagnostics and o.diag is not None:
+                    from ..diag.render import render_diagnostic
+                    lines.extend(
+                        "        " + dl for dl in
+                        render_diagnostic(o.diag).splitlines())
         return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable rendering (repro.diag.render does the work)."""
+        from ..diag.render import module_to_json
+        return module_to_json(self)
 
 
 class VerificationFailure(Exception):

@@ -45,6 +45,7 @@ from .errors import FAILED, PROVED, TIMEOUT, ModuleResult
 
 JOBS_ENV = "REPRO_JOBS"
 JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+DIAG_ENV = "REPRO_DIAG"
 
 
 def default_jobs() -> int:
@@ -54,6 +55,12 @@ def default_jobs() -> int:
         return max(1, int(raw)) if raw else 1
     except ValueError:
         return 1
+
+
+def default_diagnostics() -> bool:
+    """Diagnostics default from ``$REPRO_DIAG`` (off unless truthy)."""
+    raw = os.environ.get(DIAG_ENV, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
 
 
 def _default_timeout() -> Optional[float]:
@@ -107,7 +114,8 @@ class _Task:
     """Scheduler-internal handle pairing a pending obligation with its
     (lazily computed) assertions, digest, and owning function plan."""
 
-    __slots__ = ("item", "plan", "assertions", "config", "digest", "done")
+    __slots__ = ("item", "plan", "assertions", "config", "digest", "done",
+                 "qbytes")
 
     def __init__(self, item, plan):
         self.item = item
@@ -116,6 +124,7 @@ class _Task:
         self.config: Optional[SolverConfig] = None
         self.digest: Optional[str] = None
         self.done = False
+        self.qbytes = 0
 
 
 # ---------------------------------------------------------------------------
@@ -129,10 +138,17 @@ class Scheduler:
     ``cache``: a :class:`ProofCache`, a directory path, ``False`` to
     disable even if ``$REPRO_CACHE_DIR`` is set, or ``None`` for the
     env default.  ``timeout``: per-job seconds for parallel execution.
+    ``diagnostics``: run the :mod:`repro.diag` engine on every failed
+    obligation (default ``$REPRO_DIAG`` or off).  Diagnosis happens
+    post hoc in the parent process — each failure is re-solved with a
+    fresh solver over the same assertions — so the diagnostic output is
+    identical whether the verdict came from a worker process, the
+    serial path, or a warm cache entry.
     """
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 diagnostics: Optional[bool] = None):
         self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
         if cache is None:
             cache = ProofCache.from_env()
@@ -142,6 +158,8 @@ class Scheduler:
             cache = ProofCache(cache)
         self.cache: Optional[ProofCache] = cache
         self.timeout = timeout if timeout is not None else _default_timeout()
+        self.diagnostics = (diagnostics if diagnostics is not None
+                            else default_diagnostics())
         self.stats = Stats()
 
     # ------------------------------------------------------------- public
@@ -166,6 +184,8 @@ class Scheduler:
                     result.functions.append(plan.result)
                     tasks.extend(self._plan_tasks(gen, plan))
             self._run_tasks(gen, tasks)
+            if self.diagnostics:
+                self._diagnose_failures(gen, tasks)
         finally:
             gen.proof_cache = None
         if self.cache is not None:
@@ -200,6 +220,9 @@ class Scheduler:
                 # Idiom engines (§3.3) decided eagerly during planning.
                 ob.status = PROVED if item.direct_result else FAILED
                 ob.seconds = 0.0
+                if not ob.ok and self.diagnostics:
+                    from ..diag import diagnose_obligation
+                    ob.diag = diagnose_obligation(ob, None, [], [])
                 continue
             task = _Task(item, plan)
             if need_assertions:
@@ -224,11 +247,23 @@ class Scheduler:
                     task.assertions, solver_config_key(task.config), strategy)
                 entry = self.cache.lookup(task.digest)
                 if entry is not None:
-                    stats = dict(entry.get("stats") or {})
-                    self._apply(task, entry["status"], stats,
-                                entry.get("query_bytes", 0), 0.0,
-                                from_cache=True)
-                    continue
+                    if (self.diagnostics and entry["status"] != PROVED
+                            and entry.get("diag") is None):
+                        # A pre-diagnostics entry for a failure: the
+                        # verdict alone is not what the user asked for,
+                        # so re-solve (and re-store with the payload).
+                        self.cache.hits -= 1
+                        self.cache.misses += 1
+                    else:
+                        stats = dict(entry.get("stats") or {})
+                        if self.diagnostics and entry.get("diag"):
+                            from ..diag import Diagnostic
+                            task.item.obligation.diag = \
+                                Diagnostic.from_dict(entry["diag"])
+                        self._apply(task, entry["status"], stats,
+                                    entry.get("query_bytes", 0), 0.0,
+                                    from_cache=True)
+                        continue
             unsolved.append(task)
         if len(unsolved) > 1 and self.jobs > 1 and self._offloadable(gen):
             unsolved = self._run_parallel(unsolved)
@@ -281,6 +316,50 @@ class Scheduler:
                          if not t.done and t not in leftovers)
         return leftovers
 
+    # --------------------------------------------------------- diagnosis
+
+    def _diagnose_failures(self, gen, tasks: list[_Task]) -> None:
+        """Attach a full Diagnostic to every failed obligation.
+
+        Runs in the parent process after all verdicts are in, re-solving
+        each failure from its planned VC — so serial, parallel, and
+        cache-warm runs produce identical diagnostics.  Killed parallel
+        jobs (wall-clock timeouts) are not re-solved: the in-process
+        re-solve has no kill switch.
+        """
+        from ..diag import diagnose_obligation
+        ctx_cache: dict[int, list] = {}
+        cfg = None
+        for task in tasks:
+            ob = task.item.obligation
+            if ob.ok or ob.diag is not None:
+                continue
+            if ob.stats.get("job_timeouts"):
+                from ..diag import Diagnostic, VerusErrorType
+                ob.diag = Diagnostic.for_obligation(ob)
+                ob.diag.error_type = VerusErrorType.RLIMIT_EXCEEDED.value
+                ob.diag.notes.append("worker killed by job timeout; "
+                                     "not re-solved for diagnosis")
+                continue
+            plan = task.plan
+            ctx = ctx_cache.get(id(plan))
+            if ctx is None:
+                ctx = list(gen.context_axioms(plan.encoder,
+                                              plan.spec_axioms))
+                ctx_cache[id(plan)] = ctx
+            if cfg is None:
+                cfg = gen.config.make_solver_config()
+            ob.diag = diagnose_obligation(
+                ob, task.item.goal, list(task.item.assumptions), ctx, cfg)
+            if self.cache is not None and task.digest is not None:
+                # Upgrade the cache entry so warm runs replay the full
+                # report without re-solving.
+                self.cache.store(task.digest, ob.status,
+                                 {k: v for k, v in ob.stats.items()
+                                  if k != "cache_hit"},
+                                 task.qbytes, label=ob.label,
+                                 diag=ob.diag.to_dict())
+
     # -------------------------------------------------------- bookkeeping
 
     def _apply(self, task: _Task, status: str, stats: dict, qbytes: int,
@@ -297,6 +376,7 @@ class Scheduler:
         self.stats.obligations += 1
         self.stats.obligation_seconds += seconds
         task.done = True
+        task.qbytes = qbytes
 
     def _store(self, task: _Task, status: str, stats: dict,
                qbytes: int) -> None:

@@ -320,6 +320,10 @@ class _FnCtx:
         self._spec_decls: dict[str, T.FuncDecl] = {}
         self._compute_env: Optional[ComputeEnv] = None
         self._local_types: dict[str, VT.VType] = {}
+        # Source provenance of the statement being executed; obligations
+        # emitted while it is current inherit it (ensures obligations
+        # fall back to the function's own span).
+        self._cur_span = fn.span
 
     # -------------------------------------------------------------- setup
 
@@ -369,11 +373,15 @@ class _FnCtx:
     def _oblige(self, state: _State, goal: T.Term, label: str,
                 kind: str) -> None:
         ob = Obligation(f"{self.fn.name}: {label}", kind)
+        ob.seq = len(self.pending)
+        ob.span = self._cur_span
         self.pending.append(
             _PendingObligation(ob, goal, list(state.assumptions)))
 
     def _oblige_direct(self, result: bool, label: str, kind: str) -> None:
         ob = Obligation(f"{self.fn.name}: {label}", kind)
+        ob.seq = len(self.pending)
+        ob.span = self._cur_span
         self.pending.append(_PendingObligation(ob, None, [], result))
 
     # --------------------------------------------------------- statements
@@ -385,6 +393,8 @@ class _FnCtx:
             self.exec_stmt(stmt, state)
 
     def exec_stmt(self, stmt: A.Stmt, state: _State) -> None:
+        if stmt.span is not None:
+            self._cur_span = stmt.span
         if isinstance(stmt, (A.SLet, A.SAssign)):
             value = self.tr_checked(stmt.expr, state)
             self.assign_var(state, stmt.name, value, stmt.expr.vtype)
@@ -653,9 +663,14 @@ class _FnCtx:
         env = dict(state.env)
         if self.fn.ret is not None and ret_term is not None:
             env[self.fn.ret[0]] = ret_term
+        # Ensures clauses belong to the signature, not the return site.
+        saved_span = self._cur_span
         for idx, ens in enumerate(self.fn.ensures):
+            self._cur_span = ens.span if ens.span is not None \
+                else self.fn.span
             goal = self.tr(ens, env, spec_mode=True)
             self._oblige(state, goal, f"ensures #{idx}", "ensures")
+        self._cur_span = saved_span
 
     # ------------------------------------------------------- expressions
 
