@@ -10,6 +10,7 @@ Set ``REPRO_FULL=1`` to run the paper-scale parameter sweeps; the default
 sizes keep the whole directory comfortably runnable.
 """
 
+import json
 import os
 import sys
 
@@ -22,14 +23,52 @@ FULL = os.environ.get("REPRO_FULL") == "1"
 _CAPMAN = []
 _SIDE_FILE = os.path.join(os.path.dirname(__file__), "..",
                           "bench_figures.txt")
+_INCR_FILE = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_incremental.json")
+_INCR_ROWS: list = []
 
 
 def pytest_configure(config):
     _CAPMAN.append(config.pluginmanager.getplugin("capturemanager"))
-    try:
-        os.remove(_SIDE_FILE)
-    except OSError:
-        pass
+    for stale in (_SIDE_FILE, _INCR_FILE):
+        try:
+            os.remove(stale)
+        except OSError:
+            pass
+
+
+def record_incremental(label: str, fresh_secs: float,
+                       warm_secs: float) -> None:
+    """Record one fresh-vs-warm wall-clock pair for BENCH_incremental.json.
+
+    Benchmarks that compare a fresh-solver run against a warm-context
+    (``incremental=True``) run call this; the accumulated comparison is
+    written once at session end.
+    """
+    _INCR_ROWS.append({
+        "benchmark": label,
+        "fresh_seconds": round(fresh_secs, 4),
+        "warm_seconds": round(warm_secs, 4),
+        "speedup": round(fresh_secs / warm_secs, 3) if warm_secs else None,
+    })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _INCR_ROWS:
+        return
+    fresh = sum(r["fresh_seconds"] for r in _INCR_ROWS)
+    warm = sum(r["warm_seconds"] for r in _INCR_ROWS)
+    payload = {
+        "description": "fresh-solver vs warm-context (incremental=True) "
+                       "verification wall-clock",
+        "rows": _INCR_ROWS,
+        "total_fresh_seconds": round(fresh, 4),
+        "total_warm_seconds": round(warm, 4),
+        "total_speedup": round(fresh / warm, 3) if warm else None,
+    }
+    with open(_INCR_FILE, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
 
 
 def _emit(line: str) -> None:

@@ -100,3 +100,40 @@ def test_fig10_throughput(results, benchmark):
             assert verus > iron / 3.0, (op, size, verus, iron)
     benchmark.pedantic(lambda: _run_workload(VerusHost, "Get", 128),
                        rounds=1, iterations=1)
+
+
+def test_fig10_incremental_verification():
+    """Fresh vs warm incremental verification of the IronKV verified core.
+
+    The throughput rows above exercise the executable port; this
+    companion re-verifies its proof side (the delegation map and the
+    marshaller roundtrip) under warm per-function solver contexts and
+    records the wall-clock comparison into BENCH_incremental.json.
+    """
+    from conftest import record_incremental
+    from repro.api import Session, VerifyConfig
+    from repro.systems.ironkv.delegation_map import build_default_module
+    from repro.systems.ironkv.marshal_verified import \
+        build_u64_roundtrip_module
+
+    banner("Figure 10 companion: IronKV verification, fresh vs warm")
+    rows = []
+    total_fresh = total_warm = 0.0
+    for label, builder in [("delegation_map", build_default_module),
+                           ("marshal", build_u64_roundtrip_module)]:
+        t0 = time.perf_counter()
+        fresh = Session(VerifyConfig()).verify_module(builder())
+        f_secs = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = Session(VerifyConfig(incremental=True)).verify_module(
+            builder())
+        w_secs = time.perf_counter() - t0
+        assert fresh.ok and warm.ok
+        assert fresh.query_bytes == warm.query_bytes
+        record_incremental(f"fig10_{label}", f_secs, w_secs)
+        rows.append([label, f"{f_secs:.2f}", f"{w_secs:.2f}",
+                     f"{f_secs / w_secs:.2f}x"])
+        total_fresh += f_secs
+        total_warm += w_secs
+    table(["ironkv module", "fresh (s)", "warm (s)", "speedup"], rows)
+    assert total_warm <= total_fresh * 1.1  # no regression from warming

@@ -5,9 +5,12 @@ other frameworks and the doubly linked list 24–61× faster; Prusti cannot
 express the doubly linked list (cyclic pointers).
 """
 
+import time
+
 import pytest
 
-from conftest import banner, table
+from conftest import banner, record_incremental, table
+from repro.api import Session, VerifyConfig
 from repro.baselines.pipelines import PIPELINES, time_pipeline
 from repro.millibench.lists import (build_doubly_linked_module,
                                     build_singly_linked_module)
@@ -77,3 +80,36 @@ def test_fig7a_verus_not_slowest(measurements):
                      if k != "verus" and v[0] is not None]
     assert single["verus"][0] <= max(others_single)
     assert double["verus"][0] <= max(others_double)
+
+
+def _time_session(builder, **knobs):
+    t0 = time.perf_counter()
+    result = Session(VerifyConfig(**knobs)).verify_module(builder())
+    return result, time.perf_counter() - t0
+
+
+def test_fig7a_incremental_warm_contexts():
+    """Warm per-function solver contexts vs fresh solvers (same verdicts).
+
+    The §3.1 amortization claim: sharing the module prelude across a
+    function's obligations under push/pop scopes cuts wall-clock without
+    changing a single verdict or query byte.  Recorded into
+    BENCH_incremental.json by conftest.
+    """
+    banner("Figure 7a companion: fresh vs warm incremental contexts")
+    rows = []
+    total_fresh = total_warm = 0.0
+    for label, builder in [("single", build_singly_linked_module),
+                           ("double", build_doubly_linked_module)]:
+        fresh, f_secs = _time_session(builder)
+        warm, w_secs = _time_session(builder, incremental=True)
+        assert fresh.ok and warm.ok
+        assert fresh.query_bytes == warm.query_bytes
+        record_incremental(f"fig7a_{label}", f_secs, w_secs)
+        rows.append([label, f"{f_secs:.2f}", f"{w_secs:.2f}",
+                     f"{f_secs / w_secs:.2f}x"])
+        total_fresh += f_secs
+        total_warm += w_secs
+    table(["lists", "fresh (s)", "warm (s)", "speedup"], rows)
+    # The amortization must be a measurable aggregate win.
+    assert total_warm < total_fresh

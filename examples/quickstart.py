@@ -14,7 +14,13 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import Session  # noqa: E402
 from repro.lang import *  # noqa: E402
+
+# One Session drives every demo below: the repro.api front door bundles
+# parallelism, caching, diagnostics, and incremental solving in one
+# config object (env overrides still apply via VerifyConfig.from_env()).
+session = Session()
 
 
 def verified_pop() -> None:
@@ -36,7 +42,7 @@ def verified_pop() -> None:
                 ret(struct(Out, value=var("v", INT), rest=s.skip(1))),
             ])
 
-    result = verify_module(mod)
+    result = session.verify_module(mod)
     print(result.report())
     assert result.ok
 
@@ -48,7 +54,7 @@ def broken_pop_reports_errors() -> None:
     s = var("s", SeqI)
     exec_fn(mod, "pop_no_precondition", [("s", SeqI)], ret=("v", INT),
             body=[ret(s.index(0))])  # index may be out of bounds!
-    result = verify_module(mod)
+    result = session.verify_module(mod)
     print(result.report())
     assert not result.ok
     fn_name, obligation = result.first_failure()
@@ -62,7 +68,7 @@ def bit_vector_assertion() -> None:
     x = var("x", U64)
     exec_fn(mod, "mask_is_mod", [("x", U64)],
             body=[assert_((x & lit(511)).eq(x % 512), by=BY_BIT_VECTOR)])
-    result = verify_module(mod)
+    result = session.verify_module(mod)
     print(result.report())
     assert result.ok
 
@@ -81,7 +87,7 @@ def loop_with_invariant() -> None:
                        decreases=n - i),
                 ret(i),
             ])
-    result = verify_module(mod)
+    result = session.verify_module(mod)
     print(result.report())
     assert result.ok
 

@@ -13,8 +13,10 @@ of the engine:
 * the QI profiler shows which quantifier (dm_wf sortedness vs. the
   loop invariant) drove instantiation.
 
-The script also re-verifies with ``jobs=4`` and asserts the diagnostic
-output is identical to the serial run — the determinism guarantee.
+The script also re-verifies with ``jobs=4`` and with warm incremental
+contexts and asserts the diagnostic output is identical to the serial
+run — the determinism guarantee.  Verification goes through the
+:mod:`repro.api` ``Session`` front door.
 
 Run:  PYTHONPATH=src python scripts/diagnose_example.py
 """
@@ -22,8 +24,9 @@ Run:  PYTHONPATH=src python scripts/diagnose_example.py
 import json
 import sys
 
+from repro.api import Session, VerifyConfig
 from repro.lang import (BOOL, INT, U64, Module, SeqType, StructType, and_all,
-                        assign, call, diagnose, exec_fn, forall, let_, lit,
+                        assign, call, exec_fn, forall, let_, lit,
                         ret, spec_fn, struct, var, while_)
 from repro.diag import module_profile
 from repro.diag.profile import profile_table
@@ -91,7 +94,7 @@ def diag_signature(result):
 
 
 def main() -> int:
-    serial = diagnose(build_broken_module(), jobs=1, cache=False)
+    serial = Session(VerifyConfig(jobs=1)).diagnose(build_broken_module())
     print(serial.report())
     print()
 
@@ -100,11 +103,18 @@ def main() -> int:
     print(profile_table(rows))
     print()
 
-    parallel = diagnose(build_broken_module(), jobs=4, cache=False)
+    parallel = Session(VerifyConfig(jobs=4)).diagnose(build_broken_module())
     if diag_signature(serial) != diag_signature(parallel):
         print("FATAL: serial and jobs=4 diagnostics differ", file=sys.stderr)
         return 1
-    print("determinism: serial and jobs=4 diagnostics are identical")
+    warm = Session(VerifyConfig(incremental=True)).diagnose(
+        build_broken_module())
+    if diag_signature(serial) != diag_signature(warm):
+        print("FATAL: serial and incremental diagnostics differ",
+              file=sys.stderr)
+        return 1
+    print("determinism: serial, jobs=4, and incremental diagnostics "
+          "are identical")
 
     if serial.ok:
         print("FATAL: the broken module verified?!", file=sys.stderr)
@@ -130,10 +140,14 @@ def main() -> int:
     if not all(checks.values()):
         return 1
 
-    # Machine-readable rendering round-trips through json.
-    json.dumps(serial.to_json())
+    # Machine-readable rendering round-trips through json and carries
+    # the documented schema version.
+    payload = serial.to_json()
+    if payload.get("schema_version") != 1:
+        print("FATAL: unexpected report schema_version", file=sys.stderr)
+        return 1
     print("\nJSON rendering ok "
-          f"({len(json.dumps(serial.to_json()))} bytes)")
+          f"({len(json.dumps(payload))} bytes, schema_version 1)")
     return 0
 
 

@@ -13,6 +13,10 @@ Layers (bottom-up):
   the millibenchmark comparisons (§4.1),
 * :mod:`repro.systems` — the five case studies (§4.2),
 * :mod:`repro.runtime` — executable substrates (network/pmem/scheduler).
+
+:mod:`repro.api` is the programmatic front door: ``Session`` +
+``VerifyConfig`` bundle parallelism, caching, diagnostics, and the
+incremental/delta solving strategies behind one surface.
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,187 @@
+"""The unified programmatic front door: ``Session`` + ``VerifyConfig``.
+
+Everything tunable about a verification run — parallelism, proof cache,
+diagnostics, per-obligation timeouts, and the incremental/delta solving
+strategies — lives in one frozen :class:`VerifyConfig`.  The historical
+``REPRO_*`` environment knobs are parsed in exactly one place,
+:meth:`VerifyConfig.from_env`; every other module (the scheduler, the
+proof cache, the lang helpers) asks this module instead of touching
+``os.environ`` itself.
+
+Typical usage::
+
+    from repro.api import Session
+
+    session = Session(jobs=4, cache_dir=".pv_cache", incremental=True)
+    result = session.verify_module(mod)     # detailed ModuleResult
+    session.verify(mod)                     # raises VerificationFailure
+    report = session.diagnose(mod)          # diagnostics forced on
+
+A ``Session`` owns one :class:`~repro.vc.cache.ProofCache` instance and
+one aggregate :class:`~repro.smt.solver.Stats`, so verifying several
+modules through the same session shares cache-hit bookkeeping the way a
+single CLI invocation of Verus would.
+
+Environment knobs (all optional, read only by :meth:`from_env`):
+
+* ``REPRO_JOBS`` — worker count (``1`` = serial, the default).
+* ``REPRO_CACHE_DIR`` — enable the content-addressed proof cache here.
+* ``REPRO_DIAG`` — truthy to diagnose every failed obligation.
+* ``REPRO_JOB_TIMEOUT`` — per-obligation soft deadline in seconds
+  (parallel *and* serial runs honor it).
+* ``REPRO_INCREMENTAL`` — truthy to discharge each function's
+  obligations in one warm solver under push/pop scopes.
+* ``REPRO_DELTA`` — truthy to skip re-planning functions whose
+  transitive spec dependencies are unchanged (requires the cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+JOBS_ENV = "REPRO_JOBS"
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+DIAG_ENV = "REPRO_DIAG"
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+INCREMENTAL_ENV = "REPRO_INCREMENTAL"
+DELTA_ENV = "REPRO_DELTA"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def _env_truthy(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in _FALSY
+
+
+@dataclass(frozen=True)
+class VerifyConfig:
+    """Frozen bundle of run-level verification knobs.
+
+    ``jobs``            worker processes; obligations fan out when > 1.
+    ``cache_dir``       proof-cache directory, or None to disable.
+    ``diagnostics``     attach a full Diagnostic to every failure.
+    ``job_timeout``     per-obligation soft deadline in seconds.
+    ``incremental``     warm per-function solver contexts (push/pop).
+    ``delta``           skip functions with unchanged dependency
+                        fingerprints (needs ``cache_dir``).
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    diagnostics: bool = False
+    job_timeout: Optional[float] = None
+    incremental: bool = False
+    delta: bool = False
+
+    @classmethod
+    def from_env(cls, **overrides) -> "VerifyConfig":
+        """Build a config from the ``REPRO_*`` environment.
+
+        This classmethod is the *only* reader of those variables.
+        Keyword overrides with non-``None`` values replace the
+        corresponding env-derived field.
+        """
+        raw_jobs = os.environ.get(JOBS_ENV)
+        try:
+            jobs = max(1, int(raw_jobs)) if raw_jobs else 1
+        except ValueError:
+            jobs = 1
+        raw_timeout = os.environ.get(JOB_TIMEOUT_ENV)
+        try:
+            job_timeout = float(raw_timeout) if raw_timeout else None
+        except ValueError:
+            job_timeout = None
+        cfg = cls(jobs=jobs,
+                  cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
+                  diagnostics=_env_truthy(DIAG_ENV),
+                  job_timeout=job_timeout,
+                  incremental=_env_truthy(INCREMENTAL_ENV),
+                  delta=_env_truthy(DELTA_ENV))
+        return cfg.replace(**overrides) if overrides else cfg
+
+    def replace(self, **overrides) -> "VerifyConfig":
+        """A copy with the given non-``None`` fields replaced."""
+        live = {k: v for k, v in overrides.items() if v is not None}
+        unknown = set(live) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise TypeError(f"unknown VerifyConfig fields: {sorted(unknown)}")
+        return dataclasses.replace(self, **live) if live else self
+
+
+class Session:
+    """One verification session: a config plus shared cache/stats state.
+
+    ``Session(config)`` takes an explicit :class:`VerifyConfig`;
+    ``Session(jobs=4, incremental=True)`` layers keyword overrides over
+    :meth:`VerifyConfig.from_env`.  The proof cache (when configured) is
+    opened once and shared by every scheduler the session builds, so
+    cross-module cache statistics accumulate like a single tool run.
+    """
+
+    def __init__(self, config: Optional[VerifyConfig] = None, cache=None,
+                 **overrides):
+        if config is None:
+            config = VerifyConfig.from_env(**overrides)
+        elif overrides:
+            config = config.replace(**overrides)
+        self.config = config
+        self._cache = None
+        self._cache_opened = False
+        if cache is not None:
+            # An already-open ProofCache injected directly (tests, and
+            # the legacy lang shims, pass one around).
+            self._cache = cache
+            self._cache_opened = True
+
+    # ------------------------------------------------------------ plumbing
+
+    @property
+    def cache(self):
+        """The session's :class:`~repro.vc.cache.ProofCache` (or None)."""
+        if not self._cache_opened:
+            self._cache_opened = True
+            if self.config.cache_dir:
+                from .vc.cache import ProofCache
+                self._cache = ProofCache(self.config.cache_dir)
+        return self._cache
+
+    def scheduler(self):
+        """A fresh :class:`~repro.vc.scheduler.Scheduler` wired to this
+        session's config and shared cache."""
+        from .vc.scheduler import Scheduler
+        cfg = self.config
+        cache = self.cache
+        return Scheduler(jobs=cfg.jobs,
+                         cache=cache if cache is not None else False,
+                         timeout=cfg.job_timeout,
+                         diagnostics=cfg.diagnostics,
+                         incremental=cfg.incremental,
+                         delta=cfg.delta)
+
+    # ------------------------------------------------------------- verbs
+
+    def verify_module(self, mod, vc_config=None):
+        """Verify a module, returning the detailed ``ModuleResult``."""
+        from .vc.wp import VcGen
+        return VcGen(mod, vc_config).verify_module(self.scheduler())
+
+    def verify(self, mod, vc_config=None):
+        """Verify a module; raise ``VerificationFailure`` on failure."""
+        from .vc.errors import VerificationFailure
+        result = self.verify_module(mod, vc_config)
+        if not result.ok:
+            raise VerificationFailure(result)
+        return result
+
+    def diagnose(self, mod, vc_config=None):
+        """Verify with diagnostics forced on; never raises."""
+        from .vc.wp import VcGen
+        scheduler = self.scheduler()
+        scheduler.diagnostics = True
+        return VcGen(mod, vc_config).verify_module(scheduler)
+
+    def __repr__(self) -> str:
+        return f"<Session {self.config}>"

@@ -51,9 +51,17 @@ def obligation_to_json(o) -> dict:
     }
 
 
+# Version of the machine-readable report below.  Bump on any breaking
+# change to the key layout; consumers should reject versions they do not
+# know.  The schema is documented in README.md ("Machine-readable
+# reports").
+SCHEMA_VERSION = 1
+
+
 def module_to_json(result) -> dict:
     """Machine-readable rendering of a ModuleResult."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "module": result.name,
         "ok": result.ok,
         "seconds": round(result.seconds, 6),

@@ -274,10 +274,38 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
 # Verification entry points
 # ---------------------------------------------------------------------------
 
+def _legacy_session(jobs, cache, diagnostics,
+                    incremental=None, delta=None):
+    """Build a :class:`repro.api.Session` from the historical kwargs.
+
+    The old ``cache`` argument conflated three shapes (directory path,
+    live ProofCache, ``False`` to disable); the Session API splits them
+    into ``cache_dir`` config vs. direct cache injection.
+    """
+    import dataclasses
+    from ..api import Session, VerifyConfig
+    cfg = VerifyConfig.from_env(jobs=jobs, diagnostics=diagnostics,
+                                incremental=incremental, delta=delta)
+    cache_obj = None
+    if cache is False:
+        cfg = dataclasses.replace(cfg, cache_dir=None)
+    elif isinstance(cache, str):
+        cfg = dataclasses.replace(cfg, cache_dir=cache)
+    elif cache is not None:
+        cache_obj = cache
+    return Session(cfg, cache=cache_obj)
+
+
 def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
                   jobs: Optional[int] = None, cache=None,
                   diagnostics: Optional[bool] = None) -> ModuleResult:
     """Verify a module, returning the detailed result.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.verify_module`, kept for
+        existing callers; new code should build a
+        :class:`repro.api.Session` (which also exposes the
+        ``incremental``/``delta``/``job_timeout`` knobs).
 
     ``jobs``: obligation-level parallelism — ``N > 1`` fans obligations
     out across a process pool (default ``$REPRO_JOBS`` or 1 = serial).
@@ -288,9 +316,8 @@ def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
     Diagnostic` (counterexample witness, split conjuncts, QI profile) to
     every failed obligation (default ``$REPRO_DIAG`` or off).
     """
-    from ..vc.scheduler import Scheduler
-    scheduler = Scheduler(jobs=jobs, cache=cache, diagnostics=diagnostics)
-    return VcGen(mod, config).verify_module(scheduler)
+    return _legacy_session(jobs, cache, diagnostics).verify_module(
+        mod, config)
 
 
 def verify(mod: A.Module, config: Optional[VcConfig] = None,
@@ -298,14 +325,12 @@ def verify(mod: A.Module, config: Optional[VcConfig] = None,
            diagnostics: Optional[bool] = None) -> ModuleResult:
     """Verify a module; raise VerificationFailure if anything fails.
 
-    Accepts the same ``jobs``/``cache``/``diagnostics`` knobs as
-    :func:`verify_module`.
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.verify`; accepts the
+        same ``jobs``/``cache``/``diagnostics`` knobs as
+        :func:`verify_module`.
     """
-    result = verify_module(mod, config, jobs=jobs, cache=cache,
-                           diagnostics=diagnostics)
-    if not result.ok:
-        raise VerificationFailure(result)
-    return result
+    return _legacy_session(jobs, cache, diagnostics).verify(mod, config)
 
 
 def diagnose(mod: A.Module, config: Optional[VcConfig] = None,
@@ -314,9 +339,11 @@ def diagnose(mod: A.Module, config: Optional[VcConfig] = None,
     taxonomy class, source span, counterexample witness, failing
     conjuncts, and quantifier-instantiation profile.  Never raises —
     inspect ``result.ok`` / ``result.report()`` / ``result.to_json()``.
+
+    .. deprecated::
+        Thin shim over :meth:`repro.api.Session.diagnose`.
     """
-    return verify_module(mod, config, jobs=jobs, cache=cache,
-                         diagnostics=True)
+    return _legacy_session(jobs, cache, True).diagnose(mod, config)
 
 
 def count_idioms(mod: A.Module) -> dict[str, int]:

@@ -50,6 +50,74 @@ class EufSolver:
         self._diseqs: list[tuple[T.Term, T.Term, Hashable]] = []
         self._pending: list[tuple] = []
         self.num_merges = 0
+        # Undo log: one op list per open push(); ops are replayed in reverse
+        # by pop().  Empty when the solver is used non-incrementally, in
+        # which case no logging overhead is paid.
+        self._frames: list[list[tuple]] = []
+
+    # -- incremental scopes ---------------------------------------------------
+
+    def push(self) -> None:
+        """Open a scope; every structural change after this is undoable.
+
+        Queued congruences are flushed first so the checkpoint is a closed
+        state (may raise :class:`EufConflict`).
+        """
+        self.flush()
+        self._frames.append([])
+
+    def pop(self, n: int = 1) -> None:
+        """Undo every change made in the ``n`` innermost scopes."""
+        for _ in range(n):
+            ops = self._frames.pop()
+            for op in reversed(ops):
+                self._undo(op)
+        # Anything still queued was discovered under the popped frames.
+        self._pending.clear()
+
+    def commit(self) -> None:
+        """Close the innermost scope, keeping its changes.
+
+        The ops are folded into the parent frame (or dropped if this was the
+        outermost frame), so an enclosing pop() still undoes them.
+        """
+        ops = self._frames.pop()
+        if self._frames:
+            self._frames[-1].extend(ops)
+
+    def _undo(self, op: tuple) -> None:
+        tag = op[0]
+        if tag == "merge":
+            _, ra, rb, old_members, moved_use, rank_bumped, sigs, proof = op
+            for node, old in reversed(proof):
+                if old is None:
+                    del self._proof_edge[node]
+                else:
+                    self._proof_edge[node] = old
+            for sig in reversed(sigs):
+                del self._sigs[sig]
+            if moved_use:
+                del self._use[rb][-len(moved_use):]
+            self._use[ra] = moved_use
+            if rank_bumped:
+                self._rank[rb] -= 1
+            del self._members[rb][-len(old_members):]
+            self._members[ra] = old_members
+            for m in old_members:
+                self._repr[m] = ra
+            self.num_merges -= 1
+        elif tag == "term":
+            t = op[1]
+            del self._repr[t]
+            del self._rank[t]
+            del self._members[t]
+            del self._use[t]
+        elif tag == "use":
+            op[1].pop()
+        elif tag == "sig":
+            del self._sigs[op[1]]
+        elif tag == "diseq":
+            self._diseqs.pop()
 
     # -- registration ---------------------------------------------------------
 
@@ -70,9 +138,15 @@ class EufSolver:
         self._rank[t] = 0
         self._members[t] = [t]
         self._use[t] = []
+        log = self._frames[-1] if self._frames else None
+        if log is not None:
+            log.append(("term", t))
         if t.args and not t.is_quant():
             for a in t.args:
-                self._use[self.find(a)].append(t)
+                use = self._use[self.find(a)]
+                use.append(t)
+                if log is not None:
+                    log.append(("use", use))
             self._insert_sig(t)
 
     def _signature(self, t: T.Term) -> tuple:
@@ -83,6 +157,8 @@ class EufSolver:
         other = self._sigs.get(sig)
         if other is None:
             self._sigs[sig] = t
+            if self._frames:
+                self._frames[-1].append(("sig", sig))
         elif self.find(other) is not self.find(t):
             self._pending.append((t, other, (_CONGRUENCE, t, other)))
 
@@ -123,6 +199,8 @@ class EufSolver:
         self.add_term(b)
         self._process_pending()  # registration may have queued congruences
         self._diseqs.append((a, b, reason))
+        if self._frames:
+            self._frames[-1].append(("diseq",))
         if self.find(a) is self.find(b):
             raise EufConflict(frozenset([reason]) | self.explain(a, b))
 
@@ -141,24 +219,35 @@ class EufSolver:
                 ra, rb = rb, ra
                 a, b = b, a
             # now ra is merged INTO rb
-            self._add_proof_edge(a, b, label)
+            logging = bool(self._frames)
+            proof_log: list[tuple] = []
+            self._add_proof_edge(a, b, label,
+                                 proof_log if logging else None)
             old_members = self._members.pop(ra)
             for m in old_members:
                 self._repr[m] = rb
             self._members[rb].extend(old_members)
-            if self._rank[ra] == self._rank[rb]:
+            rank_bumped = self._rank[ra] == self._rank[rb]
+            if rank_bumped:
                 self._rank[rb] += 1
             # Recompute signatures of parents of the absorbed class.
+            sig_log: list[tuple] = []
             moved_use = self._use.pop(ra)
             for parent in moved_use:
                 sig = self._signature(parent)
                 other = self._sigs.get(sig)
                 if other is None:
                     self._sigs[sig] = parent
+                    if logging:
+                        sig_log.append(sig)
                 elif self.find(other) is not self.find(parent):
                     self._pending.append(
                         (parent, other, (_CONGRUENCE, parent, other)))
             self._use[rb].extend(moved_use)
+            if logging:
+                self._frames[-1].append(
+                    ("merge", ra, rb, old_members, moved_use, rank_bumped,
+                     sig_log, proof_log))
 
     def _is_value(self, t: T.Term) -> bool:
         return t.is_const()
@@ -179,7 +268,8 @@ class EufSolver:
 
     # -- proof forest ---------------------------------------------------------------
 
-    def _add_proof_edge(self, a: T.Term, b: T.Term, label) -> None:
+    def _add_proof_edge(self, a: T.Term, b: T.Term, label,
+                        undo: Optional[list] = None) -> None:
         # Reroot a's proof tree so `a` becomes its root, then hang it off b.
         path = []
         node = a
@@ -188,7 +278,11 @@ class EufSolver:
             path.append((node, nxt, lbl))
             node = nxt
         for x, y, lbl in reversed(path):
+            if undo is not None:
+                undo.append((y, self._proof_edge.get(y)))
             self._proof_edge[y] = (x, lbl)
+        if undo is not None:
+            undo.append((a, self._proof_edge.get(a)))
         if a in self._proof_edge:
             del self._proof_edge[a]
         self._proof_edge[a] = (b, label)

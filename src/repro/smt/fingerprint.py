@@ -220,6 +220,28 @@ def obligation_digest(assertions: Sequence[T.Term], config_key: dict,
     return h.hexdigest()
 
 
+def function_fingerprint(chunks: Sequence[str], config_key: dict,
+                         strategy: str = "") -> str:
+    """Function-level dependency fingerprint for delta re-verification.
+
+    ``chunks`` are canonical renderings of everything a function's
+    verification outcome depends on (its own AST, datatype declarations,
+    reachable spec-function definitions, callee contracts — assembled by
+    :mod:`repro.vc.delta`).  The hash is namespaced with a leading
+    ``fn\\x00`` marker so a function fingerprint can never collide with
+    an :func:`obligation_digest` of the same text.
+    """
+    h = hashlib.sha256()
+    h.update(b"fn\x00")
+    for chunk in chunks:
+        h.update(chunk.encode())
+        h.update(b"\x00")
+    h.update(json.dumps(config_key, sort_keys=True, default=str).encode())
+    h.update(b"\x00")
+    h.update(strategy.encode())
+    return h.hexdigest()
+
+
 def idiom_digest(engine: str, terms: Sequence[T.Term]) -> str:
     """Content address of a §3.3 idiom-engine query.
 

@@ -109,6 +109,23 @@ class Simplex:
         self._slack_counter = 0
         self._order: dict[Hashable, int] = {}
         self.num_pivots = 0
+        self._snapshots: list[tuple[dict, dict]] = []
+
+    # -- snapshots ----------------------------------------------------------
+
+    def push(self) -> None:
+        """Snapshot the bound maps (the tableau itself only ever grows and
+        stays equivalent under pivoting, so bounds are the whole logical
+        state)."""
+        self._snapshots.append((dict(self._lower), dict(self._upper)))
+
+    def pop(self) -> None:
+        """Restore the bound maps from the matching push.
+
+        Variable values are left as repaired — they satisfy every row
+        identity, and the next check() re-repairs any bound violations.
+        """
+        self._lower, self._upper = self._snapshots.pop()
 
     # -- construction -------------------------------------------------------
 
@@ -322,6 +339,30 @@ class LiaSolver:
         # Most recent satisfying integer model (model export for
         # counterexample diagnostics); None until check() succeeds.
         self.last_model: Optional[dict] = None
+        # Incremental scopes: (num constraints, num int vars) marks.
+        self._frames: list[tuple[int, int]] = []
+
+    # -- incremental scopes -------------------------------------------------
+
+    def push(self) -> None:
+        """Open a scope; constraints asserted after this can be popped."""
+        self._frames.append((len(self._constraints), len(self._int_vars)))
+
+    def pop(self, n: int = 1) -> None:
+        """Drop every constraint asserted in the ``n`` innermost scopes."""
+        target = len(self._frames) - n
+        n_cons, n_vars = self._frames[target]
+        del self._frames[target:]
+        del self._constraints[n_cons:]
+        if n_vars < len(self._int_vars):
+            for v in list(self._int_vars)[n_vars:]:
+                del self._int_vars[v]
+        self._root_simplex = None
+        self.last_model = None
+
+    def commit(self) -> None:
+        """Close the innermost scope, keeping its constraints."""
+        self._frames.pop()
 
     def _note_vars(self, expr: LinExpr) -> None:
         for v in expr.coeffs:
@@ -331,20 +372,24 @@ class LiaSolver:
         """expr <= 0."""
         self._constraints.append(("le", expr, reason))
         self._note_vars(expr)
+        self._root_simplex = None
 
     def assert_ge0(self, expr: LinExpr, reason: Hashable) -> None:
         self._constraints.append(("ge", expr, reason))
         self._note_vars(expr)
+        self._root_simplex = None
 
     def assert_eq0(self, expr: LinExpr, reason: Hashable) -> None:
         self._constraints.append(("eq", expr, reason))
         self._note_vars(expr)
+        self._root_simplex = None
 
     def assert_lt0(self, expr: LinExpr, reason: Hashable) -> None:
         """expr < 0; over integers this is expr + 1 <= 0 after scaling."""
         scaled = _integerize(expr)
         self._constraints.append(("le", scaled + LinExpr.constant(1), reason))
         self._note_vars(expr)
+        self._root_simplex = None
 
     # -- solving ------------------------------------------------------------
 
@@ -402,7 +447,7 @@ class LiaSolver:
             except LiaUnknown:
                 return False
             self._root_simplex = simplex
-        snapshot = (dict(simplex._lower), dict(simplex._upper))
+        simplex.push()
         try:
             if kind == "lt":
                 expr = _integerize(expr) + LinExpr.constant(1)
@@ -421,7 +466,7 @@ class LiaSolver:
         except LiaUnknown:
             return False
         finally:
-            simplex._lower, simplex._upper = snapshot
+            simplex.pop()
 
     def _solve(self, constraints, budget, depth) -> dict:
         simplex = Simplex()

@@ -89,6 +89,32 @@ class Stats:
                 continue
             setattr(self, k, getattr(self, k, 0) + v)
 
+    @staticmethod
+    def diff(before: dict, after: dict) -> dict:
+        """Per-goal delta between two snapshots of one warm solver.
+
+        Counters on a pooled solver are cumulative across goals; the warm
+        scheduler snapshots around each check and reports the difference so
+        per-obligation numbers stay comparable to fresh-solver runs.
+        """
+        out: dict = {}
+        for k, v in after.items():
+            if k == "inst_profile":
+                delta: dict = {}
+                prior = before.get(k) or {}
+                for q, per in v.items():
+                    pq = prior.get(q) or {}
+                    for trig, n in per.items():
+                        d = n - pq.get(trig, 0)
+                        if d:
+                            delta.setdefault(q, {})[trig] = d
+                out[k] = delta
+                continue
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                continue
+            out[k] = v - before.get(k, 0)
+        return out
+
 
 class SolverConfig:
     """Tunables; defaults model Verus's settings."""
@@ -113,7 +139,8 @@ class SolverConfig:
 class SmtSolver:
     """An SMT solver for quantified formulas over EUF + LIA."""
 
-    def __init__(self, config: Optional[SolverConfig] = None):
+    def __init__(self, config: Optional[SolverConfig] = None,
+                 incremental: bool = False):
         self.config = config or SolverConfig()
         self.stats = Stats()
         self._assertions: list[T.Term] = []
@@ -123,7 +150,7 @@ class SmtSolver:
         self._quant_proxy: dict[T.Term, int] = {}   # FORALL term -> sat var
         self._proxy_quant: dict[int, T.Term] = {}
         self._instances_seen: set = set()
-        self._lemmas_seen: set = set()
+        self._lemmas_seen: dict = {}   # lemma key -> assertion scope
         self._divmod_done: set = set()
         self._ite_cache: dict[T.Term, T.Term] = {}
         self._last_model: Optional[_TheoryModel] = None
@@ -132,6 +159,14 @@ class SmtSolver:
         self._probed_none: dict[T.Term, tuple] = {}
         self._max_ground_size = 8
         self._guard_limit = 200
+        # Incremental mode: push()/pop() assertion scopes with a persistent
+        # root theory whose E-graph merges and simplex constraints survive
+        # across checks.  Off by default — the fresh-solver code path is
+        # byte-for-byte the non-incremental one.
+        self.incremental = incremental
+        self._frames: list[dict] = []
+        self._root: Optional[_TheoryModel] = None
+        self.last_deadline_exceeded = False
 
     # ------------------------------------------------------------------ API
 
@@ -142,15 +177,91 @@ class SmtSolver:
         root = self._preprocess(assertion)
         self._sat.add_clause([root])
 
-    def check(self) -> str:
-        """Check satisfiability of the asserted formulas."""
+    def push(self) -> None:
+        """Open an assertion scope (incremental mode).
+
+        The persistent root theory is *settled* first — every currently
+        root-forced literal is fed into the shared E-graph/simplex — so all
+        base reasoning sits below the checkpoint and is reused by every goal
+        checked inside the scope.
+        """
+        self.incremental = True
+        if self._root is None:
+            self._root = _TheoryModel(self, None, set(), persistent=True)
+        for _ in range(self.config.max_rounds):
+            forced = self._sat.root_forced()
+            if forced is None:
+                break
+            res = self._root.update(forced)
+            if res != "restart":
+                break
+        self._sat.push()
+        self._root.euf.push()
+        self._root.lia.push()
+        self._frames.append({
+            "n_assertions": len(self._assertions),
+            "instances": set(self._instances_seen),
+            "lemmas": dict(self._lemmas_seen),
+            "divmod": set(self._divmod_done),
+            "ground": set(self._ground_terms),
+            "probed": dict(self._probed_none),
+            "max_ground": self._max_ground_size,
+            "fed": set(self._root._fed_vars),
+            "xprop": set(self._root._xprop_done),
+        })
+
+    def pop(self) -> None:
+        """Close the innermost scope, dropping its assertions and state.
+
+        Learned clauses whose derivation only used base-scope material are
+        retained by the SAT core (see :meth:`SatSolver.pop`); the theory
+        undo logs restore the E-graph and constraint stack exactly.
+        """
+        frame = self._frames.pop()
+        self._sat.pop()
+        kept_vars = self._sat.num_vars
+        root = self._root
+        assert root is not None
+        root.euf.pop()
+        root.lia.pop()
+        root._fed_vars = frame["fed"]
+        root._xprop_done = frame["xprop"]
+        root._lia_model = None
+        del self._assertions[frame["n_assertions"]:]
+        self._instances_seen = frame["instances"]
+        # Lemmas hoisted to a surviving scope keep their SAT clause across
+        # the pop; keep their dedup keys too so they are not re-learned.
+        target = self._sat.scope
+        lemmas = frame["lemmas"]
+        for k, s in self._lemmas_seen.items():
+            if s <= target and k not in lemmas:
+                lemmas[k] = s
+        self._lemmas_seen = lemmas
+        self._divmod_done = frame["divmod"]
+        self._ground_terms = frame["ground"]
+        self._probed_none = frame["probed"]
+        self._max_ground_size = frame["max_ground"]
+        for v in [v for v in self._var_atom if v >= kept_vars]:
+            del self._atom_var[self._var_atom.pop(v)]
+        for v in [v for v in self._proxy_quant if v >= kept_vars]:
+            del self._quant_proxy[self._proxy_quant.pop(v)]
+        self._last_model = None
+
+    def check(self, timeout: Optional[float] = None) -> str:
+        """Check satisfiability of the asserted formulas.
+
+        ``timeout`` is a soft wall-clock deadline in seconds; when it passes,
+        the check returns UNKNOWN and :attr:`last_deadline_exceeded` is set.
+        """
         t0 = time.perf_counter()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        self.last_deadline_exceeded = False
         # Freeze the instantiation-depth guard against the terms the QUERY
         # mentions; instances created during solving must not raise it
         # (that would let matching loops feed themselves).
         self._guard_limit = 60 + 2 * self._max_ground_size
         try:
-            return self._check_loop()
+            return self._check_loop(deadline)
         finally:
             self.stats.solve_seconds += time.perf_counter() - t0
 
@@ -409,7 +520,7 @@ class SmtSolver:
 
     # ------------------------------------------------------------ main loop
 
-    def _check_loop(self) -> str:
+    def _check_loop(self, deadline: Optional[float] = None) -> str:
         config = self.config
         # Each round tries the cheap *forced-prefix* reasoning first:
         # verification refutations are usually decided by unit-forced
@@ -419,6 +530,9 @@ class SmtSolver:
         forced_saturated = False
         forced_streak = 0
         for _round in range(config.max_rounds * 2):
+            if deadline is not None and time.monotonic() >= deadline:
+                self.last_deadline_exceeded = True
+                return UNKNOWN
             self.stats.rounds += 1
             if not forced_saturated and forced_streak < 3:
                 progress = self._forced_round()
@@ -430,10 +544,13 @@ class SmtSolver:
                 forced_saturated = True
             forced_streak = 0
             # Boolean model search for disjunctive reasoning.
-            res = self._sat.solve(conflict_budget=config.sat_conflict_budget)
+            res = self._sat.solve(conflict_budget=config.sat_conflict_budget,
+                                  deadline=deadline)
             if res is False:
                 return UNSAT
             if res is None:
+                if deadline is not None and time.monotonic() >= deadline:
+                    self.last_deadline_exceeded = True
                 return UNKNOWN
             model = self._sat.model()
             relevant = self._sat.relevant_literals()
@@ -510,8 +627,17 @@ class SmtSolver:
         forced = self._sat.root_forced()
         if forced is None:
             return UNSAT
-        theory = _TheoryModel(self, None, forced)
-        conflict = theory.check()
+        if self.incremental:
+            # Persistent root theory: E-graph merges and LIA constraints
+            # from earlier rounds (and, under a warm scope, earlier goals)
+            # carry forward; only newly forced literals are fed.
+            if self._root is None:
+                self._root = _TheoryModel(self, None, set(), persistent=True)
+            theory = self._root
+            conflict = theory.update(forced)
+        else:
+            theory = _TheoryModel(self, None, forced)
+            conflict = theory.check()
         if conflict == "restart":
             return True
         if conflict is not None:
@@ -575,8 +701,12 @@ class SmtSolver:
         clause = tuple(sorted(set(neg(l) for l in conflict_lits)))
         if clause in self._lemmas_seen:
             return False
-        self._lemmas_seen.add(clause)
-        self._sat.add_clause(list(clause))
+        # Theory lemmas are T-valid (true in every model of the theory), so
+        # they may be hoisted to the shallowest scope where all their atoms
+        # exist — that is what lets them survive pop() in warm contexts.
+        scope = self._sat.scope_for(clause) if self._frames else 0
+        self._lemmas_seen[clause] = scope
+        self._sat.add_clause(list(clause), scope=scope)
         return True
 
     # ------------------------------------------------------ instantiation
@@ -834,13 +964,19 @@ class _TheoryModel:
     """Checks one full SAT model against EUF + LIA; holds the theory state."""
 
     def __init__(self, solver: SmtSolver, sat_model: list[bool],
-                 relevant: Optional[set] = None):
+                 relevant: Optional[set] = None, persistent: bool = False):
         self.solver = solver
         self.sat_model = sat_model
         self.relevant = relevant
         self.euf = EufSolver()
         self.lia = LiaSolver()
         self._lia_model: Optional[dict] = None
+        # Persistent mode (incremental solving): the model survives across
+        # rounds/goals; only literals not yet fed are asserted, and feeds
+        # are transactional (theory push/commit, pop on conflict).
+        self.persistent = persistent
+        self._fed_vars: set[int] = set()
+        self._xprop_done: set = set()
 
     def _atom_value(self, var: int) -> Optional[bool]:
         """Atom polarity to assert, or None when the model doesn't need it."""
@@ -852,13 +988,27 @@ class _TheoryModel:
             return False
         return None
 
+    def _pending_items(self) -> list[tuple]:
+        """(atom, var, value) triples the model asserts and we haven't fed."""
+        out = []
+        fed = self._fed_vars
+        for atom, var in list(self.solver._atom_var.items()):
+            value = self._atom_value(var)
+            if value is None:
+                continue
+            if self.persistent and var in fed:
+                continue
+            out.append((atom, var, value))
+        return out
+
     def check(self, allow_interface_split: bool = True):
         """Return None (consistent), "restart" (new atoms/lemmas added),
         or a conflict as a set of true SAT literals."""
         self._splits_added = False
+        items = self._pending_items()
         try:
-            self._feed_euf()
-            self._feed_lia()
+            self._feed_euf(items)
+            self._feed_lia(items)
         except EufConflict as cf:
             return self._flatten(cf.reasons)
         except LiaConflict as cf:
@@ -868,6 +1018,39 @@ class _TheoryModel:
         if self._splits_added:
             return "restart"
         if allow_interface_split and self._interface_split():
+            return "restart"
+        return None
+
+    def update(self, forced: set[int]):
+        """Incrementally re-check against a grown forced-literal set.
+
+        Persistent-mode counterpart of :meth:`check`: feeds only new
+        literals, inside a theory-level scope that is committed on success
+        and rolled back on conflict so the shared state is never corrupted.
+        """
+        self.relevant = forced
+        self._splits_added = False
+        items = self._pending_items()
+        xprop_before = set(self._xprop_done)
+        self.euf.push()
+        self.lia.push()
+        try:
+            self._feed_euf(items)
+            self._feed_lia(items)
+        except (EufConflict, LiaConflict) as cf:
+            self.euf.pop()
+            self.lia.pop()
+            self._xprop_done = xprop_before
+            self._lia_model = None
+            return self._flatten(cf.reasons)
+        except LiaUnknown:
+            pass  # optimistic; keep the feeds
+        self.euf.commit()
+        self.lia.commit()
+        self._fed_vars.update(var for _, var, _v in items)
+        if self._splits_added:
+            return "restart"
+        if self._interface_split():
             return "restart"
         return None
 
@@ -881,13 +1064,9 @@ class _TheoryModel:
             # other tags ("_branch" etc.) carry no boolean content
         return out
 
-    def _feed_euf(self) -> None:
-        solver = self.solver
+    def _feed_euf(self, items: list[tuple]) -> None:
         euf = self.euf
-        for atom, var in list(solver._atom_var.items()):
-            value = self._atom_value(var)
-            if value is None:
-                continue
+        for atom, var, value in items:
             lit_true = mk_lit(var, value)
             if atom.kind == T.EQ:
                 a, b = atom.args
@@ -908,12 +1087,8 @@ class _TheoryModel:
                 euf.flush()
         euf.flush()  # settle congruences queued by late registrations
 
-    def _feed_lia(self) -> None:
-        solver = self.solver
-        for atom, var in list(solver._atom_var.items()):
-            value = self._atom_value(var)
-            if value is None:
-                continue
+    def _feed_lia(self, items: list[tuple]) -> None:
+        for atom, var, value in items:
             lit_true = mk_lit(var, value)
             if atom.kind in (T.LE, T.LT):
                 a = self._linearize(atom.args[0])
@@ -936,12 +1111,18 @@ class _TheoryModel:
                 else:
                     self._request_diseq_split(atom)
         # Propagate EUF equalities between int-valued terms into LIA.
+        persistent = self.persistent
         for cls in list(self.euf.classes()):
             ints = [t for t in cls if t.sort is INT]
             if len(ints) > 1:
                 base = ints[0]
                 base_e = self._linearize(base)
                 for other in ints[1:]:
+                    if persistent:
+                        pair = frozenset((base, other))
+                        if pair in self._xprop_done:
+                            continue
+                        self._xprop_done.add(pair)
                     reason = self.euf.explain(base, other)
                     self.lia.assert_eq0(base_e - self._linearize(other),
                                         frozenset(reason))
@@ -954,7 +1135,9 @@ class _TheoryModel:
         lemma = T.Or(eq_atom, T.Lt(a, b), T.Lt(b, a))
         key = ("diseq", eq_atom)
         if key not in solver._lemmas_seen:
-            solver._lemmas_seen.add(key)
+            # The split clause goes through Tseitin, so it lives (and dies)
+            # with the current scope; record the same scope on the key.
+            solver._lemmas_seen[key] = solver._sat.scope
             solver._sat.add_clause([solver._tseitin(lemma)])
             self._splits_added = True
 

@@ -20,9 +20,9 @@ import os
 import tempfile
 from typing import Optional
 
+from ..api import CACHE_DIR_ENV
 from .errors import FAILED, PROVED, TIMEOUT
 
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DEFAULT_DIRNAME = ".pv_cache"
 
 _VALID_STATUS = (PROVED, FAILED, TIMEOUT)
@@ -40,8 +40,13 @@ class ProofCache:
 
     @classmethod
     def from_env(cls) -> Optional["ProofCache"]:
-        """The cache named by ``$REPRO_CACHE_DIR``, or None if unset."""
-        root = os.environ.get(CACHE_DIR_ENV)
+        """The cache named by ``$REPRO_CACHE_DIR``, or None if unset.
+
+        Environment parsing is centralized in
+        :meth:`repro.api.VerifyConfig.from_env`; this shim just asks it.
+        """
+        from ..api import VerifyConfig
+        root = VerifyConfig.from_env().cache_dir
         return cls(root) if root else None
 
     def _path(self, digest: str) -> str:

@@ -16,11 +16,25 @@ never need re-solving.  This layer supplies both halves:
   query text plus solver knobs, so cache-warm re-verification skips the
   solver entirely.
 
-Environment knobs (all optional):
+Two further strategies stack on top (both off by default):
 
-* ``REPRO_JOBS`` — default worker count (``1`` = serial).
-* ``REPRO_CACHE_DIR`` — enable the proof cache at this directory.
-* ``REPRO_JOB_TIMEOUT`` — per-job timeout in seconds for parallel runs.
+* **Warm contexts** (``incremental=True``) — each function's obligations
+  share one pooled :class:`~repro.smt.solver.SmtSolver`: the common
+  assertion prefix (context axioms and shared path assumptions) is
+  asserted once, and each goal is checked under a ``push()``/``pop()``
+  scope, so learned clauses and E-graph merges from earlier goals carry
+  forward.
+
+* **Delta re-verification** (``delta=True``, needs the cache) — a
+  function whose dependency fingerprint (:mod:`repro.vc.delta`) is
+  unchanged since a fully verified run is *not even planned*; its
+  recorded result is replayed.
+
+Run-level knobs (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+``REPRO_JOB_TIMEOUT``, ``REPRO_DIAG``, ``REPRO_INCREMENTAL``,
+``REPRO_DELTA``) are parsed exclusively by
+:meth:`repro.api.VerifyConfig.from_env`; the ``default_*`` helpers here
+are thin compatibility shims over it.
 
 :func:`run_builder_jobs` is the coarse-grained companion used by the
 Fig 9 macrobenchmark: whole-module verification jobs named by dotted
@@ -30,12 +44,12 @@ builder paths, fanned out across processes with the same fallback story.
 from __future__ import annotations
 
 import concurrent.futures as _cf
-import os
 import pickle
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
+from ..api import DIAG_ENV, JOB_TIMEOUT_ENV, JOBS_ENV, VerifyConfig
 from ..smt import terms as T
 from ..smt.fingerprint import (deserialize_terms, obligation_digest,
                                serialize_terms, solver_config_key)
@@ -43,32 +57,23 @@ from ..smt.solver import SAT, SmtSolver, SolverConfig, Stats, UNSAT
 from .cache import ProofCache
 from .errors import FAILED, PROVED, TIMEOUT, ModuleResult
 
-JOBS_ENV = "REPRO_JOBS"
-JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
-DIAG_ENV = "REPRO_DIAG"
+__all__ = ["Scheduler", "ObligationJob", "default_jobs",
+           "default_diagnostics", "run_builder_job", "run_builder_jobs",
+           "JOBS_ENV", "JOB_TIMEOUT_ENV", "DIAG_ENV"]
 
 
 def default_jobs() -> int:
     """Worker count from ``$REPRO_JOBS`` (1 = serial, the default)."""
-    raw = os.environ.get(JOBS_ENV)
-    try:
-        return max(1, int(raw)) if raw else 1
-    except ValueError:
-        return 1
+    return VerifyConfig.from_env().jobs
 
 
 def default_diagnostics() -> bool:
     """Diagnostics default from ``$REPRO_DIAG`` (off unless truthy)."""
-    raw = os.environ.get(DIAG_ENV, "").strip().lower()
-    return raw not in ("", "0", "false", "no", "off")
+    return VerifyConfig.from_env().diagnostics
 
 
 def _default_timeout() -> Optional[float]:
-    raw = os.environ.get(JOB_TIMEOUT_ENV)
-    try:
-        return float(raw) if raw else None
-    except ValueError:
-        return None
+    return VerifyConfig.from_env().job_timeout
 
 
 # ---------------------------------------------------------------------------
@@ -144,12 +149,22 @@ class Scheduler:
     fresh solver over the same assertions — so the diagnostic output is
     identical whether the verdict came from a worker process, the
     serial path, or a warm cache entry.
+
+    ``incremental``: warm-context mode — each function's unsolved
+    obligations are discharged in one pooled incremental solver under
+    push/pop scopes instead of a fresh solver per goal (default
+    ``$REPRO_INCREMENTAL`` or off).  ``delta``: skip planning functions
+    whose dependency fingerprint is unchanged since a fully verified run
+    (default ``$REPRO_DELTA`` or off; needs the cache for storage).
     """
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
                  timeout: Optional[float] = None,
-                 diagnostics: Optional[bool] = None):
-        self.jobs = max(1, int(jobs)) if jobs is not None else default_jobs()
+                 diagnostics: Optional[bool] = None,
+                 incremental: Optional[bool] = None,
+                 delta: Optional[bool] = None):
+        env = VerifyConfig.from_env()
+        self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
             cache = ProofCache.from_env()
         elif cache is False:
@@ -157,9 +172,16 @@ class Scheduler:
         elif isinstance(cache, str):
             cache = ProofCache(cache)
         self.cache: Optional[ProofCache] = cache
-        self.timeout = timeout if timeout is not None else _default_timeout()
+        self.timeout = timeout if timeout is not None else env.job_timeout
         self.diagnostics = (diagnostics if diagnostics is not None
-                            else default_diagnostics())
+                            else env.diagnostics)
+        self.incremental = (incremental if incremental is not None
+                            else env.incremental)
+        self.delta = delta if delta is not None else env.delta
+        self._delta_cache = None
+        if self.delta and self.cache is not None:
+            from .delta import DeltaCache
+            self._delta_cache = DeltaCache(self.cache.root)
         self.stats = Stats()
 
     # ------------------------------------------------------------- public
@@ -170,16 +192,29 @@ class Scheduler:
         t0 = time.perf_counter()
         hits0, misses0 = ((self.cache.hits, self.cache.misses)
                           if self.cache is not None else (0, 0))
+        skips0 = (self._delta_cache.skips
+                  if self._delta_cache is not None else 0)
         result = ModuleResult(gen.module.name)
         plans = []
         tasks: list[_Task] = []
         # Planning runs the §3.3 idiom engines eagerly; hand them the
         # cache so e.g. bit-blasting verdicts are reused on warm runs.
         gen.proof_cache = self.cache
+        delta_digests: dict[int, str] = {}
         try:
             for fn in gen.module.functions.values():
                 if fn.mode in (A.EXEC, A.PROOF) and fn.body is not None:
+                    if self._delta_cache is not None:
+                        from .delta import (function_dependency_digest,
+                                            replay_function)
+                        digest = function_dependency_digest(gen, fn)
+                        entry = self._delta_cache.lookup(digest)
+                        if entry is not None:
+                            result.functions.append(replay_function(entry))
+                            continue
                     plan = gen.plan_function(fn)
+                    if self._delta_cache is not None:
+                        delta_digests[id(plan)] = digest
                     plans.append(plan)
                     result.functions.append(plan.result)
                     tasks.extend(self._plan_tasks(gen, plan))
@@ -188,6 +223,16 @@ class Scheduler:
                 self._diagnose_failures(gen, tasks)
         finally:
             gen.proof_cache = None
+        if self._delta_cache is not None:
+            self.stats.merge(
+                {"delta_skips": self._delta_cache.skips - skips0})
+            for plan in plans:
+                # Record only fully verified functions whose verdicts are
+                # all cache-safe (a soft-deadline TIMEOUT is not PROVED,
+                # so it can never sneak in here).
+                if plan.result.ok:
+                    self._delta_cache.store(delta_digests[id(plan)],
+                                            plan.fn.name, plan.result)
         if self.cache is not None:
             self.stats.cache_hits += self.cache.hits - hits0
             self.stats.cache_misses += self.cache.misses - misses0
@@ -211,8 +256,14 @@ class Scheduler:
         tasks = []
         ctx_axioms = None
         cfg = None
+        # Warm contexts and the serial soft deadline replicate the
+        # *default* discharge just like cross-process dispatch does, so
+        # they too need the explicit assertion lists (and stay disabled
+        # for pipelines that override the retry strategy).
+        offload = self._offloadable(gen)
         need_assertions = (self.cache is not None
-                           or (self.jobs > 1 and self._offloadable(gen)))
+                           or ((self.jobs > 1 or self.incremental
+                                or self.timeout is not None) and offload))
         for item in plan.pending:
             ob = item.obligation
             plan.result.obligations.append(ob)
@@ -265,18 +316,111 @@ class Scheduler:
                                     from_cache=True)
                         continue
             unsolved.append(task)
+        if self.incremental and self._offloadable(gen):
+            # Warm contexts are in-process by design (the pooled solver
+            # is the whole point), so incremental wins over `jobs`.
+            groups: dict[int, list[_Task]] = {}
+            for task in unsolved:
+                groups.setdefault(id(task.plan), []).append(task)
+            for group in groups.values():
+                self._run_warm_group(group)
+            return
         if len(unsolved) > 1 and self.jobs > 1 and self._offloadable(gen):
             unsolved = self._run_parallel(unsolved)
         for task in unsolved:
             self._run_serial(gen, task)
 
     def _run_serial(self, gen, task: _Task) -> None:
+        if (self.timeout is not None and task.assertions is not None
+                and self._offloadable(gen)):
+            return self._run_fresh(task)
         t0 = time.perf_counter()
         status, stats, qbytes = gen._solve_obligation(
             task.item, task.plan.encoder, task.plan.spec_axioms)
         seconds = time.perf_counter() - t0
         self._apply(task, status, stats, qbytes, seconds)
         self._store(task, status, stats, qbytes)
+
+    def _run_fresh(self, task: _Task) -> None:
+        """One fresh-solver discharge from the planned assertion list,
+        honoring the soft per-obligation deadline when one is set.
+
+        Serial runs cannot kill a worker process, so the deadline is
+        enforced *inside* the solver: the CDCL loop checks wall clock
+        between conflict batches and gives up cleanly.  A deadline
+        verdict is wall-clock-dependent and is therefore never cached.
+        """
+        t0 = time.perf_counter()
+        solver = SmtSolver(task.config)
+        for a in task.assertions:
+            solver.add(a)
+        verdict = solver.check(timeout=self.timeout)
+        status = (PROVED if verdict == UNSAT
+                  else FAILED if verdict == SAT else TIMEOUT)
+        stats = solver.stats.snapshot()
+        qbytes = solver.stats.query_bytes
+        seconds = time.perf_counter() - t0
+        if solver.last_deadline_exceeded:
+            stats["deadline_exceeded"] = 1
+            self._apply(task, TIMEOUT, stats, qbytes, seconds)
+            return
+        self._apply(task, status, stats, qbytes, seconds)
+        self._store(task, status, stats, qbytes)
+
+    @staticmethod
+    def _common_prefix(lists: list[list]) -> int:
+        """Length of the longest shared assertion prefix (hash-consed
+        terms make ``is`` the structural-equality check)."""
+        n = min(len(lst) for lst in lists)
+        first = lists[0]
+        for i in range(n):
+            a = first[i]
+            if any(lst[i] is not a for lst in lists[1:]):
+                return i
+        return n
+
+    def _run_warm_group(self, tasks: list[_Task]) -> None:
+        """Discharge one function's obligations in a pooled warm solver.
+
+        The shared prefix (context axioms + common path assumptions) is
+        asserted once at scope 0; each goal's residue is added under a
+        push/pop scope.  Learned clauses and E-graph/tableau state from
+        earlier goals carry forward — scope-0 consequences survive the
+        pop, per-goal ones are retracted.  Reported per-goal stats are
+        snapshot deltas plus the shared base's query bytes, so results
+        (including ``query_bytes``) are byte-identical to fresh runs.
+        """
+        if len(tasks) == 1:
+            # Nothing to amortize: a lone goal pays the scope-logging
+            # overhead for no reuse, so give it a plain fresh solver
+            # (identical verdict and stats by construction).
+            return self._run_fresh(tasks[0])
+        prefix = self._common_prefix([t.assertions for t in tasks])
+        solver = SmtSolver(tasks[0].config, incremental=True)
+        for a in tasks[0].assertions[:prefix]:
+            solver.add(a)
+        base_qbytes = solver.stats.query_bytes
+        for task in tasks:
+            t0 = time.perf_counter()
+            before = solver.stats.snapshot()
+            solver.push()
+            for a in task.assertions[prefix:]:
+                solver.add(a)
+            verdict = solver.check(timeout=self.timeout)
+            status = (PROVED if verdict == UNSAT
+                      else FAILED if verdict == SAT else TIMEOUT)
+            stats = Stats.diff(before, solver.stats.snapshot())
+            qbytes = base_qbytes + stats.get("query_bytes", 0)
+            stats["query_bytes"] = qbytes
+            seconds = time.perf_counter() - t0
+            deadline = solver.last_deadline_exceeded
+            if deadline:
+                stats["deadline_exceeded"] = 1
+                status = TIMEOUT
+            self._apply(task, status, stats, qbytes, seconds)
+            if not deadline:
+                self._store(task, status, stats, qbytes)
+            solver.pop()
 
     def _run_parallel(self, tasks: list[_Task]) -> list[_Task]:
         """Fan tasks out across processes; returns tasks that still need
@@ -334,12 +478,17 @@ class Scheduler:
             ob = task.item.obligation
             if ob.ok or ob.diag is not None:
                 continue
-            if ob.stats.get("job_timeouts"):
+            if (ob.stats.get("job_timeouts")
+                    or ob.stats.get("deadline_exceeded")):
                 from ..diag import Diagnostic, VerusErrorType
                 ob.diag = Diagnostic.for_obligation(ob)
                 ob.diag.error_type = VerusErrorType.RLIMIT_EXCEEDED.value
-                ob.diag.notes.append("worker killed by job timeout; "
-                                     "not re-solved for diagnosis")
+                if ob.stats.get("job_timeouts"):
+                    ob.diag.notes.append("worker killed by job timeout; "
+                                         "not re-solved for diagnosis")
+                else:
+                    ob.diag.notes.append("soft deadline exceeded; "
+                                         "not re-solved for diagnosis")
                 continue
             plan = task.plan
             ctx = ctx_cache.get(id(plan))

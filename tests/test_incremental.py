@@ -1,0 +1,450 @@
+"""Incremental solving: push/pop scopes, warm contexts, delta, repro.api.
+
+The acceptance bar for the warm-context strategy is *differential*:
+verdicts, failure sets, diagnostics, and the machine-readable report
+(modulo timing fields and aggregate solver-effort counters, which
+legitimately shrink when work is shared) must be identical between
+fresh-solver and warm-context runs — across every broken-module fixture
+of the diagnostics suite and a couple of fully verified modules.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.api import Session, VerifyConfig
+from repro.lang import (BOOL, INT, U64, Module, and_all, assert_, assign,
+                        call, exec_fn, forall, let_, lit, ret, spec_fn, var,
+                        verify_module, while_)
+from repro.smt import terms as T
+from repro.smt.solver import SAT, SmtSolver, UNSAT
+from repro.vc.errors import PROVED, TIMEOUT
+
+from tests.test_diagnostics import (_broken_assert_conjunctive,
+                                    _broken_decreases, _broken_inv_end,
+                                    _broken_inv_front, _broken_overflow,
+                                    _broken_postcond, _broken_precond,
+                                    _diag_signature)
+
+BROKEN_BUILDERS = [_broken_postcond, _broken_precond,
+                   _broken_assert_conjunctive, _broken_inv_front,
+                   _broken_inv_end, _broken_overflow, _broken_decreases]
+
+
+def _verified_module():
+    mod = Module("inc_ok")
+    x, n, i = var("x", U64), var("n", U64), var("i", U64)
+    exec_fn(mod, "inc", [("x", U64)], ret=("r", U64),
+            requires=[x < lit(1000)],
+            ensures=[var("r", U64).eq(x + lit(1))],
+            body=[ret(x + lit(1))])
+    exec_fn(mod, "count_to", [("n", U64)], ret=("res", U64),
+            ensures=[var("res", U64).eq(n)],
+            body=[let_("i", lit(0, U64)),
+                  while_(i < n, invariants=[i <= n],
+                         body=[assign("i", i + 1)], decreases=n - i),
+                  ret(i)])
+    return mod
+
+
+def _quantified_module():
+    """Spec-function context with a quantified well-formedness axiom."""
+    mod = Module("inc_quant")
+    x = var("x", U64)
+    spec_fn(mod, "above", [("x", INT)], BOOL,
+            body=var("x", INT) >= lit(10))
+    exec_fn(mod, "use_spec", [("x", U64)],
+            requires=[call(mod, "above", x)],
+            body=[assert_(x >= lit(10)),
+                  assert_(x + lit(1) >= lit(11))])
+    return mod
+
+
+def _normalize(payload: dict) -> dict:
+    """Strip timing fields and aggregate effort counters from to_json().
+
+    Everything else — statuses, labels, seqs, spans, error types, diag
+    payloads, query_bytes — must match byte-for-byte.
+    """
+    payload = json.loads(json.dumps(payload))
+    payload["seconds"] = 0
+    payload.pop("stats", None)
+    payload.pop("inst_profile", None)
+    for f in payload["functions"]:
+        f["seconds"] = 0
+        for o in f["obligations"]:
+            o["seconds"] = 0
+    for o in payload.get("failures", []):
+        o["seconds"] = 0
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# SMT layer: push/pop scopes
+# ---------------------------------------------------------------------------
+
+class TestSolverScopes:
+    def test_push_pop_basic(self):
+        x, y = T.Var("x", T.INT), T.Var("y", T.INT)
+        f = T.FuncDecl("f", [T.INT], T.INT)
+        s = SmtSolver(incremental=True)
+        s.add(T.Eq(x, y))
+        s.push()
+        s.add(T.Not(T.Eq(T.App(f, x), T.App(f, y))))
+        assert s.check() == UNSAT
+        s.pop()
+        s.push()
+        s.add(T.Ge(x, T.IntVal(3)))
+        s.add(T.Le(y, T.IntVal(10)))
+        assert s.check() == SAT
+        s.pop()
+        s.push()
+        s.add(T.Lt(x, T.IntVal(0)))
+        s.add(T.Gt(y, T.IntVal(0)))
+        assert s.check() == UNSAT
+        s.pop()
+
+    def test_nested_scopes(self):
+        x = T.Var("x", T.INT)
+        s = SmtSolver(incremental=True)
+        s.add(T.Ge(x, T.IntVal(0)))
+        s.push()
+        s.add(T.Le(x, T.IntVal(5)))
+        s.push()
+        s.add(T.Gt(x, T.IntVal(5)))
+        assert s.check() == UNSAT
+        s.pop()
+        assert s.check() == SAT
+        s.pop()
+        assert s.check() == SAT
+
+    def test_quantifier_state_respects_scopes(self):
+        xq = T.Var("xq", T.INT)
+        g = T.FuncDecl("g", [T.INT], T.INT)
+        ax = T.ForAll([xq], T.Ge(T.App(g, xq), xq),
+                      triggers=[[T.App(g, xq)]])
+        a = T.Var("a", T.INT)
+        goals = [T.Lt(T.App(g, a), a),
+                 T.And(T.Ge(a, T.IntVal(5)),
+                       T.Lt(T.App(g, a), T.IntVal(5)))]
+        warm = SmtSolver(incremental=True)
+        warm.add(ax)
+        for goal in goals:
+            fresh = SmtSolver()
+            fresh.add(ax)
+            fresh.add(goal)
+            warm.push()
+            warm.add(goal)
+            assert warm.check() == fresh.check()
+            warm.pop()
+
+    def test_randomized_differential(self):
+        rng = random.Random(20260806)
+        ivars = [T.Var(f"v{i}", T.INT) for i in range(5)]
+        bvars = [T.Var(f"b{i}", T.BOOL) for i in range(3)]
+        g = T.FuncDecl("g", [T.INT], T.INT)
+
+        def atom():
+            k = rng.randrange(6)
+            a, b = rng.choice(ivars), rng.choice(ivars)
+            if k == 0:
+                return T.Le(a, T.IntVal(rng.randrange(-5, 6)))
+            if k == 1:
+                return T.Eq(a, b)
+            if k == 2:
+                return T.Eq(T.App(g, a), T.App(g, b))
+            if k == 3:
+                return rng.choice(bvars)
+            if k == 4:
+                return T.Lt(T.Add(a, b), T.IntVal(rng.randrange(-3, 8)))
+            return T.Not(T.Eq(a, T.IntVal(rng.randrange(-4, 5))))
+
+        def formula(depth=2):
+            if depth == 0:
+                return atom()
+            k = rng.randrange(4)
+            if k == 0:
+                return T.And(formula(depth - 1), formula(depth - 1))
+            if k == 1:
+                return T.Or(formula(depth - 1), formula(depth - 1))
+            if k == 2:
+                return T.Not(formula(depth - 1))
+            return atom()
+
+        for _ in range(25):
+            base = [formula() for _ in range(rng.randrange(1, 4))]
+            goals = [[formula() for _ in range(rng.randrange(1, 3))]
+                     for _ in range(rng.randrange(2, 5))]
+            fresh = []
+            for goal in goals:
+                s = SmtSolver()
+                for a in base + goal:
+                    s.add(a)
+                fresh.append(s.check())
+            warm_solver = SmtSolver(incremental=True)
+            for a in base:
+                warm_solver.add(a)
+            warm = []
+            for goal in goals:
+                warm_solver.push()
+                for a in goal:
+                    warm_solver.add(a)
+                warm.append(warm_solver.check())
+                warm_solver.pop()
+            assert warm == fresh
+
+    def test_learned_clause_retention_is_scoped(self):
+        """A goal-scoped consequence must not leak into later goals."""
+        x = T.Var("x", T.INT)
+        s = SmtSolver(incremental=True)
+        s.push()
+        s.add(T.Ge(x, T.IntVal(10)))
+        assert s.check() == SAT
+        s.pop()
+        s.push()
+        # If anything from the popped scope survived, this would be UNSAT.
+        s.add(T.Le(x, T.IntVal(-10)))
+        assert s.check() == SAT
+        s.pop()
+
+    def test_check_timeout_sets_flag(self):
+        x = T.Var("x", T.INT)
+        s = SmtSolver()
+        s.add(T.Ge(x, T.IntVal(0)))
+        assert s.check(timeout=0.0) == "unknown"
+        assert s.last_deadline_exceeded
+        # A later un-timed check clears the flag and solves normally.
+        assert s.check() == SAT
+        assert not s.last_deadline_exceeded
+
+
+# ---------------------------------------------------------------------------
+# Warm contexts vs fresh solvers: the differential guarantee
+# ---------------------------------------------------------------------------
+
+class TestWarmDifferential:
+    @pytest.mark.parametrize("builder", BROKEN_BUILDERS,
+                             ids=lambda b: b.__name__)
+    def test_broken_fixture_identical(self, builder):
+        fresh = Session(VerifyConfig(diagnostics=True)).verify_module(
+            builder())
+        warm = Session(VerifyConfig(diagnostics=True,
+                                    incremental=True)).verify_module(
+            builder())
+        assert not fresh.ok and not warm.ok
+        assert _diag_signature(fresh) == _diag_signature(warm)
+        assert _normalize(fresh.to_json()) == _normalize(warm.to_json())
+
+    @pytest.mark.parametrize("builder", [_verified_module,
+                                         _quantified_module],
+                             ids=lambda b: b.__name__)
+    def test_verified_module_identical(self, builder):
+        fresh = Session(VerifyConfig()).verify_module(builder())
+        warm = Session(VerifyConfig(incremental=True)).verify_module(
+            builder())
+        assert fresh.ok and warm.ok
+        assert fresh.query_bytes == warm.query_bytes
+        assert _normalize(fresh.to_json()) == _normalize(warm.to_json())
+
+    def test_warm_composes_with_cache(self, tmp_path):
+        cold = Session(VerifyConfig(cache_dir=str(tmp_path),
+                                    incremental=True))
+        r1 = cold.verify_module(_verified_module())
+        assert r1.ok and r1.stats.get("cache_hits", 0) == 0
+        rewarm = Session(VerifyConfig(cache_dir=str(tmp_path),
+                                      incremental=True))
+        r2 = rewarm.verify_module(_verified_module())
+        assert r2.ok and r2.stats.get("cache_hits", 0) > 0
+        assert _normalize(r1.to_json()) == _normalize(r2.to_json())
+
+    def test_warm_and_fresh_share_cache_digests(self, tmp_path):
+        """Warm runs hit entries a fresh run stored, and vice versa."""
+        Session(VerifyConfig(cache_dir=str(tmp_path))).verify_module(
+            _verified_module())
+        warm = Session(VerifyConfig(cache_dir=str(tmp_path),
+                                    incremental=True))
+        result = warm.verify_module(_verified_module())
+        assert result.ok
+        assert result.stats.get("cache_misses", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Serial soft deadline (REPRO_JOB_TIMEOUT regression)
+# ---------------------------------------------------------------------------
+
+class TestSerialDeadline:
+    @pytest.fixture(autouse=True)
+    def _isolate_env(self, monkeypatch):
+        # These are regression tests for the REPRO_JOB_TIMEOUT path
+        # specifically; ambient CI knobs (a shared proof cache would
+        # answer obligations before any deadline is consulted) must not
+        # leak in.
+        for name in ("REPRO_JOBS", "REPRO_CACHE_DIR", "REPRO_DIAG",
+                     "REPRO_JOB_TIMEOUT", "REPRO_INCREMENTAL",
+                     "REPRO_DELTA"):
+            monkeypatch.delenv(name, raising=False)
+
+    def test_serial_run_honors_job_timeout_env(self, monkeypatch):
+        # A zero deadline trips deterministically at the first wall-clock
+        # check; a small-but-positive one may lose the race against a
+        # fast obligation.
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "0.0")
+        result = verify_module(_verified_module())  # jobs=1: serial path
+        assert not result.ok
+        for fn in result.functions:
+            for ob in fn.obligations:
+                assert ob.status == TIMEOUT
+                assert ob.stats.get("deadline_exceeded") == 1
+
+    def test_deadline_verdicts_never_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "0.0")
+        timed = Session(VerifyConfig.from_env(cache_dir=str(tmp_path)))
+        assert timed.config.job_timeout == 0.0
+        r1 = timed.verify_module(_verified_module())
+        assert not r1.ok
+        monkeypatch.delenv("REPRO_JOB_TIMEOUT")
+        clean = Session(VerifyConfig(cache_dir=str(tmp_path)))
+        r2 = clean.verify_module(_verified_module())
+        assert r2.ok  # no stale TIMEOUT entries were replayed
+        assert r2.stats.get("cache_hits", 0) == 0
+
+    def test_warm_deadline_also_soft(self):
+        session = Session(VerifyConfig(incremental=True, job_timeout=0.0))
+        result = session.verify_module(_verified_module())
+        assert not result.ok
+        statuses = {o.status for f in result.functions
+                    for o in f.obligations}
+        assert statuses == {TIMEOUT}
+
+
+# ---------------------------------------------------------------------------
+# Delta re-verification
+# ---------------------------------------------------------------------------
+
+class TestDelta:
+    def test_unchanged_function_skipped(self, tmp_path):
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+        r1 = Session(cfg).verify_module(_verified_module())
+        assert r1.ok and not r1.stats.get("delta_skips")
+        r2 = Session(cfg).verify_module(_verified_module())
+        assert r2.ok
+        assert r2.stats.get("delta_skips") == 2
+        assert _normalize(r1.to_json()) == _normalize(r2.to_json())
+        for fn in r2.functions:
+            for ob in fn.obligations:
+                assert ob.stats.get("delta_skipped") is True
+
+    def test_changed_function_reverified(self, tmp_path):
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+
+        def build(bound):
+            mod = Module("delta_demo")
+            x = var("x", U64)
+            exec_fn(mod, "inc", [("x", U64)], ret=("r", U64),
+                    requires=[x < lit(bound)],
+                    ensures=[var("r", U64).eq(x + lit(1))],
+                    body=[ret(x + lit(1))])
+            return mod
+
+        assert Session(cfg).verify_module(build(1000)).ok
+        r2 = Session(cfg).verify_module(build(500))  # contract changed
+        assert r2.ok
+        assert not r2.stats.get("delta_skips")
+
+    def test_spec_dependency_change_invalidates(self, tmp_path):
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+
+        def build(threshold):
+            mod = Module("delta_spec")
+            x = var("x", U64)
+            spec_fn(mod, "above", [("x", INT)], BOOL,
+                    body=var("x", INT) >= lit(threshold))
+            exec_fn(mod, "use_spec", [("x", U64)],
+                    requires=[call(mod, "above", x)],
+                    body=[assert_(x >= lit(threshold))])
+            return mod
+
+        assert Session(cfg).verify_module(build(10)).ok
+        r2 = Session(cfg).verify_module(build(10))
+        assert r2.stats.get("delta_skips") == 1
+        r3 = Session(cfg).verify_module(build(7))  # spec body changed
+        assert r3.ok
+        assert not r3.stats.get("delta_skips")
+
+    def test_failures_never_recorded(self, tmp_path):
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True,
+                           diagnostics=True)
+        r1 = Session(cfg).verify_module(_broken_postcond())
+        assert not r1.ok
+        r2 = Session(cfg).verify_module(_broken_postcond())
+        assert not r2.ok and not r2.stats.get("delta_skips")
+        # The re-run still carries full diagnostics.
+        assert _diag_signature(r1) == _diag_signature(r2)
+
+
+# ---------------------------------------------------------------------------
+# The repro.api front door
+# ---------------------------------------------------------------------------
+
+class TestApi:
+    def test_from_env_is_single_reader(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setenv("REPRO_DIAG", "1")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_INCREMENTAL", "yes")
+        monkeypatch.setenv("REPRO_DELTA", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/pvcache-test")
+        cfg = VerifyConfig.from_env()
+        assert cfg == VerifyConfig(jobs=3, cache_dir="/tmp/pvcache-test",
+                                   diagnostics=True, job_timeout=2.5,
+                                   incremental=True, delta=True)
+
+    def test_from_env_garbage_tolerant(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        monkeypatch.setenv("REPRO_JOB_TIMEOUT", "junk")
+        monkeypatch.setenv("REPRO_INCREMENTAL", "off")
+        cfg = VerifyConfig.from_env()
+        assert cfg.jobs == 1
+        assert cfg.job_timeout is None
+        assert not cfg.incremental
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        cfg = VerifyConfig.from_env(jobs=2, incremental=True)
+        assert cfg.jobs == 2 and cfg.incremental
+
+    def test_config_is_frozen(self):
+        cfg = VerifyConfig()
+        with pytest.raises(Exception):
+            cfg.jobs = 5
+        with pytest.raises(TypeError):
+            cfg.replace(bogus=1)
+
+    def test_session_verify_raises_on_failure(self):
+        from repro.vc.errors import VerificationFailure
+        session = Session(VerifyConfig())
+        session.verify(_verified_module())
+        with pytest.raises(VerificationFailure):
+            session.verify(_broken_postcond())
+
+    def test_session_diagnose_forces_diagnostics(self):
+        result = Session(VerifyConfig()).diagnose(_broken_postcond())
+        assert not result.ok
+        _, ob = result.first_failure()
+        assert ob.diag is not None
+
+    def test_legacy_shims_still_work(self, tmp_path):
+        from repro.lang import diagnose, verify
+        from repro.vc.errors import VerificationFailure
+        assert verify_module(_verified_module(),
+                             cache=str(tmp_path)).ok
+        with pytest.raises(VerificationFailure):
+            verify(_broken_postcond())
+        result = diagnose(_broken_postcond())
+        assert result.failures()[0][1].diag is not None
+
+    def test_schema_version_present(self):
+        payload = Session(VerifyConfig()).verify_module(
+            _verified_module()).to_json()
+        assert payload["schema_version"] == 1
