@@ -19,13 +19,15 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import Session  # noqa: E402
 from repro.lang import *  # noqa: E402
 from repro.lang.stdlib import SeqI, build_stdlib  # noqa: E402
 
 
 def main() -> None:
+    session = Session()
     std = build_stdlib()
-    result = verify_module(std)
+    result = session.verify_module(std)
     print(f"stdlib: {len(result.functions)} lemmas verified "
           f"in {result.seconds:.2f}s")
     assert result.ok
@@ -49,7 +51,7 @@ def main() -> None:
              body=[call_stmt("lemma_seq_push_last", [s, v]),
                    call_stmt("lemma_seq_push_len", [s, v])])
 
-    user_result = verify_module(user)
+    user_result = session.verify_module(user)
     print(user_result.report())
     assert user_result.ok
 
@@ -59,7 +61,7 @@ def main() -> None:
     proof_fn(bare, "scaled_ordering", [("i", INT), ("n", INT), ("k", INT)],
              requires=[i < n, k > 0],
              ensures=[i * k < n * k], body=[])
-    assert not verify_module(bare).ok
+    assert not session.verify_module(bare).ok
     print("without the lemma call the nonlinear goal fails, as expected")
 
     print("lemma_library example passed")

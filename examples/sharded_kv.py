@@ -16,6 +16,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.api import Session                               # noqa: E402
 from repro.epr import verify_epr_module                     # noqa: E402
 from repro.runtime.network import Network                   # noqa: E402
 from repro.systems.ironkv.delegation_map import (           # noqa: E402
@@ -23,12 +24,11 @@ from repro.systems.ironkv.delegation_map import (           # noqa: E402
 from repro.systems.ironkv.delegation_map_epr import (       # noqa: E402
     build_epr_model)
 from repro.systems.ironkv.host import VerusHost             # noqa: E402
-from repro.vc.wp import VcGen                               # noqa: E402
 
 
 def verify_delegation_map() -> None:
     print("== delegation map: default-mode proofs (get / splice) ==")
-    result = VcGen(build_default_module()).verify_module()
+    result = Session().verify_module(build_default_module())
     print(result.report())
     assert result.ok
     print("\n== delegation map: EPR model — fully automatic (§3.2) ==")

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Run the static-analysis passes over a module, no solver involved.
+
+The module is named either by a preset (one of the shipped case-study
+systems and benchmarks, see ``--list``) or by a dotted builder path like
+``repro.systems.nr.model.build_nr_core_module``.  Exit status is 1 when
+any module produces an error-severity finding — that is the same
+condition under which the ``REPRO_ANALYZE`` scheduler gate would reject
+it before issuing a single SMT query — so CI can call this directly.
+
+Run:  PYTHONPATH=src python scripts/analyze_module.py --all
+      PYTHONPATH=src python scripts/analyze_module.py ironkv --json
+      PYTHONPATH=src python scripts/analyze_module.py \\
+          repro.systems.nr.model.build_nr_core_module
+"""
+
+import argparse
+import importlib
+import json
+import sys
+
+from repro.api import Session
+
+# Preset name -> dotted builder path.  Builders must take no arguments.
+PRESETS = {
+    "ironkv": "repro.systems.ironkv.delegation_map.build_default_module",
+    "ironkv-epr": "repro.systems.ironkv.delegation_map_epr.build_epr_model",
+    "ironkv-marshal":
+        "repro.systems.ironkv.marshal_verified.build_u64_roundtrip_module",
+    "nr": "repro.systems.nr.model.build_nr_core_module",
+    "pagetable": "repro.systems.pagetable.view_verified.build_view_module",
+    "pagetable-entry":
+        "repro.systems.pagetable.entry_verified.build_entry_module",
+    "mimalloc": "repro.systems.mimalloc.verified.build_bit_tricks_module",
+    "mimalloc-disjoint":
+        "repro.systems.mimalloc.verified.build_disjointness_module",
+    "plog": "repro.systems.plog.crc_verified.build_crc_table_module",
+    "lists": "repro.millibench.lists.build_singly_linked_module",
+    "lists-doubly": "repro.millibench.lists.build_doubly_linked_module",
+    "distlock": "repro.millibench.distlock.build_default_module",
+    "distlock-epr": "repro.millibench.distlock.build_epr_module",
+    "stdlib": "repro.lang.stdlib.build_stdlib",
+}
+
+
+def build(target: str):
+    dotted = PRESETS.get(target, target)
+    module_path, func_name = dotted.rsplit(".", 1)
+    return getattr(importlib.import_module(module_path), func_name)()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="static analysis of verification modules")
+    ap.add_argument("targets", nargs="*",
+                    help="preset names or dotted builder paths")
+    ap.add_argument("--all", action="store_true",
+                    help="analyze every preset")
+    ap.add_argument("--json", action="store_true",
+                    help="machine-readable output (one report per line)")
+    ap.add_argument("--list", action="store_true",
+                    help="list preset names and exit")
+    args = ap.parse_args(argv)
+    if args.list:
+        for name, dotted in PRESETS.items():
+            print(f"{name:<20} {dotted}")
+        return 0
+    targets = list(args.targets)
+    if args.all:
+        targets.extend(p for p in PRESETS if p not in targets)
+    if not targets:
+        ap.error("no targets (name presets, dotted paths, or --all)")
+    session = Session()
+    failed = False
+    for target in targets:
+        report = session.analyze(build(target))
+        failed = failed or report.has_errors
+        if args.json:
+            print(json.dumps(report.to_json(), sort_keys=True))
+        else:
+            print(report.report())
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""EPR advisor: the §3.2 static gate, plus migration candidates.
+
+``#[epr_mode]`` is a *per-module* promise: stay inside the effectively
+propositional fragment and verification becomes a decision procedure
+(MBQI is complete).  Two static checks fall out:
+
+* a module that **declares** ``epr_mode`` but steps outside the
+  fragment is in error — the same violations
+  :func:`repro.epr.verify_epr_module` raises, but rendered through the
+  standard diagnostics machinery (via ``EprViolation.to_finding``)
+  instead of a bare exception string;
+* a **default-mode** module whose vocabulary already fits EPR is a
+  migration candidate — the delegation-map story of §3.2, where an
+  existing manual proof was replaced by a fully automatic EPR model.
+  The advisor reports these as info findings.
+"""
+
+from __future__ import annotations
+
+from ..epr import check_epr_module
+from . import INFO, AnalysisContext, AnalysisPass, Finding
+
+
+class EprAdvisorPass(AnalysisPass):
+    """Gate ``epr_mode`` modules; advise on EPR-eligible default ones."""
+
+    id = "epr"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        mod = ctx.module
+        if not mod.functions:
+            return []
+        violations = check_epr_module(mod)
+        if mod.epr_mode:
+            return [v.to_finding() for v in violations]
+        if violations:
+            return []  # default-mode module outside EPR: nothing to say
+        return [Finding(
+            self.id, INFO, mod.name,
+            "module stays inside the EPR fragment; marking it "
+            "epr_mode would make verification a complete decision "
+            "procedure (no manual proofs needed)",
+            suggestion="construct it with Module(name, epr_mode=True) "
+                       "and verify via repro.epr.verify_epr_module")]

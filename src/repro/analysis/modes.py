@@ -1,0 +1,157 @@
+"""Mode checker: spec/proof/exec discipline, statically (§3.1).
+
+Verus's mode system is the first line of defense: ghost code can never
+leak into compiled state and spec functions are pure by construction.
+Our embedded AST makes the same promises, but until now they were only
+enforced *dynamically* — ``VcGen`` raises ``VcError``/``EncodeError``
+mid-planning, and some violations (e.g. binding a proof function's
+ghost result into an exec local) were silently encoded.  This pass
+checks the discipline up front:
+
+* **spec purity** — a spec function's body is a pure expression that
+  calls only spec functions;
+* **spec positions** — requires/ensures/decreases, assert/assume
+  expressions, and loop invariants are spec-mode: any function they
+  mention must be a spec function;
+* **ghost containment** — exec code cannot bind a proof call's (ghost)
+  result into exec state, and a proof call cannot mutate exec
+  variables through ``&mut`` arguments;
+* **call direction** — proof code cannot call exec functions, and
+  spec functions cannot be called for effect (``SCall``) or non-spec
+  functions in expression position.
+"""
+
+from __future__ import annotations
+
+from ..vc import ast as A
+from . import ERROR, AnalysisContext, AnalysisPass, Finding, walk_expr, \
+    walk_stmts, spec_exprs_of
+
+
+def _exec_position_exprs(fn: A.Function):
+    """``(expr, what)`` pairs for every *exec-mode* expression position
+    of a statement body (spec positions are yielded by
+    :func:`repro.analysis.spec_exprs_of` instead)."""
+    for stmt in walk_stmts(fn.body):
+        if isinstance(stmt, (A.SLet, A.SAssign)):
+            yield stmt.expr, f"assignment to {stmt.name!r}", stmt
+        elif isinstance(stmt, A.SIf):
+            yield stmt.cond, "if condition", stmt
+        elif isinstance(stmt, A.SWhile):
+            yield stmt.cond, "while condition", stmt
+        elif isinstance(stmt, A.SCall):
+            for a in stmt.args:
+                yield a, f"argument of {stmt.fn_name}", stmt
+        elif isinstance(stmt, A.SReturn):
+            if stmt.expr is not None:
+                yield stmt.expr, "return value", stmt
+
+
+class ModeCheckPass(AnalysisPass):
+    """Enforce the spec/proof/exec mode discipline before any encoding."""
+
+    id = "modes"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        all_fns = ctx.module.all_functions()
+
+        def err(where, message, span, suggestion=""):
+            findings.append(Finding(self.id, ERROR, where, message,
+                                    span=span, suggestion=suggestion))
+
+        for name, fn in ctx.module.functions.items():
+            where = ctx.qualify(name)
+            self._check_spec_purity(fn, where, all_fns, err)
+            self._check_spec_positions(fn, where, all_fns, err)
+            self._check_statements(fn, where, all_fns, err)
+        return findings
+
+    # ------------------------------------------------------------- rules
+
+    def _check_spec_purity(self, fn, where, all_fns, err) -> None:
+        if not fn.is_spec:
+            return
+        if isinstance(fn.body, (list, tuple)):
+            err(where, "spec function body must be a pure expression, "
+                       "not a statement block", fn.span,
+                "rewrite the body as an expression (use ite/let)")
+            return
+        if not isinstance(fn.body, A.Expr):
+            return
+        for sub in walk_expr(fn.body):
+            if isinstance(sub, A.Call):
+                callee = all_fns.get(sub.fn_name)
+                if callee is not None and not callee.is_spec:
+                    err(where,
+                        f"spec function calls {callee.mode} function "
+                        f"{sub.fn_name!r}; spec functions must be pure "
+                        f"and may only call spec functions", fn.span,
+                        f"make {sub.fn_name!r} a spec function or move "
+                        f"the call into proof/exec code")
+
+    def _check_spec_positions(self, fn, where, all_fns, err) -> None:
+        for e, what in spec_exprs_of(fn):
+            for sub in walk_expr(e):
+                if isinstance(sub, A.Call):
+                    callee = all_fns.get(sub.fn_name)
+                    if callee is not None and not callee.is_spec:
+                        err(where,
+                            f"{what} must be a spec-mode expression but "
+                            f"calls {callee.mode} function "
+                            f"{sub.fn_name!r}",
+                            getattr(e, "span", None) or fn.span,
+                            f"wrap the fact in a spec function, or prove "
+                            f"it with a proof-fn call statement")
+
+    def _check_statements(self, fn, where, all_fns, err) -> None:
+        if not isinstance(fn.body, (list, tuple)):
+            return
+        for stmt in walk_stmts(fn.body):
+            if not isinstance(stmt, A.SCall):
+                continue
+            callee = all_fns.get(stmt.fn_name)
+            if callee is None:
+                continue
+            span = stmt.span or fn.span
+            if callee.is_spec:
+                err(where,
+                    f"spec function {stmt.fn_name!r} cannot be called "
+                    f"for effect", span,
+                    "use it inside a spec-mode expression instead")
+            elif fn.mode == A.EXEC and callee.mode == A.PROOF:
+                if stmt.binds:
+                    err(where,
+                        f"exec code binds the ghost result of proof "
+                        f"function {stmt.fn_name!r} into exec state "
+                        f"({', '.join(stmt.binds)})", span,
+                        "ghost results are erased at compile time; "
+                        "recompute the value in exec code")
+                if stmt.mut_args:
+                    err(where,
+                        f"proof call {stmt.fn_name!r} mutates exec "
+                        f"variable(s) {', '.join(stmt.mut_args)}; proof "
+                        f"code cannot write exec state", span,
+                        "pass the values by ghost snapshot instead of "
+                        "&mut")
+            elif fn.mode == A.PROOF and callee.mode == A.EXEC:
+                err(where,
+                    f"proof function calls exec function "
+                    f"{stmt.fn_name!r}; proof code is erased and cannot "
+                    f"have exec effects", span,
+                    f"make {stmt.fn_name!r} a proof function or move "
+                    f"the call into exec code")
+        # Expression-position calls in exec/proof bodies must be spec
+        # calls (the translator enforces this dynamically as
+        # EncodeError; we report it with provenance instead).
+        for e, what, stmt in _exec_position_exprs(fn):
+            for sub in walk_expr(e):
+                if isinstance(sub, A.Call):
+                    callee = all_fns.get(sub.fn_name)
+                    if callee is not None and not callee.is_spec:
+                        err(where,
+                            f"{callee.mode} function {sub.fn_name!r} "
+                            f"called in expression position ({what})",
+                            stmt.span or fn.span,
+                            "use a call statement (SCall/call_stmt) and "
+                            "bind its result")

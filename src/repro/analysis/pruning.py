@@ -1,0 +1,45 @@
+"""Pruning advisor: spec context no obligation ever pulls in (§3.1).
+
+Context pruning ships each obligation with only the definitional
+axioms its translation reaches — the heart of the paper's query
+economy.  The flip side: a spec function that *no* exec/proof function
+reaches contributes nothing to any query; it is dead specification
+weight that every reader (and every fingerprint) still carries.  This
+pass recomputes the same reachability the VC generator uses
+(:meth:`repro.vc.wp.VcGen.reachable_spec_fns`) over every obligation
+owner and reports the spec functions left over, as info findings.
+"""
+
+from __future__ import annotations
+
+from ..vc import ast as A
+from . import INFO, AnalysisContext, AnalysisPass, Finding
+
+
+class PruningAdvisorPass(AnalysisPass):
+    """Flag spec functions unreachable from every obligation."""
+
+    id = "pruning"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        from ..vc.wp import VcGen
+        gen = VcGen(ctx.module, ctx.vc_config)
+        roots = [fn for fn in ctx.module.functions.values()
+                 if fn.mode in (A.EXEC, A.PROOF) and fn.body is not None]
+        if not roots:
+            return []  # pure spec library: nothing is an obligation yet
+        used: set[str] = set()
+        for fn in roots:
+            used.update(s.name for s in gen.reachable_spec_fns(fn))
+        findings: list[Finding] = []
+        for name, fn in ctx.module.functions.items():
+            if not fn.is_spec or fn.body is None or name in used:
+                continue
+            findings.append(Finding(
+                self.id, INFO, ctx.qualify(name),
+                "spec function is not reachable from any exec/proof "
+                "function's specs or body; context pruning drops it "
+                "from every query", span=fn.span,
+                suggestion="delete it, or move it to a library module "
+                           "that users import on demand"))
+        return findings

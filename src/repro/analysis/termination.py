@@ -1,0 +1,74 @@
+"""Termination lint: recursion needs a ``decreases`` measure (§3.1).
+
+The §3.1 encoding turns every spec function into a definitional axiom
+
+    forall args. spec.f(args) == body(args)
+
+whose soundness *assumes* the function is total: a non-terminating
+definition like ``f(x) == f(x) + 1`` makes the axiom inconsistent and
+proves anything.  Verus discharges that assumption by requiring a
+``decreases`` clause on every recursive spec/proof function and
+checking it strictly decreases.  This pass reproduces the static half:
+it computes the strongly connected components of the call graph (over
+the module and everything it imports, so cross-module recursion is
+seen) and reports every recursive spec/proof function defined in the
+analyzed module that lacks a measure.  Recursive exec functions get a
+warning — they cannot break soundness, only liveness.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from ..vc import ast as A
+from . import ERROR, WARNING, AnalysisContext, AnalysisPass, Finding
+
+
+class TerminationPass(AnalysisPass):
+    """Flag recursion without a ``decreases`` clause."""
+
+    id = "termination"
+
+    def run(self, ctx: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        graph = nx.DiGraph()
+        graph.add_nodes_from(ctx.call_graph)
+        for caller, callees in ctx.call_graph.items():
+            graph.add_edges_from((caller, c) for c in callees)
+        all_fns = ctx.module.all_functions()
+        own = set(ctx.module.functions)
+        for scc in nx.strongly_connected_components(graph):
+            members = sorted(scc)
+            if len(members) == 1 and not graph.has_edge(members[0],
+                                                        members[0]):
+                continue  # not recursive
+            cycle = " -> ".join(members + [members[0]])
+            for name in members:
+                if name not in own:
+                    continue  # imported function: analyzed with its module
+                fn = all_fns[name]
+                if fn.decreases is not None:
+                    continue
+                if fn.mode in (A.SPEC, A.PROOF):
+                    what = ("totality of pure spec functions is a "
+                            "soundness assumption of the definitional-"
+                            "axiom encoding"
+                            if fn.mode == A.SPEC else
+                            "a non-terminating proof is not a proof")
+                    findings.append(Finding(
+                        self.id, ERROR, ctx.qualify(name),
+                        f"recursive {fn.mode} function has no decreases "
+                        f"clause ({what}); recursion cycle: {cycle}",
+                        span=fn.span,
+                        suggestion="add a decreases=... measure that "
+                                   "strictly shrinks on every recursive "
+                                   "call"))
+                else:
+                    findings.append(Finding(
+                        self.id, WARNING, ctx.qualify(name),
+                        f"recursive exec function has no decreases "
+                        f"clause; termination is unchecked (cycle: "
+                        f"{cycle})",
+                        span=fn.span,
+                        suggestion="add a decreases=... measure"))
+        return findings

@@ -33,6 +33,9 @@ Environment knobs (all optional, read only by :meth:`from_env`):
   obligations in one warm solver under push/pop scopes.
 * ``REPRO_DELTA`` — truthy to skip re-planning functions whose
   transitive spec dependencies are unchanged (requires the cache).
+* ``REPRO_ANALYZE`` — truthy to run the :mod:`repro.analysis` static
+  passes before planning and reject modules with error findings
+  without issuing a single SMT query.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ DIAG_ENV = "REPRO_DIAG"
 JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 INCREMENTAL_ENV = "REPRO_INCREMENTAL"
 DELTA_ENV = "REPRO_DELTA"
+ANALYZE_ENV = "REPRO_ANALYZE"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -67,6 +71,8 @@ class VerifyConfig:
     ``incremental``     warm per-function solver contexts (push/pop).
     ``delta``           skip functions with unchanged dependency
                         fingerprints (needs ``cache_dir``).
+    ``analyze``         run the static-analysis gate before planning;
+                        error findings reject the module solver-free.
     """
 
     jobs: int = 1
@@ -75,6 +81,7 @@ class VerifyConfig:
     job_timeout: Optional[float] = None
     incremental: bool = False
     delta: bool = False
+    analyze: bool = False
 
     @classmethod
     def from_env(cls, **overrides) -> "VerifyConfig":
@@ -99,7 +106,8 @@ class VerifyConfig:
                   diagnostics=_env_truthy(DIAG_ENV),
                   job_timeout=job_timeout,
                   incremental=_env_truthy(INCREMENTAL_ENV),
-                  delta=_env_truthy(DELTA_ENV))
+                  delta=_env_truthy(DELTA_ENV),
+                  analyze=_env_truthy(ANALYZE_ENV))
         return cfg.replace(**overrides) if overrides else cfg
 
     def replace(self, **overrides) -> "VerifyConfig":
@@ -159,7 +167,8 @@ class Session:
                          timeout=cfg.job_timeout,
                          diagnostics=cfg.diagnostics,
                          incremental=cfg.incremental,
-                         delta=cfg.delta)
+                         delta=cfg.delta,
+                         analyze=cfg.analyze)
 
     # ------------------------------------------------------------- verbs
 
@@ -182,6 +191,16 @@ class Session:
         scheduler = self.scheduler()
         scheduler.diagnostics = True
         return VcGen(mod, vc_config).verify_module(scheduler)
+
+    def analyze(self, mod, vc_config=None):
+        """Run the static-analysis passes only; no solver is constructed.
+
+        Returns the :class:`repro.analysis.AnalysisReport` regardless of
+        the session's ``analyze`` flag (that flag controls the
+        verification-time gate, not this explicit verb).
+        """
+        from .analysis import analyze_module
+        return analyze_module(mod, vc_config)
 
     def __repr__(self) -> str:
         return f"<Session {self.config}>"

@@ -51,6 +51,43 @@ def obligation_to_json(o) -> dict:
     }
 
 
+def render_findings(findings) -> str:
+    """Human rendering of static-analysis findings, one block each."""
+    lines: list[str] = []
+    for f in findings:
+        loc = f" @ {f.span}" if f.span is not None else ""
+        lines.append(f"{f.severity.upper()} [{f.pass_id}] {f.where}{loc}")
+        lines.append(f"  {f.message}")
+        if f.suggestion:
+            lines.append(f"  hint: {f.suggestion}")
+    return "\n".join(lines)
+
+
+def finding_to_json(f) -> dict:
+    return {
+        "pass": f.pass_id,
+        "severity": f.severity,
+        "where": f.where,
+        "message": f.message,
+        "span": str(f.span) if f.span is not None else None,
+        "suggestion": f.suggestion or None,
+    }
+
+
+def analysis_to_json(report) -> dict:
+    """Machine-readable rendering of an AnalysisReport."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "module": report.module,
+        "ok": report.ok,
+        "seconds": round(report.seconds, 6),
+        "passes": list(report.passes),
+        "errors": len(report.errors()),
+        "warnings": len(report.warnings()),
+        "findings": [finding_to_json(f) for f in report.sorted_findings()],
+    }
+
+
 # Version of the machine-readable report below.  Bump on any breaking
 # change to the key layout; consumers should reject versions they do not
 # know.  The schema is documented in README.md ("Machine-readable
@@ -64,6 +101,10 @@ def module_to_json(result) -> dict:
         "schema_version": SCHEMA_VERSION,
         "module": result.name,
         "ok": result.ok,
+        "rejected": getattr(result, "rejected", False),
+        "analysis": (analysis_to_json(result.analysis)
+                     if getattr(result, "analysis", None) is not None
+                     else None),
         "seconds": round(result.seconds, 6),
         "query_bytes": result.query_bytes,
         "functions": [

@@ -34,9 +34,18 @@ _ARITH_OPS = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
 class EprViolation:
     """One reason a module is not in EPR."""
 
-    def __init__(self, where: str, reason: str):
+    def __init__(self, where: str, reason: str, span=None):
         self.where = where
         self.reason = reason
+        self.span = span  # Optional[repro.vc.ast.Span]
+
+    def to_finding(self, severity: str = "error"):
+        """Adapt to a static-analysis :class:`repro.analysis.Finding`."""
+        from ..analysis import Finding
+        return Finding("epr", severity, self.where, self.reason,
+                       span=self.span,
+                       suggestion="rework the spec to stay inside EPR, or "
+                                  "drop epr_mode and prove it manually")
 
     def __repr__(self) -> str:
         return f"<EprViolation {self.where}: {self.reason}>"
@@ -57,19 +66,21 @@ def _is_epr_type(t: VT.VType) -> bool:
     return False
 
 
-def _expr_violations(e: A.Expr, where: str, out: list[EprViolation]) -> None:
+def _expr_violations(e: A.Expr, where: str, out: list[EprViolation],
+                     span=None) -> None:
     for sub in _walk(e):
         if isinstance(sub, A.BinOp) and sub.op in _ARITH_OPS:
             out.append(EprViolation(
                 where, f"arithmetic operator {sub.op!r} is outside EPR "
-                       f"(abstract numbers as a totally ordered sort)"))
+                       f"(abstract numbers as a totally ordered sort)", span))
         if isinstance(sub, A.Lit) and not isinstance(sub.vtype, VT.BoolType):
             out.append(EprViolation(
-                where, "integer literal is outside EPR"))
+                where, "integer literal is outside EPR", span))
         if isinstance(sub, (A.SeqLen, A.SeqIndex, A.SeqUpdate, A.SeqConcat,
                             A.SeqSkip, A.SeqTake, A.SeqLit)):
             out.append(EprViolation(
-                where, "Seq operations require integer indices, outside EPR"))
+                where, "Seq operations require integer indices, outside EPR",
+                span))
 
 
 def _walk(e: A.Expr):
@@ -135,15 +146,16 @@ def check_epr_module(mod: A.Module) -> list[EprViolation]:
             if not _is_epr_type(p.vtype):
                 violations.append(EprViolation(
                     where, f"parameter {p.name}: type {p.vtype.name} is not "
-                           f"an uninterpreted EPR sort"))
+                           f"an uninterpreted EPR sort", fn.span))
         if fn.ret is not None and not _is_epr_type(fn.ret[1]):
             violations.append(EprViolation(
-                where, f"return type {fn.ret[1].name} is not an EPR sort"))
+                where, f"return type {fn.ret[1].name} is not an EPR sort",
+                fn.span))
         exprs = list(fn.requires) + list(fn.ensures)
         if isinstance(fn.body, A.Expr):
             exprs.append(fn.body)
         for e in exprs:
-            _expr_violations(e, where, violations)
+            _expr_violations(e, where, violations, fn.span)
             _quantifier_edges(e, True, graph, ())
         # Function edges: non-boolean spec functions map argument sorts to
         # the result sort; a sort cycle breaks decidability.

@@ -274,6 +274,21 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
 # Verification entry points
 # ---------------------------------------------------------------------------
 
+# Shim names that have already warned this process (each shim warns at
+# most once, so legacy scripts stay readable while still being nudged).
+_DEPRECATED_WARNED: set[str] = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATED_WARNED:
+        return
+    _DEPRECATED_WARNED.add(name)
+    import warnings
+    warnings.warn(
+        f"repro.lang.{name}() is deprecated; use {replacement} instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def _legacy_session(jobs, cache, diagnostics,
                     incremental=None, delta=None):
     """Build a :class:`repro.api.Session` from the historical kwargs.
@@ -316,6 +331,7 @@ def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
     Diagnostic` (counterexample witness, split conjuncts, QI profile) to
     every failed obligation (default ``$REPRO_DIAG`` or off).
     """
+    _warn_deprecated("verify_module", "repro.api.Session.verify_module")
     return _legacy_session(jobs, cache, diagnostics).verify_module(
         mod, config)
 
@@ -330,6 +346,7 @@ def verify(mod: A.Module, config: Optional[VcConfig] = None,
         same ``jobs``/``cache``/``diagnostics`` knobs as
         :func:`verify_module`.
     """
+    _warn_deprecated("verify", "repro.api.Session.verify")
     return _legacy_session(jobs, cache, diagnostics).verify(mod, config)
 
 
@@ -343,6 +360,7 @@ def diagnose(mod: A.Module, config: Optional[VcConfig] = None,
     .. deprecated::
         Thin shim over :meth:`repro.api.Session.diagnose`.
     """
+    _warn_deprecated("diagnose", "repro.api.Session.diagnose")
     return _legacy_session(jobs, cache, True).diagnose(mod, config)
 
 

@@ -17,13 +17,17 @@ make a pattern equal (modulo congruence) to an existing term.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from . import terms as T
 from .euf import EufSolver
 
 CONSERVATIVE = "conservative"
 BROAD = "broad"
+
+# Fallback kinds reported through ``select_triggers(on_fallback=...)``.
+FALLBACK_BROAD_TO_CONSERVATIVE = "broad_to_conservative"
+FALLBACK_MULTI_PATTERN = "multi_pattern_group"
 
 
 class TriggerError(Exception):
@@ -46,9 +50,20 @@ def _contains_interpreted_root(t: T.Term) -> bool:
     return t.kind != T.APP
 
 
-def select_triggers(quant: T.Term, policy: str = CONSERVATIVE
+def select_triggers(quant: T.Term, policy: str = CONSERVATIVE,
+                    on_fallback: Optional[Callable[[str], None]] = None
                     ) -> tuple[tuple[T.Term, ...], ...]:
-    """Choose trigger groups for a FORALL; explicit triggers win."""
+    """Choose trigger groups for a FORALL; explicit triggers win.
+
+    ``on_fallback`` is invoked (with a fallback-kind string) whenever the
+    selection silently degrades: the BROAD policy found no covering group
+    and fell through to conservative selection
+    (``FALLBACK_BROAD_TO_CONSERVATIVE``), or no single pattern covers all
+    bound variables and a brittle multi-pattern group had to be built
+    (``FALLBACK_MULTI_PATTERN``).  The solver counts these in
+    ``Stats.trigger_fallbacks`` so the QI profiler and the static
+    matching-loop lint can surface them instead of losing them.
+    """
     if quant.triggers:
         return quant.triggers
     bound = frozenset(quant.bound_vars)
@@ -88,6 +103,8 @@ def select_triggers(quant: T.Term, policy: str = CONSERVATIVE
         if groups:
             return tuple(groups)
         # fall through to conservative if nothing covers
+        if on_fallback is not None:
+            on_fallback(FALLBACK_BROAD_TO_CONSERVATIVE)
 
     # Conservative: each *minimal* pattern covering all bound vars becomes
     # its own alternative trigger (one would be too brittle — it may have
@@ -99,6 +116,8 @@ def select_triggers(quant: T.Term, policy: str = CONSERVATIVE
                    if not any(d is not c and d in set(c.subterms())
                               for d in full_set)]
         return tuple((c,) for c in (minimal or full))
+    if on_fallback is not None:
+        on_fallback(FALLBACK_MULTI_PATTERN)
     candidates.sort(key=lambda c: c.size())
     group: list[T.Term] = []
     covered: frozenset = frozenset()

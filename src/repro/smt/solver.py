@@ -54,6 +54,10 @@ class Stats:
         self.theory_lemmas = 0
         self.instantiations = 0
         self.mbqi_instantiations = 0
+        # Trigger selections that silently degraded (broad policy falling
+        # through to conservative, or a brittle multi-pattern group) —
+        # see repro.smt.quant.select_triggers.
+        self.trigger_fallbacks = 0
         self.rounds = 0
         self.query_bytes = 0
         self.solve_seconds = 0.0
@@ -723,6 +727,9 @@ class SmtSolver:
             self._label_cache[t] = label
         return label
 
+    def _note_fallback(self, _kind: str) -> None:
+        self.stats.trigger_fallbacks += 1
+
     def _record_instantiation(self, quant: T.Term, trigger_label: str
                               ) -> None:
         per = self.stats.inst_profile.setdefault(self._term_label(quant), {})
@@ -764,7 +771,8 @@ class SmtSolver:
             for quant in active:
                 try:
                     groups = select_triggers(quant,
-                                             self.config.trigger_policy)
+                                             self.config.trigger_policy,
+                                             on_fallback=self._note_fallback)
                 except TriggerError:
                     continue  # MBQI may still handle it
                 for group in groups:

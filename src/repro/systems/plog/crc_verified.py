@@ -41,7 +41,8 @@ def build_crc_table_module(entries=(0, 1, 2, 7, 16, 31, 128, 255)) -> Module:
             body=ite(and_all(a.eq(0), b.eq(0)),
                      lit(0),
                      ((a % 2) + (b % 2)) % 2
-                     + 2 * rec_call("xor32", INT, a // 2, b // 2)))
+                     + 2 * rec_call("xor32", INT, a // 2, b // 2)),
+            decreases=a + b)
 
     # one step of reflected CRC-32: if lsb set, shift and xor the poly
     v = var("v", INT)
@@ -54,7 +55,8 @@ def build_crc_table_module(entries=(0, 1, 2, 7, 16, 31, 128, 255)) -> Module:
     spec_fn(mod, "crc_steps", [("v", INT), ("n", INT)], INT,
             body=ite(n <= 0, v,
                      rec_call("crc_steps", INT,
-                              call(mod, "crc_step", v), n - 1)))
+                              call(mod, "crc_step", v), n - 1)),
+            decreases=n)
 
     body = []
     for index in entries:

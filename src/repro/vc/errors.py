@@ -93,10 +93,15 @@ class ModuleResult:
         # wall-clock, instantiation profile, ...) — empty when verified
         # without a scheduler.
         self.stats: dict = {}
+        # Static-analysis gate (repro.analysis): the AnalysisReport when
+        # the scheduler ran the analyzer, and whether error findings
+        # rejected the module before any solver work.
+        self.analysis = None        # Optional[repro.analysis.AnalysisReport]
+        self.rejected: bool = False
 
     @property
     def ok(self) -> bool:
-        return all(f.ok for f in self.functions)
+        return not self.rejected and all(f.ok for f in self.functions)
 
     @property
     def query_bytes(self) -> int:
@@ -116,9 +121,13 @@ class ModuleResult:
         ``diagnostics=False`` restores the bare one-line-per-failure
         output regardless of attached payloads.
         """
-        lines = [f"module {self.name}: "
-                 f"{'VERIFIED' if self.ok else 'FAILED'} "
+        status = ("REJECTED by static analysis" if self.rejected
+                  else "VERIFIED" if self.ok else "FAILED")
+        lines = [f"module {self.name}: {status} "
                  f"in {self.seconds:.2f}s ({self.query_bytes} query bytes)"]
+        if self.analysis is not None and self.analysis.findings:
+            lines.extend("  " + al
+                         for al in self.analysis.report().splitlines())
         hits = self.stats.get("cache_hits", 0)
         misses = self.stats.get("cache_misses", 0)
         if hits or misses:

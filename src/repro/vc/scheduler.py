@@ -156,13 +156,19 @@ class Scheduler:
     ``$REPRO_INCREMENTAL`` or off).  ``delta``: skip planning functions
     whose dependency fingerprint is unchanged since a fully verified run
     (default ``$REPRO_DELTA`` or off; needs the cache for storage).
+
+    ``analyze``: run the :mod:`repro.analysis` static passes before
+    planning; a module with any error-severity finding is **rejected**
+    without constructing a single solver (default ``$REPRO_ANALYZE`` or
+    off).
     """
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
                  timeout: Optional[float] = None,
                  diagnostics: Optional[bool] = None,
                  incremental: Optional[bool] = None,
-                 delta: Optional[bool] = None):
+                 delta: Optional[bool] = None,
+                 analyze: Optional[bool] = None):
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
@@ -178,6 +184,7 @@ class Scheduler:
         self.incremental = (incremental if incremental is not None
                             else env.incremental)
         self.delta = delta if delta is not None else env.delta
+        self.analyze = analyze if analyze is not None else env.analyze
         self._delta_cache = None
         if self.delta and self.cache is not None:
             from .delta import DeltaCache
@@ -195,6 +202,16 @@ class Scheduler:
         skips0 = (self._delta_cache.skips
                   if self._delta_cache is not None else 0)
         result = ModuleResult(gen.module.name)
+        if self.analyze:
+            from ..analysis import analyze_module
+            report = analyze_module(gen.module, gen.config)
+            result.analysis = report
+            if report.has_errors:
+                # Fail fast: no planning, no solver, zero query bytes.
+                result.rejected = True
+                result.seconds = time.perf_counter() - t0
+                result.stats = self.stats.snapshot()
+                return result
         plans = []
         tasks: list[_Task] = []
         # Planning runs the §3.3 idiom engines eagerly; hand them the
