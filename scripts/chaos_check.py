@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Chaos gate: faulted runs must reproduce fault-free verdicts exactly.
+
+Verifies each case-study module twice — once clean, once under a
+deterministic :mod:`repro.resilience.faults` plan (a worker crash, a
+cache-store I/O error, and a forced resource-out) with the retry ladder
+enabled — and diffs the per-obligation verdict signatures.  Any
+divergence means a recovery path changed an *answer* instead of just
+costing time, and the script exits 1 so CI fails.
+
+Run:  PYTHONPATH=src python scripts/chaos_check.py
+      PYTHONPATH=src python scripts/chaos_check.py --jobs 2 \\
+          --plan 'seed=5; pool.worker:crash@1; cache.store:io@1'
+"""
+
+import argparse
+import importlib
+import sys
+import tempfile
+
+from repro.api import Session
+
+# The Fig 9 module set: one representative verified module per shipped
+# system.  (mimalloc is idiom-only and plog solver-free, so some fault
+# points never arm there — the identical-verdicts bar still applies.)
+MODULES = [
+    ("ironkv", "repro.systems.ironkv.delegation_map.build_default_module"),
+    ("nr", "repro.systems.nr.model.build_nr_core_module"),
+    ("pagetable", "repro.systems.pagetable.view_verified.build_view_module"),
+    ("mimalloc", "repro.systems.mimalloc.verified.build_bit_tricks_module"),
+    ("plog", "repro.systems.plog.crc_verified.build_crc_table_module"),
+]
+
+DEFAULT_PLAN = ("seed=5; pool.worker:crash@1; cache.store:io@1; "
+                "solver.check:resource_out@2")
+
+
+def _build(dotted: str):
+    modpath, _, fn = dotted.rpartition(".")
+    return getattr(importlib.import_module(modpath), fn)()
+
+
+def _signature(result):
+    return [(f.name, o.label, o.kind, o.status)
+            for f in result.functions for o in f.obligations]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="worker processes for the chaos run (default 2)")
+    ap.add_argument("--plan", default=DEFAULT_PLAN,
+                    help="fault plan for the chaos run")
+    ap.add_argument("--retries", type=int, default=3,
+                    help="retry-escalation attempts (default 3)")
+    args = ap.parse_args(argv)
+
+    failures = 0
+    total_fired = 0
+    for name, dotted in MODULES:
+        clean = Session(jobs=1).verify_module(_build(dotted))
+        with tempfile.TemporaryDirectory(prefix="chaos_pc.") as cachedir:
+            chaos = Session(jobs=args.jobs, retries=args.retries,
+                            fault_plan=args.plan, cache_dir=cachedir)
+            faulted = chaos.verify_module(_build(dotted))
+        fired = faulted.stats.get("faults_injected", 0)
+        total_fired += fired
+        recovered = faulted.stats.get("retry_recoveries", 0)
+        crashes = faulted.stats.get("pool_failures", 0)
+        if _signature(faulted) == _signature(clean):
+            print(f"ok   {name}: verdicts identical "
+                  f"({fired} faults fired, {crashes} worker failures, "
+                  f"{recovered} ladder recoveries)")
+        else:
+            failures += 1
+            print(f"FAIL {name}: chaos run diverged from clean run")
+            for c, f in zip(_signature(clean), _signature(faulted)):
+                if c != f:
+                    print(f"     clean={c}  chaos={f}")
+
+    if total_fired == 0:
+        print("FAIL: the fault plan never fired — the gate tested nothing")
+        return 1
+    if failures:
+        print(f"{failures}/{len(MODULES)} modules diverged under faults")
+        return 1
+    print(f"all {len(MODULES)} modules byte-identical under plan "
+          f"{args.plan!r} ({total_fired} faults fired)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

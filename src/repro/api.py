@@ -36,6 +36,16 @@ Environment knobs (all optional, read only by :meth:`from_env`):
 * ``REPRO_ANALYZE`` — truthy to run the :mod:`repro.analysis` static
   passes before planning and reject modules with error findings
   without issuing a single SMT query.
+* ``REPRO_RETRIES`` — max retry-escalation attempts per failed /
+  resource-out / crashed obligation (``0`` = ladder off, the default).
+* ``REPRO_MAX_STEPS`` — machine-independent solver step budget per
+  check; exhaustion yields a structured ``resource-out`` verdict.
+* ``REPRO_FAULT_PLAN`` — a :mod:`repro.resilience.faults` plan string;
+  the scheduler installs it around each ``run_module`` for
+  seed-reproducible chaos testing.
+* ``REPRO_JOURNAL_DIR`` — directory for crash-resumable run journals
+  (one per module); killed runs resume via
+  ``Session.verify_module(resume=...)``.
 """
 
 from __future__ import annotations
@@ -52,6 +62,10 @@ JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
 INCREMENTAL_ENV = "REPRO_INCREMENTAL"
 DELTA_ENV = "REPRO_DELTA"
 ANALYZE_ENV = "REPRO_ANALYZE"
+RETRIES_ENV = "REPRO_RETRIES"
+MAX_STEPS_ENV = "REPRO_MAX_STEPS"
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -73,6 +87,13 @@ class VerifyConfig:
                         fingerprints (needs ``cache_dir``).
     ``analyze``         run the static-analysis gate before planning;
                         error findings reject the module solver-free.
+    ``retries``         retry-escalation attempts per failed/resource-out
+                        /crashed obligation (0 = ladder off).
+    ``max_steps``       per-check solver step budget; exhaustion yields
+                        a ``resource-out`` verdict instead of a hang.
+    ``fault_plan``      a deterministic fault-injection plan string
+                        (see :mod:`repro.resilience.faults`).
+    ``journal_dir``     directory for crash-resumable run journals.
     """
 
     jobs: int = 1
@@ -82,6 +103,10 @@ class VerifyConfig:
     incremental: bool = False
     delta: bool = False
     analyze: bool = False
+    retries: int = 0
+    max_steps: Optional[int] = None
+    fault_plan: Optional[str] = None
+    journal_dir: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "VerifyConfig":
@@ -101,13 +126,27 @@ class VerifyConfig:
             job_timeout = float(raw_timeout) if raw_timeout else None
         except ValueError:
             job_timeout = None
+        raw_retries = os.environ.get(RETRIES_ENV)
+        try:
+            retries = max(0, int(raw_retries)) if raw_retries else 0
+        except ValueError:
+            retries = 0
+        raw_steps = os.environ.get(MAX_STEPS_ENV)
+        try:
+            max_steps = max(1, int(raw_steps)) if raw_steps else None
+        except ValueError:
+            max_steps = None
         cfg = cls(jobs=jobs,
                   cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
                   diagnostics=_env_truthy(DIAG_ENV),
                   job_timeout=job_timeout,
                   incremental=_env_truthy(INCREMENTAL_ENV),
                   delta=_env_truthy(DELTA_ENV),
-                  analyze=_env_truthy(ANALYZE_ENV))
+                  analyze=_env_truthy(ANALYZE_ENV),
+                  retries=retries,
+                  max_steps=max_steps,
+                  fault_plan=os.environ.get(FAULT_PLAN_ENV) or None,
+                  journal_dir=os.environ.get(JOURNAL_DIR_ENV) or None)
         return cfg.replace(**overrides) if overrides else cfg
 
     def replace(self, **overrides) -> "VerifyConfig":
@@ -156,9 +195,14 @@ class Session:
                 self._cache = ProofCache(self.config.cache_dir)
         return self._cache
 
-    def scheduler(self):
+    def scheduler(self, journal=None):
         """A fresh :class:`~repro.vc.scheduler.Scheduler` wired to this
-        session's config and shared cache."""
+        session's config and shared cache.
+
+        ``journal`` overrides the config's ``journal_dir`` — a journal
+        file/directory path or an open ``RunJournal`` (used by
+        :meth:`verify_module`'s ``resume=`` argument).
+        """
         from .vc.scheduler import Scheduler
         cfg = self.config
         cache = self.cache
@@ -168,14 +212,27 @@ class Session:
                          diagnostics=cfg.diagnostics,
                          incremental=cfg.incremental,
                          delta=cfg.delta,
-                         analyze=cfg.analyze)
+                         analyze=cfg.analyze,
+                         retries=cfg.retries,
+                         max_steps=cfg.max_steps,
+                         fault_plan=cfg.fault_plan,
+                         journal=journal if journal is not None
+                         else cfg.journal_dir)
 
     # ------------------------------------------------------------- verbs
 
-    def verify_module(self, mod, vc_config=None):
-        """Verify a module, returning the detailed ``ModuleResult``."""
+    def verify_module(self, mod, vc_config=None, resume=None):
+        """Verify a module, returning the detailed ``ModuleResult``.
+
+        ``resume`` names a run journal (a ``*.journal`` file or a
+        journal directory) from a previous — possibly killed — run of
+        the same module: obligations whose digests it records are
+        replayed instead of re-solved, and newly discharged goals are
+        appended so the run stays resumable if killed again.
+        """
         from .vc.wp import VcGen
-        return VcGen(mod, vc_config).verify_module(self.scheduler())
+        return VcGen(mod, vc_config).verify_module(
+            self.scheduler(journal=resume))
 
     def verify(self, mod, vc_config=None):
         """Verify a module; raise ``VerificationFailure`` on failure."""

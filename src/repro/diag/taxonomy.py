@@ -14,7 +14,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from ..vc.errors import FAILED, PROVED, TIMEOUT
+from ..vc.errors import FAILED, PROVED, RESOURCE_OUT, TIMEOUT
 
 
 class VerusErrorType(enum.Enum):
@@ -30,6 +30,7 @@ class VerusErrorType(enum.Enum):
     BOUNDS_FAIL = "BoundsFail"             # seq index / map key
     DECREASES_FAIL = "DecreasesFail"       # termination measure
     RLIMIT_EXCEEDED = "RlimitExceeded"     # solver gave up (unknown)
+    RESOURCE_OUT = "ResourceOut"           # solver budget exhausted
     UNKNOWN_FAIL = "UnknownFail"           # anything else
 
     def __str__(self) -> str:
@@ -42,9 +43,9 @@ def classify(kind: str, label: str = "", status: str = FAILED
 
     The kind wins even for solver-unknown verdicts — like Verus, a
     postcondition the solver gave up on is still reported *as* a
-    postcondition failure; RlimitExceeded is reserved for obligations
-    with no more specific class (and for killed parallel jobs, which
-    the scheduler tags explicitly).
+    postcondition failure; RlimitExceeded and ResourceOut are reserved
+    for obligations with no more specific class (and for killed or
+    budget-exhausted jobs, which the scheduler tags explicitly).
     """
     if kind == "requires":
         return VerusErrorType.PRE_COND_FAIL
@@ -64,6 +65,8 @@ def classify(kind: str, label: str = "", status: str = FAILED
         return VerusErrorType.DECREASES_FAIL
     if status == TIMEOUT:
         return VerusErrorType.RLIMIT_EXCEEDED
+    if status == RESOURCE_OUT:
+        return VerusErrorType.RESOURCE_OUT
     return VerusErrorType.UNKNOWN_FAIL
 
 

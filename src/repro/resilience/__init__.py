@@ -1,0 +1,27 @@
+"""Resilience layer: fault injection, resource guards, crash recovery.
+
+Verification as *practical infrastructure* (the paper's framing) has to
+survive the failures real fleets see: runaway quantifier instantiation,
+worker crashes, corrupted cache entries, and killed runs.  This package
+holds the pieces that are independent of any one pipeline stage:
+
+* :mod:`.faults` — a deterministic, seeded :class:`FaultPlan` arming
+  named fault points across the solver, scheduler, cache, and simulated
+  network (``REPRO_FAULT_PLAN``).
+* :mod:`.journal` — the append-only :class:`RunJournal` behind
+  ``Session.verify_module(resume=...)``.
+
+The remaining resilience machinery lives where it must: resource
+budgets in ``smt/solver.py`` (``RESOURCE_OUT`` verdicts), the retry
+escalation ladder in ``vc/scheduler.py``, and retransmission in
+``systems/ironkv/host.py``.
+"""
+
+from .faults import (FAULT_POINTS, FaultPlan, FaultSpec, InjectedCorruption,
+                     InjectedCrash, InjectedFault, InjectedIOError, active,
+                     install, maybe_fault, uninstall)
+from .journal import RunJournal
+
+__all__ = ["FaultPlan", "FaultSpec", "FAULT_POINTS", "InjectedFault",
+           "InjectedCrash", "InjectedIOError", "InjectedCorruption",
+           "install", "uninstall", "active", "maybe_fault", "RunJournal"]

@@ -1,0 +1,173 @@
+"""Crash-resumable run journal: append-only log of discharged goals.
+
+A verification run killed halfway (OOM killer, ctrl-C, a worker taking
+the parent down) loses all completed work unless the proof cache was
+enabled — and even then only for obligations whose *entries* made it to
+disk.  The journal is a cheaper, run-scoped safety net: one append-only
+JSONL file per module recording the content digest and verdict of every
+obligation the scheduler finished.  ``Session.verify_module(resume=...)``
+replays it and re-solves only what is missing.
+
+Design points, mirroring ``ProofCache``:
+
+* **Atomic appends.**  Each record is a single ``os.write`` to an
+  ``O_APPEND`` descriptor — one line per record, so a crash can at worst
+  truncate the final line, never interleave two.
+* **Tolerant replay.**  :meth:`load` skips malformed lines (the torn
+  tail of a killed process) instead of failing the resume.
+* **Only final verdicts.**  ``proved``/``failed`` are journaled;
+  deadline and ``resource-out`` verdicts are re-solved on resume, the
+  same rule the proof cache applies via its valid-status filter.
+* **Content-addressed.**  Records are keyed by the same
+  ``obligation_digest`` the cache uses, so a journal is only consulted
+  when assertions, solver config, and strategy all match — a resumed
+  run with different knobs re-solves everything, as it must.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+SCHEMA_VERSION = 1
+
+# Verdicts worth replaying on resume — mirrors vc.errors.PROVED/FAILED,
+# spelled out locally because this module sits below the vc package in
+# the import graph (smt.solver pulls in repro.resilience).  Everything
+# else (deadline, resource-out, pending) must be re-solved.
+_RECORDABLE = ("proved", "failed")
+
+
+class RunJournal:
+    """Append-only journal of completed obligation digests for one run."""
+
+    def __init__(self, path: str, module: str = ""):
+        self.path = path
+        self.module = module
+        self.skips = 0            # lookup hits (goals not re-solved)
+        self.records = 0          # records appended by this process
+        self.corrupt_lines = 0    # malformed lines skipped during load
+        self._entries: dict = {}
+        self._fd: Optional[int] = None
+        self.load()
+
+    # -------------------------------------------------------------- replay
+
+    def load(self) -> int:
+        """(Re)read the journal from disk; the number of usable entries.
+
+        Malformed lines — typically the torn final line of a killed
+        writer — are counted and skipped.  Later records for the same
+        digest win, so a retried obligation replays its final verdict.
+        """
+        self._entries = {}
+        self.corrupt_lines = 0
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except (FileNotFoundError, OSError):
+            return 0
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                self.corrupt_lines += 1
+                continue
+            if not isinstance(entry, dict):
+                self.corrupt_lines += 1
+                continue
+            if "journal" in entry:      # header line: informational only
+                continue
+            digest = entry.get("digest")
+            if (not isinstance(digest, str)
+                    or entry.get("status") not in _RECORDABLE):
+                self.corrupt_lines += 1
+                continue
+            self._entries[digest] = entry
+        return len(self._entries)
+
+    def lookup(self, digest: str) -> Optional[dict]:
+        """The journaled entry for ``digest``, counting it as a skip."""
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self.skips += 1
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    # ------------------------------------------------------------- writing
+
+    def record(self, digest: str, status: str, stats: Optional[dict] = None,
+               query_bytes: int = 0, label: str = "") -> bool:
+        """Append one completed obligation; False if not journalable.
+
+        Best effort like ``ProofCache.store``: an unwritable journal
+        degrades resumability, never the verification run itself.
+        """
+        if status not in _RECORDABLE:
+            return False
+        entry = {"digest": digest, "status": status,
+                 "query_bytes": int(query_bytes), "label": label,
+                 "stats": _plain_stats(stats)}
+        try:
+            self._append(json.dumps(entry, sort_keys=True))
+        except (OSError, ValueError):
+            return False
+        self._entries[digest] = entry
+        self.records += 1
+        return True
+
+    def _append(self, line: str) -> None:
+        if self._fd is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            fresh = not os.path.exists(self.path)
+            self._fd = os.open(self.path,
+                               os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
+            if fresh:
+                header = json.dumps({"journal": self.module,
+                                     "schema_version": SCHEMA_VERSION})
+                os.write(self._fd, (header + "\n").encode("utf-8"))
+            else:
+                size = os.fstat(self._fd).st_size
+                if size and os.pread(self._fd, 1, size - 1) != b"\n":
+                    # A killed writer left an unterminated torn tail;
+                    # close it off so new records get their own lines
+                    # instead of gluing onto the garbage.
+                    os.write(self._fd, b"\n")
+        # A single write of one whole line: POSIX O_APPEND writes are
+        # atomic, so concurrent/killed writers can only truncate the
+        # tail, which load() tolerates.
+        os.write(self._fd, (line + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+    def __repr__(self) -> str:
+        return (f"<RunJournal {self.path!r} entries={len(self._entries)} "
+                f"skips={self.skips}>")
+
+
+def _plain_stats(stats: Optional[dict]) -> dict:
+    """JSON-safe projection of a stats snapshot (numbers/strings only)."""
+    if not stats:
+        return {}
+    out = {}
+    for key, value in stats.items():
+        if isinstance(value, (int, float, str, bool)):
+            out[key] = value
+    return out

@@ -14,6 +14,8 @@ import threading
 from collections import deque
 from typing import Optional
 
+from ..resilience import faults as _faults
+
 
 class Endpoint:
     """One addressable endpoint with a FIFO receive queue."""
@@ -79,6 +81,13 @@ class Network:
             target = self._endpoints.get(dst)
             if target is None:
                 self.stats["dropped"] += 1
+                return
+            # Plan-directed drops ride alongside the probabilistic
+            # drop_rate: `net.send:drop@N` kills exactly the Nth send.
+            if _faults.maybe_fault("net.send") is not None:
+                self.stats["dropped"] += 1
+                self.stats["injected_drops"] = (
+                    self.stats.get("injected_drops", 0) + 1)
                 return
             if self._rng.random() < self.drop_rate:
                 self.stats["dropped"] += 1

@@ -79,6 +79,9 @@ class SatSolver:
         self.num_decisions = 0
         self.num_propagations = 0
         self._ok = True
+        # Why the last solve() returned None: conflict budget vs deadline.
+        # The SMT layer reads this to tell RESOURCE_OUT from TIMEOUT.
+        self.budget_exhausted = False
         # Incremental state: one frame per open push(); per-variable creation
         # scope and, for root (level-0) assignments, the scope the assignment
         # depends on.
@@ -432,6 +435,7 @@ class SatSolver:
         out or the wall-clock ``deadline`` (``time.monotonic`` value) passed.
         On sat, :meth:`model` reads variable values.
         """
+        self.budget_exhausted = False
         if not self._ok:
             return False
         self._backtrack(0)
@@ -450,6 +454,7 @@ class SatSolver:
                 if budget_left is not None:
                     budget_left -= 1
                     if budget_left <= 0:
+                        self.budget_exhausted = True
                         self._backtrack(0)
                         return None
                 if deadline is not None and self.num_conflicts % 256 == 0 \

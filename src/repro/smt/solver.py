@@ -27,6 +27,8 @@ import time
 from typing import Iterable, Optional
 
 from . import terms as T
+from ..resilience import faults as _faults
+from ..resilience.faults import InjectedCrash
 from .euf import EufConflict, EufSolver
 from .lia import LiaConflict, LiaSolver, LiaUnknown, LinExpr
 from .printer import query_size_bytes, term_to_str
@@ -72,6 +74,14 @@ class Stats:
         self.obligations = 0
         self.obligation_seconds = 0.0
         self.wall_seconds = 0.0
+        # Resilience counters (repro.resilience + the scheduler's retry
+        # escalation ladder); all stay 0 on fault-free default runs.
+        self.resource_outs = 0        # RESOURCE_OUT verdicts observed
+        self.pool_failures = 0        # worker deaths / pool breakage
+        self.retries = 0              # escalation-ladder attempts
+        self.retry_recoveries = 0     # obligations rescued by the ladder
+        self.journal_skips = 0        # goals replayed from a run journal
+        self.faults_injected = 0      # FaultPlan firings during the run
 
     def snapshot(self) -> dict:
         snap = dict(self.__dict__)
@@ -130,7 +140,8 @@ class SolverConfig:
                  mbqi: bool = False,
                  mbqi_max_universe: int = 9,
                  sat_conflict_budget: int = 400000,
-                 nonlinear: bool = False):
+                 nonlinear: bool = False,
+                 max_steps: Optional[int] = None):
         self.trigger_policy = trigger_policy
         self.max_rounds = max_rounds
         self.max_instantiations = max_instantiations
@@ -138,6 +149,12 @@ class SolverConfig:
         self.mbqi_max_universe = mbqi_max_universe
         self.sat_conflict_budget = sat_conflict_budget
         self.nonlinear = nonlinear
+        # Overall per-check step budget (rounds + theory conflicts +
+        # instantiations).  Unlike the wall-clock deadline this is
+        # machine-independent, so a RESOURCE_OUT verdict reproduces
+        # everywhere.  None = unbounded (the per-dimension budgets above
+        # still apply).
+        self.max_steps = max_steps
 
 
 class SmtSolver:
@@ -171,6 +188,11 @@ class SmtSolver:
         self._frames: list[dict] = []
         self._root: Optional[_TheoryModel] = None
         self.last_deadline_exceeded = False
+        # Set when the last check() returned UNKNOWN because a resource
+        # budget (max_steps, max_instantiations, sat_conflict_budget,
+        # max_rounds) ran out rather than because the problem is beyond
+        # the solver.  The scheduler maps this to a RESOURCE_OUT verdict.
+        self.last_resource_out = False
 
     # ------------------------------------------------------------------ API
 
@@ -260,6 +282,16 @@ class SmtSolver:
         t0 = time.perf_counter()
         deadline = None if timeout is None else time.monotonic() + timeout
         self.last_deadline_exceeded = False
+        self.last_resource_out = False
+        spec = _faults.maybe_fault("solver.check")
+        if spec is not None:
+            if spec.kind == "crash":
+                raise InjectedCrash("solver.check")
+            # Injected resource exhaustion: the structured verdict a real
+            # budget blowout would produce, with zero search work done.
+            self.last_resource_out = True
+            self.stats.solve_seconds += time.perf_counter() - t0
+            return UNKNOWN
         # Freeze the instantiation-depth guard against the terms the QUERY
         # mentions; instances created during solving must not raise it
         # (that would let matching loops feed themselves).
@@ -526,6 +558,11 @@ class SmtSolver:
 
     def _check_loop(self, deadline: Optional[float] = None) -> str:
         config = self.config
+        # Step accounting for the machine-independent max_steps budget:
+        # a "step" is one round, one theory conflict, or one quantifier
+        # instantiation, counted from the start of this check.
+        steps_base = (self.stats.rounds + self.stats.conflicts
+                      + self.stats.instantiations)
         # Each round tries the cheap *forced-prefix* reasoning first:
         # verification refutations are usually decided by unit-forced
         # literals (negated goal, assumptions, axiom instances), and every
@@ -537,6 +574,12 @@ class SmtSolver:
             if deadline is not None and time.monotonic() >= deadline:
                 self.last_deadline_exceeded = True
                 return UNKNOWN
+            if config.max_steps is not None:
+                steps = (self.stats.rounds + self.stats.conflicts
+                         + self.stats.instantiations) - steps_base
+                if steps >= config.max_steps:
+                    self.last_resource_out = True
+                    return UNKNOWN
             self.stats.rounds += 1
             if not forced_saturated and forced_streak < 3:
                 progress = self._forced_round()
@@ -553,7 +596,9 @@ class SmtSolver:
             if res is False:
                 return UNSAT
             if res is None:
-                if deadline is not None and time.monotonic() >= deadline:
+                if self._sat.budget_exhausted:
+                    self.last_resource_out = True
+                elif deadline is not None and time.monotonic() >= deadline:
                     self.last_deadline_exceeded = True
                 return UNKNOWN
             model = self._sat.model()
@@ -612,14 +657,26 @@ class SmtSolver:
                     continue
                 # SAT is only claimable when instantiation truly saturated;
                 # a truncated universe or exhausted budget means UNKNOWN.
+                if not complete:
+                    self._flag_instantiation_budget()
                 return SAT if complete else UNKNOWN
             added, scratch = self._ematch_round(full_theory, full_active)
             if added:
                 self._seed_phases(full_theory, scratch, vars_before)
                 forced_saturated = False
                 continue
+            self._flag_instantiation_budget()
             return UNKNOWN
+        # Round budget exhausted: the search was cut off, not saturated.
+        self.last_resource_out = True
         return UNKNOWN
+
+    def _flag_instantiation_budget(self) -> None:
+        """Mark the check resource-limited if E-matching/MBQI stalled
+        because the instantiation budget ran out (as opposed to genuine
+        saturation, which stays a plain UNKNOWN)."""
+        if self.stats.instantiations >= self.config.max_instantiations:
+            self.last_resource_out = True
 
     def _forced_round(self):
         """One round of forced-prefix reasoning.

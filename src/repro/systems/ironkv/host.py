@@ -16,17 +16,40 @@ Two executable variants exist so Figure 10's comparison is meaningful:
 
 Both implement the same protocol and interoperate over the simulated
 network.
+
+The fabric (:mod:`repro.runtime.network`) is lossy, so delivery is made
+reliable in the host loop: Delegate messages are buffered unacked and
+retransmitted with exponential backoff + seeded jitter until the peer
+acks (dedup by content rid keeps re-application single-shot), forwarded
+Get/Set replies are relayed back to the original requester, and
+:class:`ReliableClient` retransmits requests until the matching-rid
+Reply lands.  Set is idempotent, so at-least-once delivery is safe.
 """
 
 from __future__ import annotations
 
+import hashlib
+import random
 import threading
+import time
 from typing import Optional
 
 from ...runtime.network import Endpoint, Network
 from . import marshal as M
 
 KEY_SPACE = 1 << 20
+
+# Retransmission backoff: first resend after RETX_BASE seconds, doubling
+# up to RETX_CAP, each delay scaled by (1 + jitter) from a seeded RNG so
+# two hosts never stay lock-stepped.
+RETX_BASE = 0.05
+RETX_CAP = 1.0
+
+
+def _rid_of(data: bytes) -> int:
+    """Content-derived request id for messages (like Delegate) that have
+    no client-chosen rid: first 8 bytes of the payload's SHA-256."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
 
 
 class DelegationMap:
@@ -89,9 +112,12 @@ REPLY_MSG = M.derive_struct("Reply", [("rid", M.U64), ("ok", M.U64),
 DELEGATE_MSG = M.derive_struct(
     "Delegate", [("lo", M.U64), ("hi", M.U64), ("host", M.U64),
                  ("pairs", M.vec(M.tuple_of(M.U64, M.BYTES)))])
+# Ack is appended last so the wire tags of the original four variants —
+# and thus every stored byte trace — stay stable.
+ACK_MSG = M.derive_struct("Ack", [("rid", M.U64)])
 MESSAGE = M.derive_enum("Message", [
     ("Get", GET_MSG), ("Set", SET_MSG), ("Reply", REPLY_MSG),
-    ("Delegate", DELEGATE_MSG),
+    ("Delegate", DELEGATE_MSG), ("Ack", ACK_MSG),
 ])
 
 
@@ -171,6 +197,7 @@ class _GenericValueTree:
         "Set": ["rid", "key", "value"],
         "Reply": ["rid", "ok", "value"],
         "Delegate": ["lo", "hi", "host", "pairs"],
+        "Ack": ["rid"],
     }
 
     @classmethod
@@ -207,7 +234,20 @@ class _HostBase:
         self.store: dict[int, bytes] = {}
         self.dmap = DelegationMap(default_host)
         self._stop = threading.Event()
-        self.stats = {"gets": 0, "sets": 0, "forwards": 0, "delegates": 0}
+        self.stats = {"gets": 0, "sets": 0, "forwards": 0, "delegates": 0,
+                      "retransmits": 0, "acks": 0}
+        # Reliable delivery over the lossy fabric: (dst, rid) ->
+        # [payload, attempts, next_due]; flushed by the serve loop with
+        # exponential backoff + seeded jitter until the peer acks.
+        self._unacked: dict[tuple[str, int], list] = {}
+        self._retx_lock = threading.Lock()
+        self._retx_rng = random.Random(0x1B0 + host_id)
+        # Delegates already applied (by content rid), so a retransmitted
+        # Delegate is re-acked but not re-applied.
+        self._seen_delegates: set[int] = set()
+        # rid -> original requester, for relaying the owner's Reply to a
+        # forwarded Get/Set back to the client that asked us.
+        self._forwarded: dict[int, str] = {}
 
     # marshal/parse supplied by subclass
     def marshal(self, msg) -> bytes:
@@ -219,6 +259,7 @@ class _HostBase:
     def serve_forever(self) -> None:
         while not self._stop.is_set():
             item = self.endpoint.recv(timeout=0.05)
+            self._flush_unacked()
             if item is None:
                 continue
             src, data = item
@@ -234,7 +275,38 @@ class _HostBase:
         elif variant == "Set":
             self._handle_set(src, fields)
         elif variant == "Delegate":
-            self._handle_delegate(fields)
+            self._handle_delegate(src, fields, data)
+        elif variant == "Reply":
+            self._handle_reply(fields)
+        elif variant == "Ack":
+            self._handle_ack(src, fields)
+
+    # ----------------------------------------------------- reliable send
+
+    def _send_reliable(self, dst: str, data: bytes, rid: int) -> None:
+        """Send ``data`` and keep retransmitting until ``dst`` acks rid."""
+        with self._retx_lock:
+            self._unacked[(dst, rid)] = [data, 0,
+                                         time.monotonic() + RETX_BASE]
+        self.endpoint.send(dst, data)
+
+    def _flush_unacked(self) -> None:
+        now = time.monotonic()
+        with self._retx_lock:
+            due = [(key, entry) for key, entry in self._unacked.items()
+                   if entry[2] <= now]
+            for _, entry in due:
+                entry[1] += 1
+                delay = min(RETX_CAP, RETX_BASE * (2 ** entry[1]))
+                entry[2] = now + delay * (1.0 + self._retx_rng.random())
+        for (dst, _), entry in due:
+            self.stats["retransmits"] += 1
+            self.endpoint.send(dst, entry[0])
+
+    def _handle_ack(self, src: str, fields) -> None:
+        with self._retx_lock:
+            if self._unacked.pop((src, fields["rid"]), None) is not None:
+                self.stats["acks"] += 1
 
     def _owns(self, key: int) -> bool:
         return self.dmap.get(key) == self.host_id
@@ -249,6 +321,7 @@ class _HostBase:
         else:
             self.stats["forwards"] += 1
             owner = self.dmap.get(key)
+            self._forwarded[fields["rid"]] = src
             self.endpoint.send(f"host{owner}", self.marshal(
                 ("Get", {"rid": fields["rid"], "key": key})))
 
@@ -261,15 +334,31 @@ class _HostBase:
         else:
             self.stats["forwards"] += 1
             owner = self.dmap.get(key)
+            self._forwarded[fields["rid"]] = src
             self.endpoint.send(f"host{owner}", self.marshal(
                 ("Set", dict(fields))))
 
-    def _handle_delegate(self, fields) -> None:
+    def _handle_delegate(self, src: str, fields, data: bytes) -> None:
+        # Always ack (the sender's previous ack may have been dropped),
+        # but apply each delegate only once.
+        rid = _rid_of(data)
+        self.endpoint.send(src, self.marshal(("Ack", {"rid": rid})))
+        if rid in self._seen_delegates:
+            return
+        self._seen_delegates.add(rid)
         self.stats["delegates"] += 1
         self.update_map(fields["lo"], fields["hi"], fields["host"])
         if fields["host"] == self.host_id:
             for key, value in fields["pairs"]:
                 self.store[key] = value
+
+    def _handle_reply(self, fields) -> None:
+        # The owner's answer to a Get/Set we forwarded: relay it to the
+        # original requester.  Dropped relays recover via the client's
+        # own retransmission (which re-records the forward).
+        dst = self._forwarded.pop(fields["rid"], None)
+        if dst is not None:
+            self.endpoint.send(dst, self.marshal(("Reply", dict(fields))))
 
     def _reply(self, dst: str, rid: int, ok: int, value: bytes) -> None:
         self.endpoint.send(dst, self.marshal(
@@ -283,11 +372,15 @@ class _HostBase:
             del self.store[k]
         msg = ("Delegate", {"lo": lo, "hi": hi, "host": to_host,
                             "pairs": pairs})
+        data = self.marshal(msg)
+        rid = _rid_of(data)
         for h in all_hosts:
             if h == self.host_id:
                 self.update_map(lo, hi, to_host)
             else:
-                self.endpoint.send(f"host{h}", self.marshal(msg))
+                # Reliable: the serve loop retransmits with backoff +
+                # jitter until each peer acknowledges this delegate.
+                self._send_reliable(f"host{h}", data, rid)
 
     def update_map(self, lo: int, hi: int, host: int) -> None:
         raise NotImplementedError
@@ -322,3 +415,65 @@ class IronFleetHost(_HostBase):
         rebuilt.hosts = list(self.dmap.hosts)
         rebuilt.set_range(lo, hi, host)
         self.dmap = rebuilt
+
+
+class ReliableClient:
+    """At-least-once request client for the lossy fabric.
+
+    Sends a Get/Set and retransmits with exponential backoff + seeded
+    jitter until a Reply carrying the *matching rid* arrives (stale
+    replies from earlier retransmissions are discarded), so requests
+    converge under any ``Network(drop_rate < 1)``.  Set is idempotent
+    and Get is read-only, so at-least-once delivery is safe.
+    """
+
+    def __init__(self, network: Network, name: str, marshal, parse,
+                 seed: int = 0, base: float = RETX_BASE,
+                 cap: float = RETX_CAP):
+        self.endpoint = network.endpoint(name)
+        self.marshal = marshal
+        self.parse = parse
+        self.base = base
+        self.cap = cap
+        self._rng = random.Random(seed)
+        self.stats = {"requests": 0, "retransmits": 0}
+
+    def request(self, host: int, msg, timeout: float = 30.0):
+        """Send ``msg`` to ``host`` until its Reply arrives; the Reply
+        fields, or ``TimeoutError`` after ``timeout`` seconds."""
+        rid = msg[1]["rid"]
+        data = self.marshal(msg)
+        dst = f"host{host}"
+        self.stats["requests"] += 1
+        deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                raise TimeoutError(
+                    f"no reply for rid={rid} from {dst} in {timeout}s")
+            if attempt:
+                self.stats["retransmits"] += 1
+            self.endpoint.send(dst, data)
+            delay = min(self.cap, self.base * (2 ** attempt))
+            wait_until = min(deadline, now + delay * (1.0 + self._rng.random()))
+            attempt += 1
+            while True:
+                remaining = wait_until - time.monotonic()
+                if remaining <= 0:
+                    break
+                got = self.endpoint.recv(timeout=remaining)
+                if got is None:
+                    continue
+                variant, fields = self.parse(got[1])
+                if variant == "Reply" and fields["rid"] == rid:
+                    return fields
+
+    def set(self, host: int, rid: int, key: int, value: bytes,
+            timeout: float = 30.0):
+        return self.request(
+            host, ("Set", {"rid": rid, "key": key, "value": value}), timeout)
+
+    def get(self, host: int, rid: int, key: int, timeout: float = 30.0):
+        return self.request(
+            host, ("Get", {"rid": rid, "key": key}), timeout)

@@ -21,10 +21,14 @@ import tempfile
 from typing import Optional
 
 from ..api import CACHE_DIR_ENV
+from ..resilience import faults as _faults
+from ..resilience.faults import InjectedCorruption, InjectedIOError
 from .errors import FAILED, PROVED, TIMEOUT
 
 DEFAULT_DIRNAME = ".pv_cache"
 
+# RESOURCE_OUT (and anything else transient) is deliberately absent: a
+# budget-exhausted verdict must never be replayed from the cache.
 _VALID_STATUS = (PROVED, FAILED, TIMEOUT)
 
 
@@ -61,6 +65,11 @@ class ProofCache:
         """
         path = self._path(digest)
         try:
+            spec = _faults.maybe_fault("cache.lookup")
+            if spec is not None:
+                if spec.kind == "io":
+                    raise InjectedIOError("cache.lookup")
+                raise InjectedCorruption("cache.lookup")
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
             if (not isinstance(entry, dict)
@@ -102,6 +111,9 @@ class ProofCache:
         if diag is not None:
             entry["diag"] = diag
         try:
+            spec = _faults.maybe_fault("cache.store")
+            if spec is not None:
+                raise InjectedIOError("cache.store")
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                        suffix=".tmp")

@@ -15,6 +15,26 @@ from typing import Optional
 PROVED = "proved"
 FAILED = "failed"
 TIMEOUT = "unknown"
+# Structured budget-exhaustion verdict (matching loop, LIA blowup, or an
+# explicit REPRO_MAX_STEPS budget): distinct from TIMEOUT because it is
+# machine-independent and from FAILED because no countermodel exists.
+# Never cached and never journaled — a retry may well succeed.
+RESOURCE_OUT = "resource-out"
+
+
+def status_from_solver(verdict: str, solver) -> str:
+    """Map a solver verdict (+ the solver's budget/deadline flags) to an
+    obligation status.  The wall-clock deadline outranks resource
+    budgets: a deadline verdict is machine-dependent and the callers
+    that care (cache, journal) already treat TIMEOUT specially."""
+    if verdict == "unsat":
+        return PROVED
+    if verdict == "sat":
+        return FAILED
+    if (getattr(solver, "last_resource_out", False)
+            and not getattr(solver, "last_deadline_exceeded", False)):
+        return RESOURCE_OUT
+    return TIMEOUT
 
 
 class Obligation:

@@ -30,9 +30,33 @@ Two further strategies stack on top (both off by default):
   unchanged since a fully verified run is *not even planned*; its
   recorded result is replayed.
 
+Resilience (this layer is where the paper's "practical foundation"
+claim meets real fleet failures):
+
+* **Retry escalation ladder** (``retries=N`` / ``REPRO_RETRIES``) — a
+  failed, ``RESOURCE_OUT``, or crashed obligation is retried with
+  exponential backoff through progressively heavier strategies:
+  warm-incremental → fresh context with escalated budgets →
+  per-conjunct split (:mod:`repro.diag.split`) → fully serial.  Every
+  escalation is recorded in :class:`~repro.smt.solver.Stats` and the
+  obligation's stats/diag payload.
+
+* **Fault injection** (``fault_plan=`` / ``REPRO_FAULT_PLAN``) — the
+  scheduler installs a :class:`repro.resilience.FaultPlan` around each
+  ``run_module`` so chaos runs reproduce from the plan string alone.
+  Worker-process faults are decided *in the parent* at submit time
+  (workers never arm their own counters).
+
+* **Run journal** (``journal=`` / ``REPRO_JOURNAL_DIR``) — completed
+  obligation digests are appended to a per-module
+  :class:`repro.resilience.RunJournal`; a killed run resumed through
+  ``Session.verify_module(resume=...)`` replays them and re-solves only
+  the rest.
+
 Run-level knobs (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
 ``REPRO_JOB_TIMEOUT``, ``REPRO_DIAG``, ``REPRO_INCREMENTAL``,
-``REPRO_DELTA``) are parsed exclusively by
+``REPRO_DELTA``, ``REPRO_RETRIES``, ``REPRO_MAX_STEPS``,
+``REPRO_FAULT_PLAN``, ``REPRO_JOURNAL_DIR``) are parsed exclusively by
 :meth:`repro.api.VerifyConfig.from_env`; the ``default_*`` helpers here
 are thin compatibility shims over it.
 
@@ -44,18 +68,24 @@ builder paths, fanned out across processes with the same fallback story.
 from __future__ import annotations
 
 import concurrent.futures as _cf
+import os
 import pickle
+import random
 import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
 from ..api import DIAG_ENV, JOB_TIMEOUT_ENV, JOBS_ENV, VerifyConfig
+from ..resilience import faults as _faults
+from ..resilience.faults import FaultPlan, InjectedCrash
+from ..resilience.journal import RunJournal
 from ..smt import terms as T
 from ..smt.fingerprint import (deserialize_terms, obligation_digest,
                                serialize_terms, solver_config_key)
-from ..smt.solver import SAT, SmtSolver, SolverConfig, Stats, UNSAT
+from ..smt.solver import SmtSolver, SolverConfig, Stats
 from .cache import ProofCache
-from .errors import FAILED, PROVED, TIMEOUT, ModuleResult
+from .errors import (FAILED, PROVED, RESOURCE_OUT, TIMEOUT, ModuleResult,
+                     status_from_solver)
 
 __all__ = ["Scheduler", "ObligationJob", "default_jobs",
            "default_diagnostics", "run_builder_job", "run_builder_jobs",
@@ -87,26 +117,49 @@ class ObligationJob:
     assumptions + negated goal, in solver ``add`` order) and the solver
     knobs — everything a fresh worker needs to reproduce the default
     discharge exactly.
+
+    ``inject`` is the worker-side fault directive (``{point: kind}``)
+    decided *by the parent* when a fault plan is armed: worker processes
+    never install a plan of their own (the "Nth arming" counters must
+    live in exactly one process to stay deterministic).
     """
 
-    __slots__ = ("payload", "config_dict", "label")
+    __slots__ = ("payload", "config_dict", "label", "inject")
 
-    def __init__(self, payload: tuple, config_dict: dict, label: str):
+    def __init__(self, payload: tuple, config_dict: dict, label: str,
+                 inject: Optional[dict] = None):
         self.payload = payload
         self.config_dict = config_dict
         self.label = label
+        self.inject = inject
 
     def run(self) -> tuple:
         """Solve; returns ``(status, stats_snapshot, query_bytes, secs)``."""
         t0 = time.perf_counter()
+        inject = self.inject or {}
+        worker_kind = inject.get("pool.worker")
+        if worker_kind == "exit":
+            os._exit(3)      # a hard worker death: BrokenProcessPool
+        if worker_kind is not None:
+            raise InjectedCrash(f"pool.worker [{self.label}]")
         assertions = deserialize_terms(self.payload)
         solver = SmtSolver(SolverConfig(**self.config_dict))
         for a in assertions:
             solver.add(a)
+        check_kind = inject.get("solver.check")
+        if check_kind == "crash":
+            raise InjectedCrash(f"solver.check [{self.label}]")
+        if check_kind is not None:    # injected resource exhaustion
+            stats = solver.stats.snapshot()
+            stats["resource_out"] = 1
+            return (RESOURCE_OUT, stats, solver.stats.query_bytes,
+                    time.perf_counter() - t0)
         verdict = solver.check()
-        status = (PROVED if verdict == UNSAT
-                  else FAILED if verdict == SAT else TIMEOUT)
-        return (status, solver.stats.snapshot(), solver.stats.query_bytes,
+        status = status_from_solver(verdict, solver)
+        stats = solver.stats.snapshot()
+        if status == RESOURCE_OUT:
+            stats["resource_out"] = 1
+        return (status, stats, solver.stats.query_bytes,
                 time.perf_counter() - t0)
 
 
@@ -115,12 +168,25 @@ def _execute_job(job: ObligationJob) -> tuple:
     return job.run()
 
 
+def _escalated(cfg: SolverConfig) -> SolverConfig:
+    """A copy of ``cfg`` with every resource budget raised — the
+    ladder's "fresh context" and "split" rungs trade more work for a
+    chance of discharging a goal that blew its budget."""
+    boosted = SolverConfig(**vars(cfg))
+    boosted.max_rounds *= 2
+    boosted.max_instantiations *= 2
+    boosted.sat_conflict_budget *= 2
+    if boosted.max_steps is not None:
+        boosted.max_steps *= 4
+    return boosted
+
+
 class _Task:
     """Scheduler-internal handle pairing a pending obligation with its
     (lazily computed) assertions, digest, and owning function plan."""
 
     __slots__ = ("item", "plan", "assertions", "config", "digest", "done",
-                 "qbytes")
+                 "qbytes", "crash")
 
     def __init__(self, item, plan):
         self.item = item
@@ -130,6 +196,10 @@ class _Task:
         self.digest: Optional[str] = None
         self.done = False
         self.qbytes = 0
+        # Worker-failure cause ("ExcType: message") when a parallel
+        # attempt died; surfaced in Stats/diag and consumed by the
+        # retry ladder.
+        self.crash: Optional[str] = None
 
 
 # ---------------------------------------------------------------------------
@@ -161,14 +231,35 @@ class Scheduler:
     planning; a module with any error-severity finding is **rejected**
     without constructing a single solver (default ``$REPRO_ANALYZE`` or
     off).
+
+    ``retries``: max escalation-ladder attempts per failed/resource-out
+    /crashed obligation (default ``$REPRO_RETRIES`` or 0 = off — the
+    ladder re-solves, so the default keeps fault-free runs
+    byte-identical to earlier releases).  ``max_steps``: per-check
+    solver step budget producing ``resource-out`` verdicts (default
+    ``$REPRO_MAX_STEPS`` or unbounded).  ``fault_plan``: a
+    :class:`~repro.resilience.FaultPlan` or plan string installed
+    around each ``run_module`` (default ``$REPRO_FAULT_PLAN``).
+    ``journal``: a :class:`~repro.resilience.RunJournal`, a
+    ``*.journal`` file path, a journal directory, or ``False`` to
+    disable even if ``$REPRO_JOURNAL_DIR`` is set.
     """
+
+    #: Escalation order of the retry ladder: cheapest recovery first,
+    #: heaviest (and most isolated) last.
+    LADDER = ("warm", "fresh", "split", "serial")
 
     def __init__(self, jobs: Optional[int] = None, cache=None,
                  timeout: Optional[float] = None,
                  diagnostics: Optional[bool] = None,
                  incremental: Optional[bool] = None,
                  delta: Optional[bool] = None,
-                 analyze: Optional[bool] = None):
+                 analyze: Optional[bool] = None,
+                 retries: Optional[int] = None,
+                 max_steps: Optional[int] = None,
+                 fault_plan=None,
+                 journal=None,
+                 retry_backoff: float = 0.01):
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
@@ -185,6 +276,23 @@ class Scheduler:
                             else env.incremental)
         self.delta = delta if delta is not None else env.delta
         self.analyze = analyze if analyze is not None else env.analyze
+        self.retries = (max(0, int(retries)) if retries is not None
+                        else env.retries)
+        self.max_steps = max_steps if max_steps is not None else env.max_steps
+        plan = fault_plan if fault_plan is not None else env.fault_plan
+        if isinstance(plan, str):
+            plan = FaultPlan.from_string(plan)
+        self.fault_plan: Optional[FaultPlan] = plan
+        if journal is None:
+            journal = env.journal_dir
+        elif journal is False:
+            journal = None
+        self._journal_spec = journal
+        self._journal: Optional[RunJournal] = None
+        # Base delay of the escalation ladder's exponential backoff; the
+        # jitter RNG is seeded so chaos runs stay reproducible.
+        self.retry_backoff = retry_backoff
+        self._retry_rng = random.Random(0x5EED)
         self._delta_cache = None
         if self.delta and self.cache is not None:
             from .delta import DeltaCache
@@ -214,6 +322,18 @@ class Scheduler:
                 return result
         plans = []
         tasks: list[_Task] = []
+        # Fault plan: installed for the duration of this run (previous
+        # plan restored after), so every instrumented fault point in
+        # this process consults the same deterministic counters.  A
+        # plan installed directly via faults.install() is honored too.
+        prev_plan = _faults.install(self.fault_plan) \
+            if self.fault_plan is not None else None
+        active_plan = (self.fault_plan if self.fault_plan is not None
+                       else _faults.active())
+        fired0 = active_plan.total_fired if active_plan is not None else 0
+        journal = self._resolve_journal(gen.module.name)
+        self._journal = journal
+        jskips0 = journal.skips if journal is not None else 0
         # Planning runs the §3.3 idiom engines eagerly; hand them the
         # cache so e.g. bit-blasting verdicts are reused on warm runs.
         gen.proof_cache = self.cache
@@ -236,10 +356,22 @@ class Scheduler:
                     result.functions.append(plan.result)
                     tasks.extend(self._plan_tasks(gen, plan))
             self._run_tasks(gen, tasks)
+            if self.retries > 0:
+                self._retry_pass(gen, tasks)
             if self.diagnostics:
                 self._diagnose_failures(gen, tasks)
         finally:
             gen.proof_cache = None
+            self._journal = None
+            if journal is not None and journal is not self._journal_spec:
+                journal.close()
+            if self.fault_plan is not None:
+                _faults.install(prev_plan)
+        if journal is not None:
+            self.stats.merge({"journal_skips": journal.skips - jskips0})
+        if active_plan is not None:
+            self.stats.merge(
+                {"faults_injected": active_plan.total_fired - fired0})
         if self._delta_cache is not None:
             self.stats.merge(
                 {"delta_skips": self._delta_cache.skips - skips0})
@@ -269,6 +401,34 @@ class Scheduler:
         from .wp import VcGen
         return type(gen)._solve_obligation is VcGen._solve_obligation
 
+    def _resolve_journal(self, module_name: str) -> Optional[RunJournal]:
+        """Open this module's run journal from the configured spec.
+
+        A ``*.journal`` path names the file directly; any other string
+        is a directory holding one ``<module>.journal`` per module.  An
+        already-open :class:`RunJournal` is used as-is (and not closed
+        by ``run_module``).
+        """
+        spec = self._journal_spec
+        if spec is None:
+            return None
+        if isinstance(spec, RunJournal):
+            return spec
+        path = str(spec)
+        if not path.endswith(".journal"):
+            path = os.path.join(path, f"{module_name}.journal")
+        return RunJournal(path, module=module_name)
+
+    def _solver_config(self, gen) -> SolverConfig:
+        """The discharge config, with the scheduler's ``max_steps``
+        budget layered on a *copy* (``make_solver_config`` may hand out
+        a shared instance that must not be mutated)."""
+        cfg = gen.config.make_solver_config()
+        if self.max_steps is not None and cfg.max_steps != self.max_steps:
+            cfg = SolverConfig(**vars(cfg))
+            cfg.max_steps = self.max_steps
+        return cfg
+
     def _plan_tasks(self, gen, plan) -> list[_Task]:
         tasks = []
         ctx_axioms = None
@@ -279,8 +439,11 @@ class Scheduler:
         # for pipelines that override the retry strategy).
         offload = self._offloadable(gen)
         need_assertions = (self.cache is not None
+                           or self._journal is not None
                            or ((self.jobs > 1 or self.incremental
-                                or self.timeout is not None) and offload))
+                                or self.timeout is not None
+                                or self.max_steps is not None
+                                or self.retries > 0) and offload))
         for item in plan.pending:
             ob = item.obligation
             plan.result.obligations.append(ob)
@@ -297,7 +460,7 @@ class Scheduler:
                 if ctx_axioms is None:
                     ctx_axioms = list(gen.context_axioms(plan.encoder,
                                                          plan.spec_axioms))
-                    cfg = gen.config.make_solver_config()
+                    cfg = self._solver_config(gen)
                 task.assertions = (ctx_axioms + list(item.assumptions)
                                    + [T.Not(item.goal)])
                 task.config = cfg
@@ -310,9 +473,21 @@ class Scheduler:
         unsolved = []
         strategy = type(gen).__qualname__
         for task in tasks:
-            if self.cache is not None:
+            if ((self.cache is not None or self._journal is not None)
+                    and task.assertions is not None):
                 task.digest = obligation_digest(
                     task.assertions, solver_config_key(task.config), strategy)
+            if self._journal is not None and task.digest is not None:
+                entry = self._journal.lookup(task.digest)
+                if entry is not None:
+                    # A goal this (possibly killed) run already finished:
+                    # replay the journaled verdict, solve nothing.
+                    stats = dict(entry.get("stats") or {})
+                    stats["journal_hit"] = True
+                    self._apply(task, entry["status"], stats,
+                                entry.get("query_bytes", 0), 0.0)
+                    continue
+            if self.cache is not None and task.digest is not None:
                 entry = self.cache.lookup(task.digest)
                 if entry is not None:
                     if (self.diagnostics and entry["status"] != PROVED
@@ -345,11 +520,15 @@ class Scheduler:
         if len(unsolved) > 1 and self.jobs > 1 and self._offloadable(gen):
             unsolved = self._run_parallel(unsolved)
         for task in unsolved:
+            if self.retries > 0 and task.crash is not None:
+                # The retry ladder owns crashed obligations: it records
+                # the escalation trail the plain serial fallback cannot.
+                continue
             self._run_serial(gen, task)
 
     def _run_serial(self, gen, task: _Task) -> None:
-        if (self.timeout is not None and task.assertions is not None
-                and self._offloadable(gen)):
+        if ((self.timeout is not None or self.max_steps is not None)
+                and task.assertions is not None and self._offloadable(gen)):
             return self._run_fresh(task)
         t0 = time.perf_counter()
         status, stats, qbytes = gen._solve_obligation(
@@ -372,8 +551,7 @@ class Scheduler:
         for a in task.assertions:
             solver.add(a)
         verdict = solver.check(timeout=self.timeout)
-        status = (PROVED if verdict == UNSAT
-                  else FAILED if verdict == SAT else TIMEOUT)
+        status = status_from_solver(verdict, solver)
         stats = solver.stats.snapshot()
         qbytes = solver.stats.query_bytes
         seconds = time.perf_counter() - t0
@@ -381,6 +559,8 @@ class Scheduler:
             stats["deadline_exceeded"] = 1
             self._apply(task, TIMEOUT, stats, qbytes, seconds)
             return
+        if status == RESOURCE_OUT:
+            stats["resource_out"] = 1
         self._apply(task, status, stats, qbytes, seconds)
         self._store(task, status, stats, qbytes)
 
@@ -424,8 +604,7 @@ class Scheduler:
             for a in task.assertions[prefix:]:
                 solver.add(a)
             verdict = solver.check(timeout=self.timeout)
-            status = (PROVED if verdict == UNSAT
-                      else FAILED if verdict == SAT else TIMEOUT)
+            status = status_from_solver(verdict, solver)
             stats = Stats.diff(before, solver.stats.snapshot())
             qbytes = base_qbytes + stats.get("query_bytes", 0)
             stats["query_bytes"] = qbytes
@@ -434,6 +613,8 @@ class Scheduler:
             if deadline:
                 stats["deadline_exceeded"] = 1
                 status = TIMEOUT
+            elif status == RESOURCE_OUT:
+                stats["resource_out"] = 1
             self._apply(task, status, stats, qbytes, seconds)
             if not deadline:
                 self._store(task, status, stats, qbytes)
@@ -441,15 +622,35 @@ class Scheduler:
 
     def _run_parallel(self, tasks: list[_Task]) -> list[_Task]:
         """Fan tasks out across processes; returns tasks that still need
-        the in-process serial fallback."""
+        the in-process serial fallback (or the retry ladder).
+
+        Worker faults are decided here, in the parent, by arming the
+        active plan's ``pool.worker``/``solver.check`` points once per
+        submitted job: the directive ships inside the job, so the
+        deterministic counters never leave this process.  Worker deaths
+        are no longer swallowed — the exception type and message are
+        recorded on the task (→ ``Stats.pool_failures`` and the diag
+        payload) before falling back.
+        """
+        plan = _faults.active()
         try:
-            jobs = [ObligationJob(serialize_terms(task.assertions),
-                                  dict(vars(task.config)),
-                                  task.item.obligation.label)
-                    for task in tasks]
+            jobs = []
+            for task in tasks:
+                inject = None
+                if plan is not None:
+                    inject = {}
+                    spec = plan.arm("pool.worker")
+                    if spec is not None:
+                        inject["pool.worker"] = spec.kind
+                    spec = plan.arm("solver.check")
+                    if spec is not None:
+                        inject["solver.check"] = spec.kind
+                jobs.append(ObligationJob(serialize_terms(task.assertions),
+                                          dict(vars(task.config)),
+                                          task.item.obligation.label,
+                                          inject=inject or None))
         except (ValueError, TypeError, pickle.PicklingError):
             return tasks  # unserializable content: solve in-process
-        leftovers: list[_Task] = []
         try:
             workers = min(self.jobs, len(tasks))
             with _cf.ProcessPoolExecutor(max_workers=workers) as pool:
@@ -466,16 +667,185 @@ class Scheduler:
                         self._apply(task, TIMEOUT, {"job_timeouts": 1},
                                     0, self.timeout or 0.0)
                         continue
-                    except (BrokenProcessPool, OSError, RuntimeError):
-                        leftovers.append(task)
+                    except (BrokenProcessPool, OSError,
+                            RuntimeError) as exc:
+                        self._record_pool_failure(task, exc)
                         continue
                     self._apply(task, status, stats, qbytes, secs)
                     self._store(task, status, stats, qbytes)
-        except (BrokenProcessPool, OSError, RuntimeError):
-            pass
-        leftovers.extend(t for t in tasks
-                         if not t.done and t not in leftovers)
-        return leftovers
+        except (BrokenProcessPool, OSError, RuntimeError) as exc:
+            # Pool-level breakage (e.g. the executor dying between
+            # submissions): attribute the cause to every stranded task.
+            for task in tasks:
+                if not task.done:
+                    self._record_pool_failure(task, exc)
+        return [t for t in tasks if not t.done]
+
+    def _record_pool_failure(self, task: _Task, exc: BaseException) -> None:
+        """Record why a parallel attempt died instead of swallowing it."""
+        if task.crash is None:
+            self.stats.pool_failures += 1
+        task.crash = f"{type(exc).__name__}: {exc}"[:300]
+
+    # ------------------------------------------------ retry escalation
+
+    def _retry_pass(self, gen, tasks: list[_Task]) -> None:
+        """Give failed/resource-out/crashed obligations the escalation
+        ladder ("degrading automation in controlled steps"): retries are
+        transient-fault recovery, so replayed verdicts (cache/journal
+        hits) and wall-clock kills are exempt."""
+        for task in tasks:
+            if task.item.direct_result is not None:
+                continue        # idiom verdicts are deterministic
+            ob = task.item.obligation
+            if not task.done:
+                if task.crash is not None:
+                    self._retry_ladder(gen, task)
+                continue
+            if ob.status not in (FAILED, RESOURCE_OUT):
+                continue
+            if ob.stats.get("cache_hit") or ob.stats.get("journal_hit"):
+                continue        # a replay, not a fresh solver outcome
+            self._retry_ladder(gen, task)
+
+    def _retry_ladder(self, gen, task: _Task) -> None:
+        """Retry one obligation up the ladder: warm-incremental → fresh
+        context with escalated budgets → per-conjunct split → serial.
+
+        Each rung waits out an exponential backoff (seeded jitter), so
+        transient environmental faults get time to clear; ``retries``
+        caps the total attempts.  The final rung's verdict replaces the
+        failed one, with the whole escalation trail recorded in the
+        obligation's stats (and later surfaced in its diag payload).
+        """
+        ob = task.item.obligation
+        offload = self._offloadable(gen) and task.assertions is not None
+        rungs = [r for r in self.LADDER if offload or r == "serial"]
+        escalation: list[str] = []
+        final = None
+        attempts = 0
+        for rung in rungs:
+            if attempts >= self.retries:
+                break
+            if rung == "split" and not self._splittable(task):
+                continue
+            attempts += 1
+            self._backoff(attempts)
+            outcome = self._run_rung(gen, task, rung)
+            escalation.append(rung)
+            status = outcome[0]
+            self.stats.merge(outcome[1])
+            final = outcome
+            if status == PROVED:
+                break
+        self.stats.retries += attempts
+        if final is None:
+            # retries == 0 for this task (can't happen via _retry_pass)
+            # or no applicable rung: fall back to the legacy serial path
+            # so a crashed task still gets a verdict.
+            if not task.done:
+                self._run_serial(gen, task)
+            return
+        status, stats, qbytes, seconds = final
+        stats = dict(stats)
+        stats["retries"] = attempts
+        stats["escalation"] = list(escalation)
+        if task.crash is not None:
+            stats["pool_failure"] = task.crash
+        if task.done:
+            ob.seconds += seconds
+        else:
+            ob.seconds = seconds
+            self.stats.obligations += 1
+            task.done = True
+        ob.status = status
+        ob.stats = stats
+        task.plan.result.query_bytes += qbytes
+        task.qbytes = qbytes
+        self.stats.obligation_seconds += seconds
+        if status == PROVED:
+            self.stats.retry_recoveries += 1
+        elif status == RESOURCE_OUT:
+            self.stats.resource_outs += 1
+        if not stats.get("deadline_exceeded"):
+            # Overwrites any stale FAILED entry from the faulted attempt;
+            # the cache/journal themselves filter transient statuses.
+            self._store(task, status, stats, qbytes)
+
+    def _splittable(self, task: _Task) -> bool:
+        from ..diag.split import split_goal
+        return (task.item.goal is not None
+                and len(split_goal(task.item.goal)) > 1)
+
+    def _backoff(self, attempt: int) -> None:
+        if self.retry_backoff <= 0:
+            return
+        delay = min(self.retry_backoff * (2 ** (attempt - 1)), 1.0)
+        time.sleep(delay * (1.0 + self._retry_rng.random()))
+
+    def _run_rung(self, gen, task: _Task, rung: str) -> tuple:
+        """One ladder attempt; ``(status, stats, qbytes, seconds)``."""
+        t0 = time.perf_counter()
+        if rung == "serial":
+            status, stats, qbytes = gen._solve_obligation(
+                task.item, task.plan.encoder, task.plan.spec_axioms)
+            return status, stats, qbytes, time.perf_counter() - t0
+        if rung == "split":
+            return self._run_split(task)
+        cfg = task.config if rung == "warm" else _escalated(task.config)
+        solver = SmtSolver(cfg, incremental=(rung == "warm"))
+        for a in task.assertions:
+            solver.add(a)
+        verdict = solver.check(timeout=self.timeout)
+        status = status_from_solver(verdict, solver)
+        stats = solver.stats.snapshot()
+        if solver.last_deadline_exceeded:
+            stats["deadline_exceeded"] = 1
+        elif status == RESOURCE_OUT:
+            stats["resource_out"] = 1
+        return status, stats, solver.stats.query_bytes, \
+            time.perf_counter() - t0
+
+    def _run_split(self, task: _Task) -> tuple:
+        """The split rung: prove each conjunct of the goal on its own.
+
+        A conjunctive goal that blows a budget as a whole often
+        discharges piecewise — each conjunct's query is smaller, so the
+        quantifier/conflict search has less room to diverge.  PROVED
+        only if *every* conjunct proves; a countermodel for any conjunct
+        is a countermodel for the conjunction, hence FAILED.
+        """
+        from ..diag.split import split_goal
+        t0 = time.perf_counter()
+        conjuncts = split_goal(task.item.goal)
+        base = task.assertions[:-1]     # everything but the negated goal
+        cfg = _escalated(task.config)
+        agg = Stats()
+        qbytes = 0
+        status = PROVED
+        deadline = False
+        for conjunct in conjuncts:
+            solver = SmtSolver(cfg)
+            for a in base:
+                solver.add(a)
+            solver.add(T.Not(conjunct))
+            verdict = solver.check(timeout=self.timeout)
+            st = status_from_solver(verdict, solver)
+            deadline = deadline or solver.last_deadline_exceeded
+            agg.merge(solver.stats.snapshot())
+            qbytes += solver.stats.query_bytes
+            if st == FAILED:
+                status = FAILED
+            elif st != PROVED and status == PROVED:
+                status = st
+        stats = agg.snapshot()
+        stats["split_conjuncts"] = len(conjuncts)
+        stats["query_bytes"] = qbytes
+        if deadline:
+            stats["deadline_exceeded"] = 1
+        elif status == RESOURCE_OUT:
+            stats["resource_out"] = 1
+        return status, stats, qbytes, time.perf_counter() - t0
 
     # --------------------------------------------------------- diagnosis
 
@@ -496,16 +866,28 @@ class Scheduler:
             if ob.ok or ob.diag is not None:
                 continue
             if (ob.stats.get("job_timeouts")
-                    or ob.stats.get("deadline_exceeded")):
+                    or ob.stats.get("deadline_exceeded")
+                    or ob.status == RESOURCE_OUT):
                 from ..diag import Diagnostic, VerusErrorType
                 ob.diag = Diagnostic.for_obligation(ob)
-                ob.diag.error_type = VerusErrorType.RLIMIT_EXCEEDED.value
-                if ob.stats.get("job_timeouts"):
+                if ob.status == RESOURCE_OUT:
+                    # Re-solving would exhaust the same budgets again;
+                    # report the structured verdict instead.
+                    ob.diag.error_type = VerusErrorType.RESOURCE_OUT.value
+                    ob.diag.notes.append("solver resource budget "
+                                         "exhausted; not re-solved for "
+                                         "diagnosis")
+                elif ob.stats.get("job_timeouts"):
+                    ob.diag.error_type = \
+                        VerusErrorType.RLIMIT_EXCEEDED.value
                     ob.diag.notes.append("worker killed by job timeout; "
                                          "not re-solved for diagnosis")
                 else:
+                    ob.diag.error_type = \
+                        VerusErrorType.RLIMIT_EXCEEDED.value
                     ob.diag.notes.append("soft deadline exceeded; "
                                          "not re-solved for diagnosis")
+                self._resilience_notes(ob)
                 continue
             plan = task.plan
             ctx = ctx_cache.get(id(plan))
@@ -514,9 +896,10 @@ class Scheduler:
                                               plan.spec_axioms))
                 ctx_cache[id(plan)] = ctx
             if cfg is None:
-                cfg = gen.config.make_solver_config()
+                cfg = self._solver_config(gen)
             ob.diag = diagnose_obligation(
                 ob, task.item.goal, list(task.item.assumptions), ctx, cfg)
+            self._resilience_notes(ob)
             if self.cache is not None and task.digest is not None:
                 # Upgrade the cache entry so warm runs replay the full
                 # report without re-solving.
@@ -525,6 +908,23 @@ class Scheduler:
                                   if k != "cache_hit"},
                                  task.qbytes, label=ob.label,
                                  diag=ob.diag.to_dict())
+
+    @staticmethod
+    def _resilience_notes(ob) -> None:
+        """Surface recorded worker-failure causes and escalation trails
+        in the diag payload — the human-readable report is where a
+        swallowed BrokenProcessPool used to disappear."""
+        if ob.diag is None:
+            return
+        cause = ob.stats.get("pool_failure")
+        if cause:
+            ob.diag.notes.append(f"worker pool failure: {cause}")
+        trail = ob.stats.get("escalation")
+        if trail:
+            ob.diag.notes.append(
+                "retry escalation: " + " -> ".join(trail)
+                + f" ({ob.stats.get('retries', 0)} attempts, "
+                  f"final verdict {ob.status})")
 
     # -------------------------------------------------------- bookkeeping
 
@@ -537,18 +937,28 @@ class Scheduler:
         if from_cache:
             stats = dict(stats)
             stats["cache_hit"] = True
+        if task.crash is not None and "pool_failure" not in stats:
+            stats = dict(stats)
+            stats["pool_failure"] = task.crash
         ob.stats = stats
         task.plan.result.query_bytes += qbytes
         self.stats.obligations += 1
         self.stats.obligation_seconds += seconds
+        if status == RESOURCE_OUT:
+            self.stats.resource_outs += 1
         task.done = True
         task.qbytes = qbytes
 
     def _store(self, task: _Task, status: str, stats: dict,
                qbytes: int) -> None:
-        if self.cache is not None and task.digest is not None:
+        if task.digest is None:
+            return
+        if self.cache is not None:
             self.cache.store(task.digest, status, stats, qbytes,
                              label=task.item.obligation.label)
+        if self._journal is not None:
+            self._journal.record(task.digest, status, stats, qbytes,
+                                 label=task.item.obligation.label)
 
 
 # ---------------------------------------------------------------------------

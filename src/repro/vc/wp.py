@@ -31,8 +31,8 @@ from ..smt.sorts import bv as bv_sort
 from . import ast as A
 from . import types as VT
 from .encode import EncodeError, Encoder
-from .errors import (FAILED, PROVED, TIMEOUT, FunctionResult, ModuleResult,
-                     Obligation)
+from .errors import (FAILED, PROVED, RESOURCE_OUT, TIMEOUT, FunctionResult,
+                     ModuleResult, Obligation, status_from_solver)
 
 
 class VcConfig:
@@ -270,9 +270,11 @@ class VcGen:
             solver.add(assumption)
         solver.add(T.Not(item.goal))
         verdict = solver.check()
-        status = (PROVED if verdict == UNSAT
-                  else FAILED if verdict == "sat" else TIMEOUT)
-        return status, solver.stats.snapshot(), solver.stats.query_bytes
+        status = status_from_solver(verdict, solver)
+        stats = solver.stats.snapshot()
+        if status == RESOURCE_OUT:
+            stats["resource_out"] = 1
+        return status, stats, solver.stats.query_bytes
 
     def context_axioms(self, encoder: Encoder, spec_axioms: list
                        ) -> list[T.Term]:

@@ -1,0 +1,474 @@
+"""Resilient-pipeline tests: fault injection, resource guards, retry
+escalation, crash-resumable journals, and the chaos acceptance gate.
+
+The contract under test: with a deterministic seeded FaultPlan injecting
+worker crashes, cache I/O errors, and forced resource-out verdicts, the
+pipeline's recovery machinery (quarantine, escalation ladder, serial
+fallback, journal resume) must converge to verdicts *byte-identical* to
+a fault-free run — faults may cost time, never answers.
+"""
+
+import glob
+import importlib
+import json
+import os
+
+import pytest
+
+from repro.api import Session
+from repro.lang import *
+from repro.resilience.faults import (FAULT_POINTS, FaultPlan, InjectedCrash,
+                                     active, install, maybe_fault, uninstall)
+from repro.resilience.journal import RunJournal
+from repro.smt.solver import SmtSolver
+from repro.vc.cache import ProofCache
+from repro.vc.errors import FAILED, PROVED, RESOURCE_OUT
+from repro.vc.scheduler import Scheduler
+from repro.vc.wp import VcGen
+
+
+def _mk_module(name="resil_demo"):
+    """A module with several cheap, offloadable obligations."""
+    mod = Module(name)
+    a = var("a", U64)
+    r = var("res", U64)
+    exec_fn(mod, "bump", [("a", U64)], ret=("res", U64),
+            requires=[a < lit(100)],
+            ensures=[r >= a, r <= a + lit(5)],
+            body=[ret(a + 1)])
+    exec_fn(mod, "twice", [("a", U64)], ret=("res", U64),
+            requires=[a < lit(100)],
+            ensures=[r.eq(a + a)],
+            body=[ret(a + a)])
+    return mod
+
+
+def _mk_failing_module():
+    mod = Module("resil_fail")
+    x = var("x", INT)
+    r = var("r", INT)
+    exec_fn(mod, "wrong_post", [("x", INT)], ret=("r", INT),
+            ensures=[r.eq(x + 1)],
+            body=[ret(x)])
+    return mod
+
+
+def _signature(res):
+    return [(f.name, o.label, o.kind, o.status)
+            for f in res.functions for o in f.obligations]
+
+
+# ---------------------------------------------------------------------------
+# Fault-plan grammar + determinism
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_round_trip(self):
+        text = ("seed=7; pool.worker:crash@1; net.send:drop%0.25x3; "
+                "solver.check:resource_out@2x2")
+        plan = FaultPlan.from_string(text)
+        again = FaultPlan.from_string(plan.to_string())
+        assert plan.to_string() == again.to_string()
+        assert [s.clause() for s in plan.specs] == \
+            [s.clause() for s in again.specs]
+        assert plan.seed == again.seed == 7
+
+    def test_empty_is_none(self):
+        assert FaultPlan.from_string("") is None
+        assert FaultPlan.from_string("  ;  , ") is None
+        assert FaultPlan.from_string("seed=3") is None
+
+    @pytest.mark.parametrize("bad", [
+        "nowhere:crash@1",              # unknown point
+        "solver.check:drop@1",          # kind not supported at point
+        "solver.check:crash",           # missing trigger
+        "solver.check@1",               # missing kind separator
+        "solver.check:crash@0",         # @count is 1-based
+        "net.send:drop%1.5",            # probability out of range
+    ])
+    def test_bad_clauses_raise(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_string(bad)
+
+    def test_counted_clause_fires_once_at_nth(self):
+        plan = FaultPlan.from_string("solver.check:resource_out@3")
+        fired = [plan.arm("solver.check") is not None for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+        assert plan.total_fired == 1
+
+    def test_counted_window_xm(self):
+        plan = FaultPlan.from_string("solver.check:resource_out@2x2")
+        fired = [plan.arm("solver.check") is not None for _ in range(5)]
+        assert fired == [False, True, True, False, False]
+
+    def test_points_count_independently(self):
+        plan = FaultPlan.from_string(
+            "solver.check:crash@2; cache.store:io@1")
+        assert plan.arm("cache.store") is not None     # 1st store arming
+        assert plan.arm("solver.check") is None        # 1st check arming
+        assert plan.arm("solver.check") is not None    # 2nd check arming
+
+    def test_probabilistic_is_seed_deterministic(self):
+        def pattern(seed):
+            plan = FaultPlan.from_string(f"seed={seed}; net.send:drop%0.5")
+            return [plan.arm("net.send") is not None for _ in range(64)]
+        assert pattern(11) == pattern(11)
+        assert pattern(11) != pattern(12)
+        assert any(pattern(11)) and not all(pattern(11))
+
+    def test_install_restore(self):
+        plan = FaultPlan.from_string("cache.store:io@1")
+        assert active() is None
+        prev = install(plan)
+        try:
+            assert prev is None
+            assert active() is plan
+            assert maybe_fault("cache.store") is not None
+        finally:
+            assert install(prev) is plan
+        assert active() is None
+        assert maybe_fault("cache.store") is None      # no plan, no-op
+        uninstall()
+
+    def test_kind_with_x_parses(self):
+        # 'exit' contains an 'x'; the xM suffix parser must not eat it.
+        plan = FaultPlan.from_string("pool.worker:exit@1")
+        assert plan.specs[0].kind == "exit"
+        assert plan.specs[0].at == 1
+
+
+# ---------------------------------------------------------------------------
+# Resource guards: budgets become structured RESOURCE_OUT verdicts
+# ---------------------------------------------------------------------------
+
+class TestResourceGuards:
+    def test_max_steps_yields_resource_out(self):
+        sched = Scheduler(max_steps=1)
+        res = VcGen(_mk_module()).verify_module(sched)
+        statuses = {o.status for f in res.functions for o in f.obligations}
+        assert RESOURCE_OUT in statuses
+        assert not res.ok
+        assert res.stats["resource_outs"] >= 1
+
+    def test_resource_out_classified_in_taxonomy(self):
+        from repro.diag.taxonomy import VerusErrorType, classify
+        # The obligation kind wins when it has a specific class ...
+        assert (classify("ensures", "f: ensures#0", RESOURCE_OUT)
+                is VerusErrorType.POST_COND_FAIL)
+        # ... ResourceOut is for obligations with no more specific one.
+        assert (classify("", "", RESOURCE_OUT)
+                is VerusErrorType.RESOURCE_OUT)
+        # The diagnostics pass tags budget-exhausted jobs explicitly.
+        sched = Scheduler(max_steps=1, diagnostics=True)
+        res = VcGen(_mk_module()).verify_module(sched)
+        ro = [o for f in res.functions for o in f.obligations
+              if o.status == RESOURCE_OUT]
+        assert ro and all(o.error_type == "ResourceOut" for o in ro)
+
+    def test_resource_out_never_cached(self, tmp_path):
+        cachedir = str(tmp_path / "pc")
+        sched = Scheduler(cache=cachedir, max_steps=1)
+        res = VcGen(_mk_module()).verify_module(sched)
+        n_ro = sum(o.status == RESOURCE_OUT
+                   for f in res.functions for o in f.obligations)
+        assert n_ro >= 1
+        for path in glob.glob(str(tmp_path / "pc" / "*" / "*.json")):
+            assert json.load(open(path))["status"] != RESOURCE_OUT
+        # A second identical run must re-solve (and re-exhaust) them.
+        sched2 = Scheduler(cache=cachedir, max_steps=1)
+        res2 = VcGen(_mk_module()).verify_module(sched2)
+        assert res2.stats["resource_outs"] == n_ro
+        assert _signature(res) == _signature(res2)
+
+    def test_ample_budget_changes_nothing(self):
+        clean = VcGen(_mk_module()).verify_module(Scheduler())
+        budgeted = VcGen(_mk_module()).verify_module(
+            Scheduler(max_steps=10_000_000))
+        assert clean.ok and budgeted.ok
+        assert _signature(clean) == _signature(budgeted)
+
+
+# ---------------------------------------------------------------------------
+# Injection at each fault point
+# ---------------------------------------------------------------------------
+
+class TestInjection:
+    def test_solver_check_resource_out(self):
+        clean = VcGen(_mk_module()).verify_module(Scheduler())
+        sched = Scheduler(fault_plan="solver.check:resource_out@1")
+        res = VcGen(_mk_module()).verify_module(sched)
+        assert res.stats["faults_injected"] == 1
+        assert res.stats["resource_outs"] == 1
+        diffs = [(c, f) for c, f in zip(_signature(clean), _signature(res))
+                 if c != f]
+        assert len(diffs) == 1
+        assert diffs[0][1][3] == RESOURCE_OUT
+
+    def test_solver_check_crash_escapes_without_retries(self):
+        # Serial runs have no worker boundary to absorb the crash: it
+        # takes the whole run down, exactly like a SIGKILL (this is what
+        # the journal-resume path recovers from).
+        sched = Scheduler(jobs=1, fault_plan="solver.check:crash@1")
+        with pytest.raises(InjectedCrash):
+            VcGen(_mk_module()).verify_module(sched)
+        assert active() is None        # plan uninstalled despite the crash
+
+    def test_cache_lookup_io_quarantines(self, tmp_path):
+        cachedir = str(tmp_path / "pc")
+        r1 = VcGen(_mk_module()).verify_module(Scheduler(cache=cachedir))
+        sched = Scheduler(cache=cachedir,
+                          fault_plan="cache.lookup:io@1; cache.lookup:corrupt@2")
+        r2 = VcGen(_mk_module()).verify_module(sched)
+        assert r2.ok and _signature(r1) == _signature(r2)
+        assert sched.cache.corrupt == 2     # both injected lookups
+        assert sched.cache.stores == 2      # quarantined entries rewritten
+        r3 = VcGen(_mk_module()).verify_module(Scheduler(cache=cachedir))
+        assert r3.stats["cache_misses"] == 0
+
+    def test_cache_store_io_skips_entry(self, tmp_path):
+        cachedir = str(tmp_path / "pc")
+        sched = Scheduler(cache=cachedir, fault_plan="cache.store:io@1")
+        r1 = VcGen(_mk_module()).verify_module(sched)
+        assert r1.ok
+        assert sched.cache.stores == sched.cache.misses - 1
+        sched2 = Scheduler(cache=cachedir)
+        r2 = VcGen(_mk_module()).verify_module(sched2)
+        assert r2.ok and _signature(r1) == _signature(r2)
+        assert sched2.cache.misses == 1     # only the skipped entry
+
+    def test_worker_crash_cause_recorded(self):
+        clean = VcGen(_mk_module()).verify_module(Scheduler())
+        sched = Scheduler(jobs=2, fault_plan="pool.worker:crash@1")
+        res = VcGen(_mk_module()).verify_module(sched)
+        assert res.ok and _signature(clean) == _signature(res)
+        assert res.stats["pool_failures"] == 1
+        causes = [o.stats.get("pool_failure")
+                  for f in res.functions for o in f.obligations
+                  if o.stats.get("pool_failure")]
+        assert len(causes) == 1
+        assert causes[0].startswith("InjectedCrash:")
+
+    def test_net_send_drop(self):
+        from repro.runtime.network import Network
+        net = Network()
+        a, b = net.endpoint("a"), net.endpoint("b")
+        prev = install(FaultPlan.from_string("net.send:drop@2"))
+        try:
+            a.send("b", b"one")
+            a.send("b", b"two")       # injected drop
+            a.send("b", b"three")
+        finally:
+            install(prev)
+        assert [p for _, p in iter(b.try_recv, None)] == [b"one", b"three"]
+        assert net.stats["injected_drops"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Retry escalation ladder
+# ---------------------------------------------------------------------------
+
+class TestRetryLadder:
+    def test_ladder_order(self):
+        assert Scheduler.LADDER == ("warm", "fresh", "split", "serial")
+
+    def test_resource_out_recovered(self):
+        clean = VcGen(_mk_module()).verify_module(Scheduler())
+        sched = Scheduler(fault_plan="solver.check:resource_out@1",
+                          retries=3, retry_backoff=0.001)
+        res = VcGen(_mk_module()).verify_module(sched)
+        assert res.ok and _signature(clean) == _signature(res)
+        assert res.stats["retries"] == 1
+        assert res.stats["retry_recoveries"] == 1
+        trails = [o.stats.get("escalation")
+                  for f in res.functions for o in f.obligations
+                  if o.stats.get("escalation")]
+        assert trails == [["warm"]]
+
+    def test_worker_crash_recovered_by_ladder(self):
+        clean = VcGen(_mk_module()).verify_module(Scheduler())
+        sched = Scheduler(jobs=2, retries=2, retry_backoff=0.001,
+                          fault_plan="pool.worker:crash@1")
+        res = VcGen(_mk_module()).verify_module(sched)
+        assert res.ok and _signature(clean) == _signature(res)
+        assert res.stats["retry_recoveries"] == 1
+        assert res.stats["pool_failures"] == 1
+
+    def test_genuine_failure_stays_failed(self):
+        sched = Scheduler(retries=1, retry_backoff=0.001)
+        res = VcGen(_mk_failing_module()).verify_module(sched)
+        assert not res.ok
+        assert res.stats["retry_recoveries"] == 0
+        assert res.stats["retries"] >= 1
+        failed = [o for f in res.functions for o in f.obligations
+                  if o.status == FAILED]
+        assert failed and failed[0].stats.get("escalation") == ["warm"]
+
+    def test_retries_off_by_default(self):
+        assert Scheduler().retries == 0
+
+
+# ---------------------------------------------------------------------------
+# Run journal
+# ---------------------------------------------------------------------------
+
+class TestRunJournal:
+    def test_record_and_lookup(self, tmp_path):
+        path = str(tmp_path / "m.journal")
+        j = RunJournal(path, module="m")
+        assert j.record("ab" * 32, PROVED, {"rounds": 3}, 120, label="f: e#0")
+        j.close()
+        j2 = RunJournal(path, module="m")
+        entry = j2.lookup("ab" * 32)
+        assert entry["status"] == PROVED
+        assert entry["query_bytes"] == 120
+        assert j2.skips == 1
+
+    def test_header_line(self, tmp_path):
+        path = str(tmp_path / "m.journal")
+        j = RunJournal(path, module="mymod")
+        j.record("cd" * 32, FAILED, {}, 0, label="x")
+        j.close()
+        first = open(path).readline()
+        header = json.loads(first)
+        assert header["journal"] == "mymod"
+        assert header["schema_version"] == 1
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = str(tmp_path / "m.journal")
+        j = RunJournal(path, module="m")
+        j.record("ab" * 32, PROVED, {}, 0, label="a")
+        j.record("cd" * 32, PROVED, {}, 0, label="b")
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"digest": "ef", "stat')    # torn mid-write
+        j2 = RunJournal(path, module="m")
+        assert j2.corrupt_lines == 1
+        assert j2.lookup("ab" * 32) and j2.lookup("cd" * 32)
+        # the journal stays appendable after a torn tail
+        assert j2.record("12" * 32, PROVED, {}, 0, label="c")
+        j2.close()
+        assert RunJournal(path).lookup("12" * 32) is not None
+
+    def test_resource_out_never_journaled(self, tmp_path):
+        path = str(tmp_path / "m.journal")
+        j = RunJournal(path, module="m")
+        assert not j.record("ab" * 32, RESOURCE_OUT, {}, 0, label="x")
+        assert not j.record("cd" * 32, "unknown", {}, 0, label="y")
+        assert j.lookup("ab" * 32) is None
+        j.close()
+
+    def test_last_record_wins(self, tmp_path):
+        path = str(tmp_path / "m.journal")
+        j = RunJournal(path, module="m")
+        j.record("ab" * 32, PROVED, {}, 0, label="x")
+        j.record("ab" * 32, FAILED, {}, 0, label="x")
+        j.close()
+        assert RunJournal(path).lookup("ab" * 32)["status"] == FAILED
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: kill mid-run, resume from the journal
+# ---------------------------------------------------------------------------
+
+def _count_solver_builds(monkeypatch):
+    counts = {"n": 0}
+    orig = SmtSolver.__init__
+
+    def counting(self, *a, **k):
+        counts["n"] += 1
+        orig(self, *a, **k)
+    monkeypatch.setattr(SmtSolver, "__init__", counting)
+    return counts
+
+
+class TestJournalResume:
+    def test_killed_run_resumes_without_resolving(self, tmp_path,
+                                                  monkeypatch):
+        from repro.systems.ironkv.delegation_map import build_default_module
+        jdir = str(tmp_path / "journals")
+
+        clean = Session(jobs=1).verify_module(build_default_module())
+        total = sum(len(f.obligations) for f in clean.functions)
+
+        # "Kill" the run at the 4th solver check: the injected crash
+        # escapes verify_module exactly like a SIGKILL would, leaving
+        # the journal with the 3 already-discharged goals.
+        chaos = Session(jobs=1, fault_plan="solver.check:crash@4",
+                        journal_dir=jdir)
+        with pytest.raises(RuntimeError):
+            chaos.verify_module(build_default_module())
+        journals = glob.glob(os.path.join(jdir, "*.journal"))
+        assert len(journals) == 1
+        recorded = RunJournal(journals[0])
+        assert len(recorded._entries) == 3
+
+        counts = _count_solver_builds(monkeypatch)
+        resumed = Session(jobs=1).verify_module(build_default_module(),
+                                                resume=jdir)
+        assert resumed.ok
+        assert _signature(resumed) == _signature(clean)
+        assert resumed.stats["journal_skips"] == 3
+        assert counts["n"] == total - 3    # only unfinished goals re-solved
+
+        # The resumed run appended what it solved: a third pass over the
+        # same journal replays everything and builds no solver at all.
+        counts["n"] = 0
+        replayed = Session(jobs=1).verify_module(build_default_module(),
+                                                 resume=jdir)
+        assert replayed.ok and _signature(replayed) == _signature(clean)
+        assert replayed.stats["journal_skips"] == total
+        assert counts["n"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: chaos runs converge to fault-free verdicts, all systems
+# ---------------------------------------------------------------------------
+
+# (name, module path, builder, min faults expected to fire).  The
+# mimalloc module is all by(bit_vector) idiom proofs (one solver arming,
+# no standard-path cache stores) and plog is all by(compute) — ground
+# evaluation, no solver at all — so the plan legitimately fires fewer
+# (or zero) times there; the byte-identical-verdicts bar still applies.
+CASE_STUDIES = [
+    ("ironkv", "repro.systems.ironkv.delegation_map",
+     "build_default_module", 2),
+    ("nr", "repro.systems.nr.model", "build_nr_core_module", 2),
+    ("pagetable", "repro.systems.pagetable.view_verified",
+     "build_view_module", 2),
+    ("mimalloc", "repro.systems.mimalloc.verified",
+     "build_bit_tricks_module", 1),
+    ("plog", "repro.systems.plog.crc_verified",
+     "build_crc_table_module", 0),
+]
+
+CHAOS_PLAN = "seed=5; solver.check:resource_out@2; cache.store:io@1"
+
+
+class TestChaosAcceptance:
+    @pytest.mark.parametrize("name,modpath,builder,min_fired", CASE_STUDIES,
+                             ids=[c[0] for c in CASE_STUDIES])
+    def test_chaos_verdicts_identical(self, tmp_path, name, modpath,
+                                      builder, min_fired):
+        build = getattr(importlib.import_module(modpath), builder)
+        clean = Session(jobs=1).verify_module(build())
+        chaos = Session(jobs=1, retries=3, fault_plan=CHAOS_PLAN,
+                        cache_dir=str(tmp_path / "pc"))
+        res = chaos.verify_module(build())
+        assert res.ok == clean.ok
+        assert _signature(res) == _signature(clean)
+        assert res.stats["faults_injected"] >= min_fired
+        if min_fired >= 2:
+            # The forced resource-out was recovered by the retry ladder.
+            assert res.stats["retry_recoveries"] >= 1
+
+    def test_parallel_chaos_with_worker_crash(self, tmp_path):
+        from repro.systems.ironkv.delegation_map import build_default_module
+        clean = Session(jobs=1).verify_module(build_default_module())
+        plan = ("seed=5; pool.worker:crash@1; cache.store:io@1; "
+                "solver.check:resource_out@2")
+        chaos = Session(jobs=2, retries=3, fault_plan=plan,
+                        cache_dir=str(tmp_path / "pc"))
+        res = chaos.verify_module(build_default_module())
+        assert res.ok and _signature(res) == _signature(clean)
+        assert res.stats["pool_failures"] == 1
+        assert res.stats["faults_injected"] >= 3

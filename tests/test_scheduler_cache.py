@@ -188,6 +188,83 @@ class TestProofCache:
         assert cache.lookup("cd" * 32) is None
 
 
+class TestCacheQuarantine:
+    """Damaged entries are evicted (quarantined) and the run proceeds
+    with a fresh solve — never a wrong replay, never a crash."""
+
+    def _poison(self, cachedir, mutate):
+        entries = glob.glob(str(cachedir / "*" / "*.json"))
+        assert entries
+        for path in entries:
+            mutate(path)
+        return entries
+
+    def _assert_recovers(self, cachedir, entries, r1):
+        sched = Scheduler(cache=str(cachedir))
+        r2 = VcGen(_mk_module()).verify_module(sched)
+        assert r2.ok and _signature(r1) == _signature(r2)
+        assert sched.cache.hits == 0
+        assert sched.cache.corrupt == len(entries)
+        assert sched.cache.stores == len(entries)   # rewritten fresh
+        r3 = verify_module(_mk_module(), cache=str(cachedir))
+        assert r3.stats["cache_misses"] == 0        # healthy again
+
+    def test_truncated_json_quarantined(self, tmp_path):
+        cachedir = tmp_path / "pc"
+        r1 = verify_module(_mk_module(), cache=str(cachedir))
+
+        def truncate(path):
+            data = open(path, "rb").read()
+            with open(path, "wb") as fh:
+                fh.write(data[:len(data) // 2])
+        entries = self._poison(cachedir, truncate)
+        self._assert_recovers(cachedir, entries, r1)
+
+    def test_digest_mismatch_quarantined(self, tmp_path):
+        cachedir = tmp_path / "pc"
+        r1 = verify_module(_mk_module(), cache=str(cachedir))
+
+        def tamper(path):
+            import json as J
+            entry = J.load(open(path))
+            entry["digest"] = "f" * 64   # valid JSON, wrong identity
+            with open(path, "w") as fh:
+                J.dump(entry, fh)
+        entries = self._poison(cachedir, tamper)
+        self._assert_recovers(cachedir, entries, r1)
+
+    def test_bogus_status_quarantined(self, tmp_path):
+        cachedir = tmp_path / "pc"
+        r1 = verify_module(_mk_module(), cache=str(cachedir))
+
+        def bogus(path):
+            import json as J
+            entry = J.load(open(path))
+            entry["status"] = "maybe-proved"
+            with open(path, "w") as fh:
+                J.dump(entry, fh)
+        entries = self._poison(cachedir, bogus)
+        self._assert_recovers(cachedir, entries, r1)
+
+    def test_eviction_removes_the_file(self, tmp_path):
+        cache = ProofCache(str(tmp_path / "pc"))
+        cache.store("ab" * 32, "proved", {}, 0, label="x")
+        path = cache._path("ab" * 32)
+        with open(path, "w") as fh:
+            fh.write("{torn")
+        assert cache.lookup("ab" * 32) is None
+        assert not os.path.exists(path)              # quarantined
+        assert cache.corrupt == 1
+
+    def test_resource_out_never_stored(self, tmp_path):
+        from repro.vc.errors import RESOURCE_OUT
+        cache = ProofCache(str(tmp_path / "pc"))
+        cache.store("ab" * 32, RESOURCE_OUT, {}, 0, label="x")
+        assert cache.stores == 0
+        assert not os.path.exists(cache._path("ab" * 32))
+        assert cache.lookup("ab" * 32) is None
+
+
 # ---------------------------------------------------------------------------
 # Idiom-engine caching (§3.3 by(...) verdicts)
 # ---------------------------------------------------------------------------
