@@ -110,7 +110,7 @@ def test_fig10_incremental_verification():
     marshaller roundtrip) under warm per-function solver contexts and
     records the wall-clock comparison into BENCH_incremental.json.
     """
-    from conftest import record_incremental
+    from conftest import record_incremental, record_solver
     from repro.api import Session, VerifyConfig
     from repro.systems.ironkv.delegation_map import build_default_module
     from repro.systems.ironkv.marshal_verified import \
@@ -121,19 +121,29 @@ def test_fig10_incremental_verification():
     total_fresh = total_warm = 0.0
     for label, builder in [("delegation_map", build_default_module),
                            ("marshal", build_u64_roundtrip_module)]:
-        t0 = time.perf_counter()
-        fresh = Session(VerifyConfig()).verify_module(builder())
-        f_secs = time.perf_counter() - t0
-        t0 = time.perf_counter()
-        warm = Session(VerifyConfig(incremental=True)).verify_module(
-            builder())
-        w_secs = time.perf_counter() - t0
-        assert fresh.ok and warm.ok
-        assert fresh.query_bytes == warm.query_bytes
+        f_secs = w_secs = None
+        for _ in range(3):     # best-of-3 damps scheduler noise
+            t0 = time.perf_counter()
+            fresh = Session(VerifyConfig()).verify_module(builder())
+            f_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            warm = Session(VerifyConfig(incremental=True)).verify_module(
+                builder())
+            w_s = time.perf_counter() - t0
+            f_secs = f_s if f_secs is None else min(f_secs, f_s)
+            w_secs = w_s if w_secs is None else min(w_secs, w_s)
+            assert fresh.ok and warm.ok
+            assert fresh.query_bytes == warm.query_bytes
         record_incremental(f"fig10_{label}", f_secs, w_secs)
+        record_solver(f"fig10_{label}", f_secs, w_secs, fresh.stats,
+                      fresh.query_bytes)
         rows.append([label, f"{f_secs:.2f}", f"{w_secs:.2f}",
                      f"{f_secs / w_secs:.2f}x"])
+        # Perf-smoke gate: warm must at least match fresh on every row
+        # (this is the fig10_marshal regression this pass fixed).
+        assert w_secs <= f_secs, \
+            f"warm regression on fig10_{label}: {f_secs / w_secs:.3f}x"
         total_fresh += f_secs
         total_warm += w_secs
     table(["ironkv module", "fresh (s)", "warm (s)", "speedup"], rows)
-    assert total_warm <= total_fresh * 1.1  # no regression from warming
+    assert total_warm <= total_fresh  # no regression from warming

@@ -8,6 +8,11 @@ weight that every reader (and every fingerprint) still carries.  This
 pass recomputes the same reachability the VC generator uses
 (:meth:`repro.vc.wp.VcGen.reachable_spec_fns`) over every obligation
 owner and reports the spec functions left over, as info findings.
+
+The enforcing counterpart lives in :mod:`repro.vc.prune`: the same
+reachability idea, sharpened per obligation and applied for real —
+axioms whose necessary trigger symbol the goal cannot reach are dropped
+from the query before encoding, not just reported.
 """
 
 from __future__ import annotations

@@ -29,7 +29,8 @@ from ..smt import terms as T
 from ..smt.solver import SAT, UNSAT, SmtSolver, SolverConfig
 from ..vc.errors import FAILED, PROVED, TIMEOUT
 from .model import extract_witness
-from .profile import module_profile, top_instantiations
+from .profile import (module_perf_summary, module_profile,
+                      perf_summary, top_instantiations)
 from .render import module_to_json, render_diagnostic
 from .split import check_conjuncts, split_goal
 from .taxonomy import Diagnostic, VerusErrorType, classify
@@ -38,6 +39,7 @@ __all__ = [
     "Diagnostic", "VerusErrorType", "classify", "diagnose_obligation",
     "extract_witness", "split_goal", "check_conjuncts",
     "top_instantiations", "module_profile",
+    "perf_summary", "module_perf_summary",
     "render_diagnostic", "module_to_json",
 ]
 

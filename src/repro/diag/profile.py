@@ -52,3 +52,33 @@ def module_profile(result, k: int = 10) -> list[dict]:
     (the scheduler merges every obligation's profile into
     ``result.stats["inst_profile"]``)."""
     return top_instantiations(result.stats.get("inst_profile") or {}, k)
+
+
+# The matcher/pruning counters the profile-driven solver pass added to
+# Stats, with the units a profile reader needs to interpret them.
+PERF_COUNTERS = (
+    ("instantiations", "quantifier instances asserted"),
+    ("ematch_index_hits", "match calls served by the apps-by-decl index"),
+    ("ematch_rescans_avoided", "match calls skipped at the watermark"),
+    ("fired_set_hits", "matches skipped by the fired-set memo"),
+    ("congruent_skips", "instances skipped as congruent duplicates"),
+    ("pruned_axioms", "context axioms dropped before encoding"),
+    ("query_bytes_saved", "query bytes those axioms would have cost"),
+)
+
+
+def perf_summary(stats: dict) -> str:
+    """Render the solver-performance counters of a stats snapshot.
+
+    Complements :func:`profile_table`: the QI table says *which*
+    quantifiers fired, this says how much matching and encoding work the
+    incremental machinery avoided.
+    """
+    width = max(len(name) for name, _ in PERF_COUNTERS)
+    return "\n".join(f"{name:<{width}}  {stats.get(name, 0):>8}  ({note})"
+                     for name, note in PERF_COUNTERS)
+
+
+def module_perf_summary(result) -> str:
+    """:func:`perf_summary` over a whole ModuleResult's merged stats."""
+    return perf_summary(result.stats or {})

@@ -38,6 +38,10 @@ _CONGRUENCE = "congruence"
 class EufSolver:
     """Incremental congruence closure over hash-consed terms."""
 
+    __slots__ = ("_repr", "_rank", "_members", "_use", "_sigs",
+                 "_proof_edge", "_diseqs", "_pending", "num_merges",
+                 "_frames", "_apps_by_decl")
+
     def __init__(self):
         self._repr: dict[T.Term, T.Term] = {}          # union-find parent
         self._rank: dict[T.Term, int] = {}
@@ -54,6 +58,11 @@ class EufSolver:
         # by pop().  Empty when the solver is used non-incrementally, in
         # which case no logging overhead is paid.
         self._frames: list[list[tuple]] = []
+        # Persistent E-matching index: uninterpreted applications grouped by
+        # declaration, in registration order (the same order a scan of
+        # :meth:`all_terms` would visit them).  Maintained by add_term and
+        # restored by the "term" undo op, so it survives push/pop exactly.
+        self._apps_by_decl: dict[T.FuncDecl, list[T.Term]] = {}
 
     # -- incremental scopes ---------------------------------------------------
 
@@ -112,6 +121,10 @@ class EufSolver:
             del self._rank[t]
             del self._members[t]
             del self._use[t]
+            if t.kind == T.APP:
+                # Ops replay in reverse registration order, so t is always
+                # the most recent app of its declaration.
+                self._apps_by_decl[t.payload].pop()
         elif tag == "use":
             op[1].pop()
         elif tag == "sig":
@@ -138,6 +151,8 @@ class EufSolver:
         self._rank[t] = 0
         self._members[t] = [t]
         self._use[t] = []
+        if t.kind == T.APP:
+            self._apps_by_decl.setdefault(t.payload, []).append(t)
         log = self._frames[-1] if self._frames else None
         if log is not None:
             log.append(("term", t))
@@ -340,6 +355,14 @@ class EufSolver:
 
     def all_terms(self) -> Iterable[T.Term]:
         return self._repr.keys()
+
+    def apps_of(self, decl: T.FuncDecl) -> list[T.Term]:
+        """Registered applications of ``decl``, in registration order.
+
+        This is the persistent E-matching index: the same list a fresh
+        scan of :meth:`all_terms` would build, without the scan.
+        """
+        return self._apps_by_decl.get(decl, [])
 
     def value_of(self, t: T.Term) -> Optional[T.Term]:
         """The constant in t's class, if any (representatives prefer values)."""

@@ -44,10 +44,11 @@ class LinExpr:
         self.coeffs: dict[Hashable, Fraction] = {}
         if coeffs:
             for v, c in coeffs.items():
-                c = Fraction(c)
+                if type(c) is not Fraction:
+                    c = Fraction(c)
                 if c:
                     self.coeffs[v] = c
-        self.const = Fraction(const)
+        self.const = const if type(const) is Fraction else Fraction(const)
 
     @classmethod
     def var(cls, v: Hashable) -> "LinExpr":
@@ -95,6 +96,10 @@ class _Bound:
 
 class Simplex:
     """General simplex over rationals with per-bound reasons."""
+
+    __slots__ = ("_rows", "_basic", "_nonbasic", "_lower", "_upper",
+                 "_value", "_slack_of_form", "_slack_counter", "_order",
+                 "num_pivots", "_snapshots")
 
     def __init__(self):
         # Tableau: basic var -> {nonbasic var: coeff}. Invariant: basic ==
@@ -330,6 +335,10 @@ class Simplex:
 class LiaSolver:
     """Integer-feasibility solver: simplex + GCD tests + branch-and-bound."""
 
+    __slots__ = ("_constraints", "_int_vars", "branch_budget",
+                 "num_branches", "_root_simplex", "last_model", "_frames",
+                 "_dirty", "_checked_upto", "_gcd_upto")
+
     def __init__(self, branch_budget: int = 400):
         self._constraints: list[tuple[str, LinExpr, Hashable]] = []
         self._int_vars: dict = {}  # insertion-ordered set
@@ -341,6 +350,18 @@ class LiaSolver:
         self.last_model: Optional[dict] = None
         # Incremental scopes: (num constraints, num int vars) marks.
         self._frames: list[tuple[int, int]] = []
+        # check() memo: False when the constraint set is unchanged since
+        # the last successful check, whose model is then still valid.
+        # Persistent theory contexts re-check after every literal feed, and
+        # most feeds assert nothing LIA-relevant — without this memo every
+        # such call rebuilds and re-solves the full tableau from scratch.
+        self._dirty = True
+        # Constraints already covered by last_model; the check() fast path
+        # only has to evaluate the suffix asserted since.
+        self._checked_upto = 0
+        # Constraints already covered by the GCD pre-test; old constraints
+        # cannot newly fail it, so each check only scans the fresh suffix.
+        self._gcd_upto = 0
 
     # -- incremental scopes -------------------------------------------------
 
@@ -359,6 +380,9 @@ class LiaSolver:
                 del self._int_vars[v]
         self._root_simplex = None
         self.last_model = None
+        self._dirty = True
+        self._checked_upto = 0
+        self._gcd_upto = min(self._gcd_upto, len(self._constraints))
 
     def commit(self) -> None:
         """Close the innermost scope, keeping its constraints."""
@@ -372,34 +396,108 @@ class LiaSolver:
         """expr <= 0."""
         self._constraints.append(("le", expr, reason))
         self._note_vars(expr)
-        self._root_simplex = None
+        self._apply_root("le", expr, reason)
+        self._dirty = True
 
     def assert_ge0(self, expr: LinExpr, reason: Hashable) -> None:
         self._constraints.append(("ge", expr, reason))
         self._note_vars(expr)
-        self._root_simplex = None
+        self._apply_root("ge", expr, reason)
+        self._dirty = True
 
     def assert_eq0(self, expr: LinExpr, reason: Hashable) -> None:
         self._constraints.append(("eq", expr, reason))
         self._note_vars(expr)
-        self._root_simplex = None
+        self._apply_root("eq", expr, reason)
+        self._dirty = True
 
     def assert_lt0(self, expr: LinExpr, reason: Hashable) -> None:
         """expr < 0; over integers this is expr + 1 <= 0 after scaling."""
-        scaled = _integerize(expr)
-        self._constraints.append(("le", scaled + LinExpr.constant(1), reason))
+        scaled = _integerize(expr) + LinExpr.constant(1)
+        self._constraints.append(("le", scaled, reason))
         self._note_vars(expr)
-        self._root_simplex = None
+        self._apply_root("le", scaled, reason)
+        self._dirty = True
+
+    def _apply_root(self, kind: str, expr: LinExpr, reason: Hashable) -> None:
+        """Fold a new constraint into the persistent root tableau, if alive.
+
+        Keeping the tableau in sync with the constraint list means check()
+        and lp_probe never rebuild it mid-scope: each new bound costs only
+        the slack-row addition and local value repair.  A bound clash is not
+        reported here — asserts never raised historically — the tableau is
+        simply dropped and the conflict rediscovered by the next check().
+        """
+        simplex = self._root_simplex
+        if simplex is None or expr.is_constant():
+            return
+        try:
+            if kind == "le":
+                simplex.assert_upper(expr, reason)
+            elif kind == "ge":
+                simplex.assert_lower(expr, reason)
+            else:
+                simplex.assert_upper(expr, reason)
+                simplex.assert_lower(expr, reason)
+        except LiaConflict:
+            self._root_simplex = None
 
     # -- solving ------------------------------------------------------------
 
     def check(self) -> dict:
         """Return an integer model, or raise LiaConflict / LiaUnknown."""
+        if not self._dirty and self.last_model is not None:
+            return self.last_model
+        if self.last_model is not None and self._model_extends():
+            self._dirty = False
+            return self.last_model
+        for kind, expr, reason in self._constraints:
+            if expr.is_constant():
+                val = expr.const
+                sat = (val <= 0 if kind == "le" else
+                       val >= 0 if kind == "ge" else val == 0)
+                if not sat:
+                    raise LiaConflict(frozenset([reason]))
         self._gcd_tests()
         budget = [self.branch_budget]
-        self.last_model = self._solve(list(self._constraints), budget,
-                                      depth=0)
+        try:
+            simplex = self._root()
+            self.last_model = self._solve_on(simplex, budget, depth=0)
+        except LiaUnknown:
+            # Feasibility unresolved: keep the tableau only if its bound
+            # state is trustworthy (it is — push/pop restored it), but a
+            # budget blowout mid-branch leaves values far from feasible;
+            # rebuilding is cheaper than repairing a pathological state.
+            self._root_simplex = None
+            raise
+        self._checked_upto = len(self._constraints)
+        self._dirty = False
         return self.last_model
+
+    def _model_extends(self) -> bool:
+        """Does the last model already satisfy the constraints asserted
+        since it was computed?  New variables default to 0; on success the
+        model is extended in place.  This is the incremental fast path:
+        most feeds from the DPLL(T) loop assert bounds the current model
+        already meets, and skipping the rebuild turns those checks into a
+        linear evaluation of the new suffix."""
+        model = self.last_model
+        ext: dict = {}
+        for kind, expr, _reason in self._constraints[self._checked_upto:]:
+            total = expr.const
+            for v, c in expr.coeffs.items():
+                val = model.get(v)
+                if val is None:
+                    val = ext.setdefault(v, 0)
+                total += c * val
+            ok = (total <= 0 if kind == "le" else
+                  total >= 0 if kind == "ge" else total == 0)
+            if not ok:
+                return False
+        if ext:
+            model.update(ext)
+        self._checked_upto = len(self._constraints)
+        return True
 
     def model_value(self, v: Hashable) -> Optional[int]:
         """Value of one variable in the last satisfying model, if any."""
@@ -408,7 +506,7 @@ class LiaSolver:
         return self.last_model.get(v)
 
     def _gcd_tests(self) -> None:
-        for kind, expr, reason in self._constraints:
+        for kind, expr, reason in self._constraints[self._gcd_upto:]:
             if kind != "eq" or not expr.coeffs:
                 continue
             e = _integerize(expr)
@@ -417,6 +515,34 @@ class LiaSolver:
                 g = math.gcd(g, abs(int(c)))
             if g > 1 and int(e.const) % g != 0:
                 raise LiaConflict(frozenset([reason]))
+        self._gcd_upto = len(self._constraints)
+
+    def _root(self) -> Simplex:
+        """Build (or return) the persistent root tableau.
+
+        The tableau holds every non-constant asserted constraint as a bound
+        and is kept in sync by :meth:`_apply_root`; it is only rebuilt after
+        a pop or an assert-time bound clash.  The initial ``check()`` leaves
+        it feasibility-repaired, so later probes and solves start from a
+        near-feasible state.  Raises LiaConflict / LiaUnknown (and caches
+        nothing) when the base constraints cannot be repaired.
+        """
+        simplex = self._root_simplex
+        if simplex is None:
+            simplex = Simplex()
+            for c_kind, c_expr, reason in self._constraints:
+                if c_expr.is_constant():
+                    continue
+                if c_kind == "le":
+                    simplex.assert_upper(c_expr, reason)
+                elif c_kind == "ge":
+                    simplex.assert_lower(c_expr, reason)
+                else:
+                    simplex.assert_upper(c_expr, reason)
+                    simplex.assert_lower(c_expr, reason)
+            simplex.check()
+            self._root_simplex = simplex
+        return simplex
 
     def lp_probe_infeasible(self, kind: str, expr: LinExpr) -> bool:
         """Is (constraints + kind(expr)) LP-infeasible?  Sound for ILP.
@@ -427,26 +553,12 @@ class LiaSolver:
         Strict constraints are integer-tightened to ``<= -1``, so most
         integrality-based implications are preserved.
         """
-        simplex = self._root_simplex
-        if simplex is None:
-            simplex = Simplex()
-            try:
-                for c_kind, c_expr, reason in self._constraints:
-                    if c_expr.is_constant():
-                        continue
-                    if c_kind == "le":
-                        simplex.assert_upper(c_expr, reason)
-                    elif c_kind == "ge":
-                        simplex.assert_lower(c_expr, reason)
-                    else:
-                        simplex.assert_upper(c_expr, reason)
-                        simplex.assert_lower(c_expr, reason)
-                simplex.check()
-            except LiaConflict:
-                return True  # base constraints already infeasible
-            except LiaUnknown:
-                return False
-            self._root_simplex = simplex
+        try:
+            simplex = self._root()
+        except LiaConflict:
+            return True  # base constraints already infeasible
+        except LiaUnknown:
+            return False
         simplex.push()
         try:
             if kind == "lt":
@@ -468,23 +580,14 @@ class LiaSolver:
         finally:
             simplex.pop()
 
-    def _solve(self, constraints, budget, depth) -> dict:
-        simplex = Simplex()
-        for kind, expr, reason in constraints:
-            if expr.is_constant():
-                val = expr.const
-                sat = (val <= 0 if kind == "le" else
-                       val >= 0 if kind == "ge" else val == 0)
-                if not sat:
-                    raise LiaConflict(frozenset([reason]))
-                continue
-            if kind == "le":
-                simplex.assert_upper(expr, reason)
-            elif kind == "ge":
-                simplex.assert_lower(expr, reason)
-            else:
-                simplex.assert_upper(expr, reason)
-                simplex.assert_lower(expr, reason)
+    def _solve_on(self, simplex: Simplex, budget, depth) -> dict:
+        """Branch-and-bound over the shared tableau.
+
+        Branch bounds are pushed and popped on ``simplex`` rather than
+        rebuilding a fresh tableau per node — a branch bound is a single-var
+        bound (no new slack rows), so each node costs only the pivots needed
+        to repair it from the parent's feasible state.
+        """
         model = simplex.check()
         # Find an integer-constrained var with fractional value.
         frac_var = None
@@ -501,18 +604,24 @@ class LiaSolver:
         if budget[0] <= 0 or depth > 60:
             raise LiaUnknown("branch budget exceeded")
         val = model[frac_var]
-        floor_c = ("le", LinExpr.var(frac_var) - LinExpr.constant(math.floor(val)),
-                   "_branch")
-        ceil_c = ("ge", LinExpr.var(frac_var) - LinExpr.constant(math.ceil(val)),
-                  "_branch")
+        var_e = LinExpr.var(frac_var)
+        floor_c = ("le", var_e - LinExpr.constant(math.floor(val)))
+        ceil_c = ("ge", var_e - LinExpr.constant(math.ceil(val)))
         reasons = None
-        for extra in (floor_c, ceil_c):
+        for kind, extra in (floor_c, ceil_c):
+            simplex.push()
             try:
-                return self._solve(constraints + [extra], budget, depth + 1)
+                if kind == "le":
+                    simplex.assert_upper(extra, "_branch")
+                else:
+                    simplex.assert_lower(extra, "_branch")
+                return self._solve_on(simplex, budget, depth + 1)
             except LiaConflict as cf:
                 rs = set(cf.reasons)
                 rs.discard("_branch")
                 reasons = rs if reasons is None else (reasons | rs)
+            finally:
+                simplex.pop()
         raise LiaConflict(frozenset(reasons if reasons is not None else set()))
 
 

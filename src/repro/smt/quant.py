@@ -134,12 +134,41 @@ def select_triggers(quant: T.Term, policy: str = CONSERVATIVE,
 
 
 class EMatcher:
-    """Match trigger patterns against an e-graph to produce substitutions."""
+    """Match trigger patterns against an e-graph to produce substitutions.
 
-    def __init__(self, euf: EufSolver):
+    Two operating modes:
+
+    * **naive** (``incremental=False``): every :meth:`match_group` call
+      rebuilds the apps-by-decl index from a full e-graph scan and matches
+      every candidate — the reference behavior.
+    * **incremental** (default): candidates come from the e-graph's
+      persistent :meth:`~repro.smt.euf.EufSolver.apps_of` index (no scan),
+      and a per-group watermark — ``(merge count, apps count per pattern
+      decl)`` — lets a repeat call skip work: if nothing changed the group
+      is skipped outright; if only new apps arrived (no merges) a
+      single-pattern group matches just the candidates past the watermark.
+      With no intervening merges old candidates reproduce byte-identical
+      substitutions (class memberships are unchanged, new terms sit in
+      singleton classes), so the delta scan yields the same instantiation
+      set the naive mode would.
+
+    ``index_hits`` counts match calls served by the persistent index;
+    ``rescans_avoided`` counts calls answered from the watermark without
+    touching any candidate.
+    """
+
+    __slots__ = ("euf", "incremental", "_apps_by_decl", "_bound",
+                 "_group_state", "index_hits", "rescans_avoided")
+
+    def __init__(self, euf: EufSolver, incremental: bool = True):
         self.euf = euf
+        self.incremental = incremental
         self._apps_by_decl: Optional[dict] = None
         self._bound: frozenset = frozenset()
+        # (group, bound) -> (num_merges, apps-count-per-pattern) watermark.
+        self._group_state: dict[tuple, tuple] = {}
+        self.index_hits = 0
+        self.rescans_avoided = 0
 
     def _index(self) -> dict:
         apps: dict[T.FuncDecl, list[T.Term]] = {}
@@ -148,12 +177,45 @@ class EMatcher:
                 apps.setdefault(t.payload, []).append(t)
         return apps
 
-    def match_group(self, group: Iterable[T.Term], bound: tuple
-                    ) -> list[dict[T.Term, T.Term]]:
-        """All substitutions matching every pattern in the group."""
-        self._apps_by_decl = self._index()
-        self._bound = frozenset(bound)
+    def match_group(self, group: Iterable[T.Term], bound: tuple,
+                    state_key=None) -> list[dict[T.Term, T.Term]]:
+        """All substitutions matching every pattern in the group.
+
+        In incremental mode, repeat calls may return only the substitutions
+        new since the previous call (old ones are exact duplicates the
+        solver's instance dedup would discard anyway).  ``state_key``
+        namespaces the watermark — callers matching the same group on
+        behalf of different consumers (e.g. two quantifiers sharing a
+        trigger) must pass distinct keys so each gets the full result.
+        """
+        group = tuple(group)
+        if not self.incremental:
+            self._apps_by_decl = self._index()
+            return self._match_all(group, bound)
+        self._apps_by_decl = self.euf._apps_by_decl
+        key = (state_key, group, bound)
+        merges = self.euf.num_merges
+        counts = tuple(len(self._apps_by_decl.get(p.payload, ()))
+                       for p in group)
+        state = self._group_state.get(key)
+        self._group_state[key] = (merges, counts)
+        if state is not None and state[0] == merges:
+            # No merges since the last scan: old candidates reproduce the
+            # exact substitutions they produced before.
+            if state[1] == counts:
+                self.rescans_avoided += 1
+                return []
+            if len(group) == 1:
+                self.index_hits += 1
+                return self._match_delta(group, bound, state[1][0])
+            # Multi-pattern groups may pair an old candidate of one pattern
+            # with a new candidate of another: full rescan.
+        self.index_hits += 1
+        return self._match_all(group, bound)
+
+    def _match_all(self, group: tuple, bound: tuple) -> list[dict]:
         subs: list[dict[T.Term, T.Term]] = [{}]
+        self._bound = frozenset(bound)
         for pattern in group:
             new_subs: list[dict] = []
             for sub in subs:
@@ -161,6 +223,21 @@ class EMatcher:
             subs = new_subs
             if not subs:
                 return []
+        return self._complete(subs, bound)
+
+    def _match_delta(self, group: tuple, bound: tuple, watermark: int
+                     ) -> list[dict]:
+        """Match a single-pattern group against candidates past the
+        watermark only."""
+        pattern = group[0]
+        self._bound = frozenset(bound)
+        subs: list[dict] = []
+        candidates = self._apps_by_decl.get(pattern.payload, ())
+        for candidate in candidates[watermark:]:
+            subs.extend(self._match(pattern, candidate, {}))
+        return self._complete(subs, bound) if subs else []
+
+    def _complete(self, subs: list, bound: tuple) -> list[dict]:
         bound_set = set(bound)
         complete = []
         seen_keys = set()
@@ -175,7 +252,9 @@ class EMatcher:
     def _match_pattern(self, pattern: T.Term, sub: dict) -> list[dict]:
         out = []
         for candidate in self._apps_by_decl.get(pattern.payload, ()):
-            out.extend(self._match(pattern, candidate, dict(sub)))
+            # _match/_match_args copy-on-bind, so sharing `sub` is safe —
+            # no defensive copy on branches that add no binding.
+            out.extend(self._match(pattern, candidate, sub))
         return out
 
     def _match(self, pattern: T.Term, term: T.Term, sub: dict) -> list[dict]:

@@ -63,6 +63,23 @@ class Stats:
         self.rounds = 0
         self.query_bytes = 0
         self.solve_seconds = 0.0
+        # Incremental E-matching / fired-set / pruning counters (this is
+        # where the profile-driven solver pass shows its work):
+        # index-served match calls, match calls skipped entirely via the
+        # new-term watermark, instantiations skipped by the fired-set
+        # memo, context axioms dropped per obligation, and the query
+        # bytes those dropped axioms would have cost.
+        self.ematch_index_hits = 0
+        self.ematch_rescans_avoided = 0
+        self.fired_set_hits = 0
+        self.pruned_axioms = 0
+        self.query_bytes_saved = 0
+        # Matches whose substitution is pairwise congruent (in the real
+        # e-graph) to an already-asserted instance of the same quantifier:
+        # the new instance is entailed by the old one plus the current
+        # congruences, so it is skipped without being recorded anywhere —
+        # if a later backtrack breaks the congruence, the match re-derives.
+        self.congruent_skips = 0
         # Per-quantifier/per-trigger instantiation counts:
         # {quantifier label: {trigger label: count}}.  MBQI instantiations
         # are recorded under the reserved trigger label "<mbqi>" so the
@@ -141,6 +158,7 @@ class SolverConfig:
                  mbqi_max_universe: int = 9,
                  sat_conflict_budget: int = 400000,
                  nonlinear: bool = False,
+                 incremental_ematch: bool = True,
                  max_steps: Optional[int] = None):
         self.trigger_policy = trigger_policy
         self.max_rounds = max_rounds
@@ -149,6 +167,10 @@ class SolverConfig:
         self.mbqi_max_universe = mbqi_max_universe
         self.sat_conflict_budget = sat_conflict_budget
         self.nonlinear = nonlinear
+        # Incremental E-matching: persistent apps-by-decl index, new-term
+        # watermarks, and the fired-set memo.  False restores the naive
+        # rescan-everything matcher (the differential-testing reference).
+        self.incremental_ematch = incremental_ematch
         # Overall per-check step budget (rounds + theory conflicts +
         # instantiations).  Unlike the wall-clock deadline this is
         # machine-independent, so a RESOURCE_OUT verdict reproduces
@@ -171,6 +193,19 @@ class SmtSolver:
         self._quant_proxy: dict[T.Term, int] = {}   # FORALL term -> sat var
         self._proxy_quant: dict[int, T.Term] = {}
         self._instances_seen: set = set()
+        # Substitution tuples actually asserted per quantifier, for the
+        # congruent-instance skip (see Stats.congruent_skips).  Scoped
+        # with push/pop like _instances_seen.
+        self._inst_subs: dict = {}
+        # Fired-set memo: (quant, trigger group, congruence-root tuple) ->
+        # (class fingerprints, instance key).  A match whose root tuple and
+        # class fingerprints are unchanged since it last fired is skipped
+        # before canonicalization/substitution — the late _instances_seen
+        # filter would have discarded it anyway.  Scoped with push/pop like
+        # _instances_seen so popped instances are re-derivable.
+        self._fired: dict = {}
+        self._fired_key: Optional[tuple] = None   # transient probe state
+        self._fired_fps: Optional[tuple] = None
         self._lemmas_seen: dict = {}   # lemma key -> assertion scope
         self._divmod_done: set = set()
         self._ite_cache: dict[T.Term, T.Term] = {}
@@ -227,6 +262,8 @@ class SmtSolver:
         self._frames.append({
             "n_assertions": len(self._assertions),
             "instances": set(self._instances_seen),
+            "inst_subs": {q: list(v) for q, v in self._inst_subs.items()},
+            "fired": dict(self._fired),
             "lemmas": dict(self._lemmas_seen),
             "divmod": set(self._divmod_done),
             "ground": set(self._ground_terms),
@@ -255,6 +292,8 @@ class SmtSolver:
         root._lia_model = None
         del self._assertions[frame["n_assertions"]:]
         self._instances_seen = frame["instances"]
+        self._inst_subs = frame["inst_subs"]
+        self._fired = frame["fired"]
         # Lemmas hoisted to a surviving scope keep their SAT clause across
         # the pop; keep their dedup keys too so they are not re-learned.
         target = self._sat.scope
@@ -800,6 +839,7 @@ class SmtSolver:
         if self.stats.instantiations >= self.config.max_instantiations:
             return False
         self._instances_seen.add(key)
+        self._inst_subs.setdefault(quant, []).append(key[1])
         self.stats.instantiations += 1
         self._record_instantiation(quant, trigger_label)
         body = T.substitute(quant.body, sub)
@@ -821,9 +861,15 @@ class SmtSolver:
         real theory model does that on the next round.
         """
         match_euf = self._optimistic_euf(theory)
+        incremental = self.config.incremental_ematch
+        # One matcher for the whole round: its per-group watermarks carry
+        # across passes, so each pass only rescans what changed.  (Naive
+        # mode gets a fresh full-rescan matcher per pass, as before.)
+        matcher = EMatcher(match_euf, incremental=incremental)
         added_any = False
         for _pass in range(16):  # noqa: B007
-            matcher = EMatcher(match_euf)
+            if not incremental:
+                matcher = EMatcher(match_euf, incremental=False)
             added = False
             for quant in active:
                 try:
@@ -838,7 +884,11 @@ class SmtSolver:
                         trigger_label = "; ".join(self._term_label(p)
                                                   for p in group)
                         self._label_cache[group] = trigger_label
-                    for sub in matcher.match_group(group, quant.bound_vars):
+                    for sub in matcher.match_group(group, quant.bound_vars,
+                                                   state_key=quant):
+                        if incremental and self._fired_hit(
+                                match_euf, quant, group, sub):
+                            continue
                         full = {}
                         for v in quant.bound_vars:
                             t = sub.get(v)
@@ -866,7 +916,23 @@ class SmtSolver:
                         # workloads, whose own terms are large).
                         if any(t.size() > self._guard_limit
                                for t in full.values()):
+                            if incremental:
+                                self._fired_record(
+                                    quant, ("guard", self._guard_limit))
                             continue
+                        sub_key = tuple(full.get(v)
+                                        for v in quant.bound_vars)
+                        if incremental and self._congruent_seen(
+                                theory.euf, quant, sub_key):
+                            # Entailed by an asserted instance plus the
+                            # current congruences.  Deliberately not
+                            # recorded in _fired/_instances_seen: if a
+                            # pop() breaks the congruence the rebuilt
+                            # matcher re-derives this match.
+                            self.stats.congruent_skips += 1
+                            continue
+                        if incremental:
+                            self._fired_record(quant, (quant, sub_key))
                         if self._instantiate(quant, full, trigger_label):
                             added = True
                             body = T.substitute(quant.body, full)
@@ -876,7 +942,67 @@ class SmtSolver:
             added_any = True
             if self.stats.instantiations >= self.config.max_instantiations:
                 break
+        self.stats.ematch_index_hits += matcher.index_hits
+        self.stats.ematch_rescans_avoided += matcher.rescans_avoided
         return added_any, match_euf
+
+    def _congruent_seen(self, euf: EufSolver, quant: T.Term,
+                        sub_key: tuple) -> bool:
+        """True if an asserted instance of ``quant`` has a substitution
+        pairwise equal to ``sub_key`` in the *real* e-graph (never the
+        optimistic scratch graph — those merges are conjectural).  Such
+        an instance body is entailed by the recorded one under the
+        current congruences, so asserting it again adds nothing."""
+        for prev in self._inst_subs.get(quant, ()):
+            for a, b in zip(sub_key, prev):
+                if a is not b and not euf.are_equal(a, b):
+                    break
+            else:
+                return True
+        return False
+
+    def _fired_hit(self, match_euf: EufSolver, quant: T.Term, group: tuple,
+                   sub: dict) -> bool:
+        """Check the fired-set memo for this match; True means skip it.
+
+        A hit requires (a) the same congruence-root tuple as when the
+        instance fired, (b) unchanged class fingerprints — so the
+        canonical substitution is provably the one recorded — and (c) the
+        recorded instance still asserted in the current scope (or an
+        unchanged generation-guard skip).  Side effect on miss: stores the
+        pending key in ``_fired_key`` for :meth:`_fired_record`.
+        """
+        roots = []
+        fps = []
+        for v in quant.bound_vars:
+            t = sub.get(v)
+            if t is None:
+                return False
+            if t in match_euf._repr:
+                root = match_euf.find(t)
+                mem = match_euf._members[root]
+                roots.append(root)
+                fps.append((len(mem), mem[0], mem[-1]))
+            else:
+                roots.append(t)
+                fps.append((0, t, t))
+        fkey = (quant, group, tuple(roots))
+        self._fired_key = fkey
+        entry = self._fired.get(fkey)
+        if entry is None or entry[0] != tuple(fps):
+            self._fired_fps = tuple(fps)
+            return False
+        outcome = entry[1]
+        if (outcome in self._instances_seen
+                or outcome == ("guard", self._guard_limit)):
+            self.stats.fired_set_hits += 1
+            return True
+        self._fired_fps = tuple(fps)
+        return False
+
+    def _fired_record(self, quant: T.Term, outcome) -> None:
+        """Record the outcome for the match key probed by _fired_hit."""
+        self._fired[self._fired_key] = (self._fired_fps, outcome)
 
     def _seed_phases(self, theory: "_TheoryModel", scratch: EufSolver,
                      vars_before: int) -> None:
@@ -1027,6 +1153,10 @@ def _product(domains: list) -> Iterable[tuple]:
 
 class _TheoryModel:
     """Checks one full SAT model against EUF + LIA; holds the theory state."""
+
+    __slots__ = ("solver", "sat_model", "relevant", "euf", "lia",
+                 "_lia_model", "persistent", "_fed_vars", "_xprop_done",
+                 "_splits_added")
 
     def __init__(self, solver: SmtSolver, sat_model: list[bool],
                  relevant: Optional[set] = None, persistent: bool = False):

@@ -262,7 +262,15 @@ def BoolVal(b: bool) -> Term:
     return TRUE if b else FALSE
 
 
+# Small integer literals dominate encoder output (indices, bounds, enum
+# tags); serving them from a preallocated table skips the intern-dict
+# key construction and lookup in Term.__new__ on the hottest path.
+_SMALL_INTS = tuple(Term(INT_CONST, INT, (), i) for i in range(-16, 257))
+
+
 def IntVal(n: int) -> Term:
+    if type(n) is int and -16 <= n <= 256:
+        return _SMALL_INTS[n + 16]
     return Term(INT_CONST, INT, (), int(n))
 
 

@@ -186,7 +186,7 @@ class _Task:
     (lazily computed) assertions, digest, and owning function plan."""
 
     __slots__ = ("item", "plan", "assertions", "config", "digest", "done",
-                 "qbytes", "crash")
+                 "qbytes", "crash", "pruned_axioms", "pruned_bytes")
 
     def __init__(self, item, plan):
         self.item = item
@@ -196,6 +196,11 @@ class _Task:
         self.digest: Optional[str] = None
         self.done = False
         self.qbytes = 0
+        # Per-obligation context pruning (vc/prune.py): how many spec
+        # axioms this task's assertion list dropped, and their query
+        # bytes — folded into the discharge stats by _apply().
+        self.pruned_axioms = 0
+        self.pruned_bytes = 0
         # Worker-failure cause ("ExcType: message") when a parallel
         # attempt died; surfaced in Stats/diag and consumed by the
         # retry ladder.
@@ -431,7 +436,6 @@ class Scheduler:
 
     def _plan_tasks(self, gen, plan) -> list[_Task]:
         tasks = []
-        ctx_axioms = None
         cfg = None
         # Warm contexts and the serial soft deadline replicate the
         # *default* discharge just like cross-process dispatch does, so
@@ -457,11 +461,18 @@ class Scheduler:
                 continue
             task = _Task(item, plan)
             if need_assertions:
-                if ctx_axioms is None:
-                    ctx_axioms = list(gen.context_axioms(plan.encoder,
-                                                         plan.spec_axioms))
+                if cfg is None:
                     cfg = self._solver_config(gen)
-                task.assertions = (ctx_axioms + list(item.assumptions)
+                # Per-obligation pruning must match gen._solve_obligation
+                # exactly — digests, warm groups, and the serial fallback
+                # all have to see the same assertion list.
+                kept, dropped = gen.obligation_context(
+                    item, plan.encoder, plan.spec_axioms)
+                if dropped:
+                    from .prune import bytes_saved
+                    task.pruned_axioms = len(dropped)
+                    task.pruned_bytes = bytes_saved(dropped)
+                task.assertions = (kept + list(item.assumptions)
                                    + [T.Not(item.goal)])
                 task.config = cfg
             tasks.append(task)
@@ -859,7 +870,6 @@ class Scheduler:
         re-solve has no kill switch.
         """
         from ..diag import diagnose_obligation
-        ctx_cache: dict[int, list] = {}
         cfg = None
         for task in tasks:
             ob = task.item.obligation
@@ -890,11 +900,9 @@ class Scheduler:
                 self._resilience_notes(ob)
                 continue
             plan = task.plan
-            ctx = ctx_cache.get(id(plan))
-            if ctx is None:
-                ctx = list(gen.context_axioms(plan.encoder,
-                                              plan.spec_axioms))
-                ctx_cache[id(plan)] = ctx
+            # Diagnose against the same pruned context the discharge saw.
+            ctx, _ = gen.obligation_context(task.item, plan.encoder,
+                                            plan.spec_axioms)
             if cfg is None:
                 cfg = self._solver_config(gen)
             ob.diag = diagnose_obligation(
@@ -933,6 +941,13 @@ class Scheduler:
         ob = task.item.obligation
         ob.status = status
         ob.seconds = seconds
+        if task.pruned_axioms and not stats.get("pruned_axioms"):
+            # Discharges from a planned assertion list (fresh/warm/pool)
+            # never saw the pruning happen; serial in-process solves (and
+            # cache replays of either) already carry the counts.
+            stats = dict(stats)
+            stats["pruned_axioms"] = task.pruned_axioms
+            stats["query_bytes_saved"] = task.pruned_bytes
         self.stats.merge(stats)
         if from_cache:
             stats = dict(stats)

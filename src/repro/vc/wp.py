@@ -258,13 +258,35 @@ class VcGen:
         fnres.query_bytes += query_bytes
         fnres.obligations.append(ob)
 
+    def obligation_context(self, item: _PendingObligation, encoder: Encoder,
+                           spec_axioms: list) -> tuple[list, list]:
+        """Per-obligation context pruning: (kept, dropped) context axioms.
+
+        The function-level reachable set is sharpened per goal — axioms
+        (encoder theory axioms and spec-function definitions alike) whose
+        necessary trigger symbol is unreachable from this obligation's
+        goal and path assumptions (transitively through kept axiom
+        bodies) are dropped before encoding.  Disabled along with the
+        function-level pass by ``VcConfig.prune_context``.
+        """
+        ctx = self.context_axioms(encoder, spec_axioms)
+        if not self.config.prune_context or item.goal is None:
+            return ctx, []
+        from .prune import prune_axioms
+        return prune_axioms(ctx, item.goal, item.assumptions)
+
     def _solve_obligation(self, item: _PendingObligation, encoder: Encoder,
                           spec_axioms: list,
                           solver_config: Optional[SolverConfig] = None
                           ) -> tuple[str, dict, int]:
         """Run one solver attempt; baselines override the retry strategy."""
         solver = SmtSolver(solver_config or self.config.make_solver_config())
-        for ax in self.context_axioms(encoder, spec_axioms):
+        kept, dropped = self.obligation_context(item, encoder, spec_axioms)
+        if dropped:
+            from .prune import bytes_saved
+            solver.stats.pruned_axioms += len(dropped)
+            solver.stats.query_bytes_saved += bytes_saved(dropped)
+        for ax in kept:
             solver.add(ax)
         for assumption in item.assumptions:
             solver.add(assumption)

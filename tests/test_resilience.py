@@ -27,6 +27,17 @@ from repro.vc.scheduler import Scheduler
 from repro.vc.wp import VcGen
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_env(monkeypatch):
+    """Strip ambient cache knobs (e.g. the shared $REPRO_CACHE_DIR that
+    scripts/verify_tier1.sh exports): a warm proof cache would replay
+    verdicts without ever reaching the solver/worker code paths the
+    fault points of this suite live in.  Tests that want a cache pass
+    one to Scheduler explicitly."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_DELTA", raising=False)
+
+
 def _mk_module(name="resil_demo"):
     """A module with several cheap, offloadable obligations."""
     mod = Module(name)
