@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Submit a module to the verification daemon; print verdicts/diagnostics.
+
+Run:  PYTHONPATH=src python scripts/client.py --port 9178 \\
+          verify repro.systems.nr.model:build_nr_core_module
+      PYTHONPATH=src python scripts/client.py --port 9178 \\
+          verify --source edited_module.py --builder build --diag
+      PYTHONPATH=src python scripts/client.py --port 9178 status
+
+Exit status: 0 = verified (or status/shutdown ok), 1 = verification
+failed, 2 = busy (queue full / quota exhausted), 3 = protocol or
+transport error.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.server import ServerClient
+from repro.server.client import ServerUnavailable
+
+
+def _print_result(reply: dict, as_json: bool) -> int:
+    if as_json:
+        print(json.dumps(reply, indent=2, sort_keys=True))
+    status = reply.get("status")
+    if status == "busy":
+        if not as_json:
+            print(f"BUSY ({reply.get('reason')}): "
+                  f"{json.dumps({k: v for k, v in reply.items() if k not in ('id', 'status', 'reason')})}")
+        return 2
+    if status != "ok":
+        if not as_json:
+            print(f"ERROR: {reply.get('error')}", file=sys.stderr)
+        return 3
+    result = reply.get("result") or {}
+    server = reply.get("server") or {}
+    if as_json:
+        return 0 if result.get("ok", True) else 1
+    if "functions" in result:           # a ModuleResult payload
+        verdict = "VERIFIED" if result["ok"] else (
+            "REJECTED" if result.get("rejected") else "FAILED")
+        print(f"{verdict} {result['module']} "
+              f"[path={server.get('path')}, "
+              f"queued={server.get('queued_ms')}ms, "
+              f"solvers_built={server.get('solvers_built')}, "
+              f"delta_skips={server.get('delta_skips')}]")
+        for fn in result["functions"]:
+            marker = "ok " if fn["ok"] else "FAIL"
+            print(f"  {marker} {fn['name']} "
+                  f"({len(fn['obligations'])} obligations)")
+        for failure in result.get("failures", []):
+            print(f"  ✗ {failure['function']}: {failure['label']} "
+                  f"[{failure.get('error_type')}] @ {failure.get('span')}")
+            diag = failure.get("diag")
+            if diag and diag.get("message"):
+                print(f"      {diag['message']}")
+        return 0 if result["ok"] else 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, required=True)
+    ap.add_argument("--client", default="cli",
+                    help="client name for fairness/quota accounting")
+    ap.add_argument("--priority", type=int, default=0)
+    ap.add_argument("--timeout", type=float, default=300.0,
+                    help="socket timeout in seconds")
+    ap.add_argument("--json", action="store_true",
+                    help="print the raw reply as JSON")
+    ap.add_argument("verb", choices=["verify", "analyze", "diagnose",
+                                     "status", "shutdown"])
+    ap.add_argument("builder", nargs="?",
+                    help="dotted builder path 'pkg.mod:fn' "
+                         "(module verbs, unless --source)")
+    ap.add_argument("--source", default=None,
+                    help="file whose python source defines the module "
+                         "builder (submitted verbatim)")
+    ap.add_argument("--builder-name", default="build",
+                    help="builder callable name inside --source")
+    ap.add_argument("--diag", action="store_true",
+                    help="request per-failure diagnostics")
+    ap.add_argument("--max-steps", type=int, default=None,
+                    help="per-check solver step budget override")
+    args = ap.parse_args(argv)
+
+    config = {}
+    if args.diag:
+        config["diagnostics"] = True
+    if args.max_steps is not None:
+        config["max_steps"] = args.max_steps
+
+    try:
+        with ServerClient(args.host, args.port, client=args.client,
+                          timeout=args.timeout) as client:
+            if args.verb == "status":
+                return _print_result(client.status(), args.json)
+            if args.verb == "shutdown":
+                return _print_result(client.shutdown(), args.json)
+            kwargs = {"config": config or None,
+                      "priority": args.priority}
+            if args.source:
+                with open(args.source, "r", encoding="utf-8") as fh:
+                    kwargs["source"] = fh.read()
+                kwargs["builder"] = args.builder_name
+            elif args.builder:
+                kwargs["builder"] = args.builder
+            else:
+                ap.error(f"{args.verb} needs a builder path or --source")
+            reply = getattr(client, args.verb)(**kwargs)
+            return _print_result(reply, args.json)
+    except ServerUnavailable as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 3
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,7 +169,7 @@ class Session:
     """
 
     def __init__(self, config: Optional[VerifyConfig] = None, cache=None,
-                 **overrides):
+                 warm_pool=None, **overrides):
         if config is None:
             config = VerifyConfig.from_env(**overrides)
         elif overrides:
@@ -182,6 +182,18 @@ class Session:
             # the legacy lang shims, pass one around).
             self._cache = cache
             self._cache_opened = True
+        # Warm solver-context pool (repro.server.warm.SolverPool).  Pass
+        # an existing pool to share residency across sessions (the
+        # daemon does), or ``True`` for a private default-budget pool.
+        # Only meaningful with ``incremental=True`` — warm groups are
+        # the acquire/release sites.  A pool passed in is *borrowed*:
+        # close() only clears pools this session created.
+        self._owns_pool = warm_pool is True
+        if warm_pool is True:
+            from .server.warm import SolverPool
+            warm_pool = SolverPool()
+        self.warm_pool = warm_pool
+        self._closed = False
 
     # ------------------------------------------------------------ plumbing
 
@@ -217,7 +229,8 @@ class Session:
                          max_steps=cfg.max_steps,
                          fault_plan=cfg.fault_plan,
                          journal=journal if journal is not None
-                         else cfg.journal_dir)
+                         else cfg.journal_dir,
+                         solver_pool=self.warm_pool)
 
     # ------------------------------------------------------------- verbs
 
@@ -258,6 +271,26 @@ class Session:
         """
         from .analysis import analyze_module
         return analyze_module(mod, vc_config)
+
+    # --------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        """Release held resources: warm solver contexts this session
+        owns are dropped (borrowed pools are left to their owner).
+        Idempotent; the session stays usable for cache-only work but
+        builds no further warm contexts from an owned pool."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.warm_pool is not None and self._owns_pool:
+            self.warm_pool.close()
+            self.warm_pool = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return f"<Session {self.config}>"

@@ -1,0 +1,142 @@
+"""A small synchronous client for the verification daemon.
+
+Speaks the :mod:`repro.server.protocol` wire format over a plain TCP
+socket.  One request is in flight at a time per client instance (the
+daemon itself handles pipelining; this class trades that for a simple
+blocking API) — open several instances for concurrent traffic, as the
+determinism tests and ``scripts/client.py`` do.
+
+    from repro.server import ServerClient
+
+    with ServerClient(port=9178, client="alice") as c:
+        reply = c.verify(builder="repro.systems.nr.model:build_nr_core_module")
+        print(reply["status"], reply["server"]["path"])
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Optional
+
+from . import protocol
+
+
+class ServerUnavailable(ConnectionError):
+    """Could not reach (or lost) the daemon."""
+
+
+class ServerClient:
+    """Blocking NDJSON client; context-manager closes the socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 client: str = protocol.DEFAULT_CLIENT,
+                 timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.client = client
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._buf = b""
+
+    # ---------------------------------------------------------- transport
+
+    def connect(self) -> "ServerClient":
+        if self._sock is None:
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+            except OSError as exc:
+                raise ServerUnavailable(
+                    f"cannot connect to {self.host}:{self.port}: {exc}"
+                ) from exc
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._buf = b""
+
+    def __enter__(self) -> "ServerClient":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _read_line(self) -> bytes:
+        while b"\n" not in self._buf:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError as exc:
+                raise ServerUnavailable(f"read failed: {exc}") from exc
+            if not chunk:
+                raise ServerUnavailable("daemon closed the connection")
+            self._buf += chunk
+        line, _, self._buf = self._buf.partition(b"\n")
+        return line
+
+    def request(self, verb: str, module: Optional[dict] = None,
+                config: Optional[dict] = None,
+                priority: int = 0) -> dict:
+        """Send one request and block for its (id-matched) reply."""
+        self.connect()
+        req_id = f"{self.client}-{next(self._ids)}"
+        payload = {"id": req_id, "verb": verb, "client": self.client,
+                   "priority": priority}
+        if module is not None:
+            payload["module"] = module
+        if config:
+            payload["config"] = config
+        try:
+            self._sock.sendall(protocol.encode(payload))
+        except OSError as exc:
+            raise ServerUnavailable(f"send failed: {exc}") from exc
+        while True:
+            reply = json.loads(self._read_line())
+            # Replies are id-matched; with one request in flight the
+            # first matching line is ours (error replies to malformed
+            # frames carry id null and would not match).
+            if reply.get("id") == req_id:
+                return reply
+
+    # -------------------------------------------------------------- verbs
+
+    @staticmethod
+    def _module_spec(builder: Optional[str], source: Optional[str]) -> dict:
+        if source is not None:
+            return {"source": source, "builder": builder or "build"}
+        if builder is None:
+            raise ValueError("need builder='pkg.mod:fn' or source=...")
+        return {"builder": builder}
+
+    def verify(self, builder: Optional[str] = None,
+               source: Optional[str] = None,
+               config: Optional[dict] = None, priority: int = 0) -> dict:
+        return self.request(protocol.VERIFY,
+                            self._module_spec(builder, source),
+                            config, priority)
+
+    def analyze(self, builder: Optional[str] = None,
+                source: Optional[str] = None,
+                config: Optional[dict] = None, priority: int = 0) -> dict:
+        return self.request(protocol.ANALYZE,
+                            self._module_spec(builder, source),
+                            config, priority)
+
+    def diagnose(self, builder: Optional[str] = None,
+                 source: Optional[str] = None,
+                 config: Optional[dict] = None, priority: int = 0) -> dict:
+        return self.request(protocol.DIAGNOSE,
+                            self._module_spec(builder, source),
+                            config, priority)
+
+    def status(self) -> dict:
+        return self.request(protocol.STATUS)
+
+    def shutdown(self) -> dict:
+        return self.request(protocol.SHUTDOWN)

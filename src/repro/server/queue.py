@@ -1,0 +1,142 @@
+"""Priority request queue with per-client fairness and backpressure.
+
+Scheduling policy, in order:
+
+1. **Priority bands** — higher integer bands are served strictly first.
+2. **Round-robin within a band** — clients in the same band take turns;
+   one client streaming 100 requests cannot starve another's single
+   request (it waits at most one rotation, not 100 slots).
+3. **FIFO within a client** — a client's own requests keep their order.
+
+Backpressure is a hard bound on total depth: ``push`` on a full queue
+raises :class:`QueueFull`, which the daemon turns into a structured
+``BUSY`` reply instead of buffering unboundedly.
+
+The policy lives in the synchronous :class:`FairQueueCore` (unit-testable
+without an event loop); :class:`FairQueue` wraps it with an
+``asyncio.Condition`` for the daemon's workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Optional
+
+
+class QueueFull(Exception):
+    """Bounded depth exceeded — the caller should reply BUSY."""
+
+
+class FairQueueCore:
+    """The synchronous scheduling core (no locking, no waiting)."""
+
+    def __init__(self, depth: int):
+        self.depth = max(1, int(depth))
+        self._size = 0
+        # band -> client -> deque of items; rotation order is tracked per
+        # band as a deque of client names (head = next to serve).
+        self._bands: dict[int, dict[str, deque]] = {}
+        self._rotation: dict[int, deque] = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def full(self) -> bool:
+        return self._size >= self.depth
+
+    def push(self, priority: int, client: str, item) -> None:
+        if self._size >= self.depth:
+            raise QueueFull(f"queue depth {self.depth} exceeded")
+        band = self._bands.setdefault(priority, {})
+        q = band.get(client)
+        if q is None:
+            q = band[client] = deque()
+            self._rotation.setdefault(priority, deque()).append(client)
+        q.append(item)
+        self._size += 1
+
+    def pop(self):
+        """The next item per the band/round-robin/FIFO policy, or None."""
+        if self._size == 0:
+            return None
+        for priority in sorted(self._bands, reverse=True):
+            band = self._bands[priority]
+            rotation = self._rotation[priority]
+            while rotation:
+                client = rotation[0]
+                q = band.get(client)
+                if not q:
+                    # Client drained: drop it from the rotation entirely
+                    # (it re-enters at the tail on its next push).
+                    rotation.popleft()
+                    band.pop(client, None)
+                    continue
+                item = q.popleft()
+                self._size -= 1
+                # Rotate: this client goes to the back of the line.
+                rotation.rotate(-1)
+                if not q:
+                    band.pop(client, None)
+                    # The rotated-to-tail entry is now stale; remove it.
+                    try:
+                        rotation.remove(client)
+                    except ValueError:
+                        pass
+                if not band:
+                    del self._bands[priority]
+                    del self._rotation[priority]
+                return item
+        return None
+
+    def snapshot(self) -> dict:
+        """JSON-able depth report for the ``status`` verb."""
+        by_band = {
+            str(priority): {client: len(q) for client, q in band.items()}
+            for priority, band in self._bands.items()
+        }
+        return {"depth": self._size, "capacity": self.depth,
+                "by_band": by_band}
+
+
+class FairQueue:
+    """Asyncio front for :class:`FairQueueCore` (daemon-internal).
+
+    ``push`` never blocks (backpressure is an exception, not a wait);
+    ``pop`` suspends the worker until an item or :meth:`close`.
+    """
+
+    def __init__(self, depth: int):
+        self.core = FairQueueCore(depth)
+        self._cond = asyncio.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self.core)
+
+    async def push(self, priority: int, client: str, item) -> None:
+        async with self._cond:
+            if self._closed:
+                raise QueueFull("queue closed")
+            self.core.push(priority, client, item)  # may raise QueueFull
+            self._cond.notify()
+
+    async def pop(self):
+        """Next item, or ``None`` once the queue is closed and drained."""
+        async with self._cond:
+            while True:
+                item = self.core.pop()
+                if item is not None:
+                    return item
+                if self._closed:
+                    return None
+                await self._cond.wait()
+
+    async def close(self) -> None:
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict:
+        return self.core.snapshot()

@@ -1,0 +1,107 @@
+"""Per-client resource quotas over the solver's step budgets.
+
+The solver already has a machine-independent resource guard: the
+``max_steps`` per-check budget (``REPRO_MAX_STEPS``), where a step is a
+solver round, theory conflict, or quantifier instantiation.  The ledger
+lifts that unit to the client level: each client gets a budget of steps
+per daemon lifetime, every verification request is *admitted* with an
+effective ``max_steps`` no larger than the client's remaining balance,
+and the steps the request actually consumed (conflicts + rounds +
+instantiations from the result stats) are charged afterwards.
+
+A client that has spent its budget gets structured ``BUSY`` replies
+with ``reason: "quota"`` — not errors, and not silent queueing — until
+the operator resets the ledger.  Budget ``0`` disables accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+#: Stats counters that constitute "steps spent" — must mirror the
+#: dimensions the solver's own max_steps budget meters.
+STEP_COUNTERS = ("conflicts", "rounds", "instantiations",
+                 "mbqi_instantiations")
+
+
+def steps_spent(stats: dict) -> int:
+    """Steps a finished request consumed, from its result stats."""
+    return sum(int(stats.get(k, 0) or 0) for k in STEP_COUNTERS)
+
+
+class QuotaExceeded(Exception):
+    """Client balance exhausted — admission refused (maps to BUSY)."""
+
+    def __init__(self, client: str, used: int, budget: int):
+        super().__init__(f"client {client!r} exhausted its step quota "
+                         f"({used}/{budget})")
+        self.client = client
+        self.used = used
+        self.budget = budget
+
+
+class QuotaLedger:
+    """Thread-safe per-client step accounting."""
+
+    def __init__(self, budget: int = 0):
+        self.budget = max(0, int(budget))
+        self._used: dict[str, int] = {}
+        self._refused: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget > 0
+
+    def remaining(self, client: str) -> Optional[int]:
+        """Steps left for ``client`` (None = unlimited)."""
+        if not self.enabled:
+            return None
+        with self._lock:
+            return max(0, self.budget - self._used.get(client, 0))
+
+    def admit(self, client: str,
+              requested_max_steps: Optional[int]) -> Optional[int]:
+        """Admission-check one request; returns its effective max_steps.
+
+        The per-request cap is the smaller of what the request asked for
+        and the *full* per-client budget — deliberately NOT the running
+        balance.  A balance-derived cap would give every request a
+        different ``max_steps``, and budgets participate in proof-cache
+        and delta fingerprints (a verdict under one budget says nothing
+        about another), so repeat clients would never hit a cache again.
+        The cost is bounded overdraft: the admitting request may spend
+        up to one budget past the line before :class:`QuotaExceeded`
+        refuses the next one.
+        """
+        if not self.enabled:
+            return requested_max_steps
+        with self._lock:
+            used = self._used.get(client, 0)
+            if used >= self.budget:
+                self._refused[client] = self._refused.get(client, 0) + 1
+                raise QuotaExceeded(client, used, self.budget)
+        if requested_max_steps is None:
+            return self.budget
+        return min(requested_max_steps, self.budget)
+
+    def charge(self, client: str, steps: int) -> None:
+        """Record the steps a completed request actually consumed."""
+        if not self.enabled or steps <= 0:
+            return
+        with self._lock:
+            self._used[client] = self._used.get(client, 0) + int(steps)
+
+    def snapshot(self) -> dict:
+        """JSON-able per-client balances for the ``status`` verb."""
+        with self._lock:
+            return {
+                "budget": self.budget,
+                "clients": {
+                    c: {"used": u,
+                        "remaining": max(0, self.budget - u),
+                        "refused": self._refused.get(c, 0)}
+                    for c, u in sorted(self._used.items())
+                },
+            }

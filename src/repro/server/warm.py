@@ -1,0 +1,173 @@
+"""Warm solver-context registry: residency for the verification daemon.
+
+The scheduler's warm-context mode (:meth:`Scheduler._run_warm_group`)
+asserts one function's shared assertion prefix at scope 0 of an
+incremental solver, then discharges each goal's residue under push/pop.
+In batch runs the solver dies with the run; across *requests* that
+prefix — context axioms, datatype declarations, spec definitional
+axioms — is rebuilt from scratch every time, which is exactly the cost
+residency removes.
+
+:class:`SolverPool` keeps those scope-0 solvers alive between requests,
+keyed by the content address of their prefix (canonical SMT-LIB2 text +
+solver knobs, via :func:`repro.smt.fingerprint.obligation_digest`).  A
+re-submitted module whose function landed on an unchanged prefix gets
+the pooled solver back: learned clauses, E-graph merges, and simplex
+state from the previous request carry forward, and only per-goal
+residues are paid for again.
+
+Safety rules (all enforced here or by the scheduler's hook):
+
+* **Exclusive use** — ``acquire`` removes the entry while a request
+  uses it; two threads can never share one solver.
+* **Scope discipline** — solvers are released only at scope 0 (the
+  per-goal residue is popped by the scheduler before release); a group
+  that raises mid-goal discards its solver instead of repooling it.
+* **Wear retirement** — ``max_instantiations`` budgets are *cumulative*
+  over a solver's lifetime, so a long-lived context could spuriously
+  resource-out where a fresh one would not.  Solvers past half their
+  instantiation budget are retired on release.
+* **LRU under a byte budget** — entries are charged their scope-0
+  ``query_bytes``; the least recently used contexts are evicted once
+  the pool exceeds ``budget_bytes``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from ..smt.fingerprint import obligation_digest, solver_config_key
+
+#: Fraction of the cumulative instantiation budget a pooled solver may
+#: consume before it is retired instead of re-pooled.
+WEAR_FRACTION = 0.5
+
+#: Default byte budget (32 MiB of scope-0 query text).
+DEFAULT_BUDGET_BYTES = 32 * 1024 * 1024
+
+
+class _Entry:
+    __slots__ = ("solver", "base_qbytes", "module")
+
+    def __init__(self, solver, base_qbytes: int, module: Optional[str]):
+        self.solver = solver
+        self.base_qbytes = base_qbytes
+        self.module = module
+
+
+class SolverPool:
+    """Thread-safe LRU pool of pre-warmed incremental solver contexts."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES):
+        self.budget_bytes = max(0, int(budget_bytes))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, _Entry]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.retired = 0
+        self._closed = False
+
+    # ------------------------------------------------------------- keying
+
+    @staticmethod
+    def group_key(prefix_assertions, config) -> str:
+        """Content address of one warm group's scope-0 state.
+
+        The digest covers the canonical query text of the shared prefix
+        *and* every solver knob, namespaced with a ``warm-prefix``
+        strategy tag so it can never collide with a proof-cache entry.
+        """
+        return obligation_digest(list(prefix_assertions),
+                                 solver_config_key(config),
+                                 "warm-prefix")
+
+    # ----------------------------------------------------------- lifecycle
+
+    def acquire(self, key: str):
+        """Check out the pooled ``(solver, base_qbytes)`` for ``key``.
+
+        Returns ``None`` on a miss.  A checked-out solver is removed
+        from the pool — callers own it exclusively until they either
+        :meth:`release` it back or drop it.
+        """
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._bytes -= entry.base_qbytes
+            self.hits += 1
+            return entry.solver, entry.base_qbytes
+
+    def release(self, key: str, solver, base_qbytes: int,
+                module: Optional[str] = None) -> None:
+        """Return a solver to the pool (or retire it).
+
+        The caller guarantees the solver is back at scope 0 with exactly
+        its prefix asserted.  Worn-out solvers (past ``WEAR_FRACTION``
+        of the cumulative instantiation budget) and solvers larger than
+        the whole budget are dropped here.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            limit = getattr(solver.config, "max_instantiations", 0) or 0
+            if limit and solver.stats.instantiations >= limit * WEAR_FRACTION:
+                self.retired += 1
+                return
+            if base_qbytes > self.budget_bytes:
+                self.retired += 1
+                return
+            old = self._entries.pop(key, None)
+            if old is not None:
+                # Another request re-warmed the same prefix concurrently;
+                # keep the newcomer (fresher learned state), drop ours.
+                self._bytes -= old.base_qbytes
+            self._entries[key] = _Entry(solver, int(base_qbytes), module)
+            self._bytes += int(base_qbytes)
+            self._entries.move_to_end(key)
+            while self._bytes > self.budget_bytes and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self._bytes -= victim.base_qbytes
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every pooled context (Session.close / daemon shutdown)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def close(self) -> None:
+        """Clear and refuse future releases (acquires just miss)."""
+        with self._lock:
+            self._closed = True
+            self._entries.clear()
+            self._bytes = 0
+
+    # ------------------------------------------------------------- status
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        """JSON-able population/effectiveness snapshot (status verb)."""
+        with self._lock:
+            modules: dict[str, int] = {}
+            for entry in self._entries.values():
+                if entry.module:
+                    modules[entry.module] = modules.get(entry.module, 0) + 1
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "retired": self.retired,
+                "modules": modules,
+            }

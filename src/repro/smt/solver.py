@@ -23,6 +23,7 @@ query size in bytes — the measurable quantities behind Figures 7–9.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Iterable, Optional
 
@@ -39,6 +40,35 @@ from .sorts import BOOL, INT
 SAT = "sat"
 UNSAT = "unsat"
 UNKNOWN = "unknown"
+
+
+class _ThreadConstructions(threading.local):
+    """Per-thread count of SmtSolver instances built."""
+
+    def __init__(self):
+        self.count = 0
+
+
+_thread_constructions = _ThreadConstructions()
+_total_constructions = [0]
+_constructions_lock = threading.Lock()
+
+
+def solver_constructions() -> int:
+    """SmtSolver instances built on the *calling thread* since it started.
+
+    The verification daemon runs each request's scheduler inline on one
+    worker thread, so diffing this counter around a request measures how
+    many solvers that request actually paid for — the observable that
+    distinguishes the delta/warm fast paths from a cold verify.
+    """
+    return _thread_constructions.count
+
+
+def total_solver_constructions() -> int:
+    """SmtSolver instances built process-wide (all threads)."""
+    with _constructions_lock:
+        return _total_constructions[0]
 
 
 class Stats:
@@ -99,6 +129,11 @@ class Stats:
         self.retry_recoveries = 0     # obligations rescued by the ladder
         self.journal_skips = 0        # goals replayed from a run journal
         self.faults_injected = 0      # FaultPlan firings during the run
+        # Warm solver-context pool (repro.server.warm / the scheduler's
+        # solver_pool hook): groups served from a resident pre-warmed
+        # context vs. groups that had to build their prefix from scratch.
+        self.warm_pool_hits = 0
+        self.warm_pool_misses = 0
 
     def snapshot(self) -> dict:
         snap = dict(self.__dict__)
@@ -184,6 +219,9 @@ class SmtSolver:
 
     def __init__(self, config: Optional[SolverConfig] = None,
                  incremental: bool = False):
+        _thread_constructions.count += 1
+        with _constructions_lock:
+            _total_constructions[0] += 1
         self.config = config or SolverConfig()
         self.stats = Stats()
         self._assertions: list[T.Term] = []

@@ -37,8 +37,8 @@ class Sort:
         obj = super().__new__(cls)
         obj.name = name
         obj._hash = _dhash(f"{cls.__name__}:{name}")
-        cls._interned[key] = obj
-        return obj
+        # setdefault keeps interning race-safe under concurrent threads.
+        return cls._interned.setdefault(key, obj)
 
     def __repr__(self) -> str:
         return self.name

@@ -119,8 +119,9 @@ class FuncDecl:
         obj._hash = _combine(_dhash(name),
                              *(s._hash for s in obj.arg_sorts),
                              ret_sort._hash)
-        cls._interned[key] = obj
-        return obj
+        # setdefault is atomic under the GIL: concurrent threads interning
+        # the same key all receive one canonical object (`is` stays sound).
+        return cls._interned.setdefault(key, obj)
 
     def __hash__(self) -> int:
         return self._hash
@@ -165,8 +166,8 @@ class Term:
                              *(a._hash for a in args),
                              _payload_hash(payload))
         obj._free = None
-        cls._interned[key] = obj
-        return obj
+        # Atomic under the GIL; losers of a racy double-construct are dropped.
+        return cls._interned.setdefault(key, obj)
 
     def __hash__(self) -> int:
         return self._hash

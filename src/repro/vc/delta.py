@@ -148,8 +148,17 @@ def _contract_text(fn: A.Function) -> str:
     return "|".join(parts)
 
 
-def function_dependency_digest(gen, fn: A.Function) -> str:
-    """Content address of everything fn's verification depends on."""
+def function_dependency_digest(gen, fn: A.Function,
+                               solver_config=None) -> str:
+    """Content address of everything fn's verification depends on.
+
+    ``solver_config`` is the *effective* solver configuration the
+    obligations will run under.  The scheduler layers knobs (notably the
+    ``max_steps`` resource budget) on top of ``gen.config``'s base config,
+    and a verdict proved under one budget says nothing about another —
+    callers that apply overrides must pass the layered config or the
+    digest would alias across budgets and replay stale verdicts.
+    """
     module = gen.module
     chunks = [f"module:{module.name}:epr={module.epr_mode}",
               canonical_node(module.attrs),
@@ -161,9 +170,10 @@ def function_dependency_digest(gen, fn: A.Function) -> str:
     for callee in sorted(_called_functions(fn, module),
                          key=lambda f: f.name):
         chunks.append(_contract_text(callee))
+    if solver_config is None:
+        solver_config = gen.config.make_solver_config()
     return function_fingerprint(chunks,
-                                solver_config_key(
-                                    gen.config.make_solver_config()),
+                                solver_config_key(solver_config),
                                 type(gen).__qualname__)
 
 

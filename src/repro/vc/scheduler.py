@@ -264,7 +264,8 @@ class Scheduler:
                  max_steps: Optional[int] = None,
                  fault_plan=None,
                  journal=None,
-                 retry_backoff: float = 0.01):
+                 retry_backoff: float = 0.01,
+                 solver_pool=None):
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
@@ -302,6 +303,12 @@ class Scheduler:
         if self.delta and self.cache is not None:
             from .delta import DeltaCache
             self._delta_cache = DeltaCache(self.cache.root)
+        # Warm solver-context registry (repro.server.warm.SolverPool, or
+        # anything with group_key/acquire/release): lets warm groups
+        # reuse a scope-0 context built by a *previous* run_module with
+        # the same prefix.  None (the default) keeps batch behavior.
+        self.solver_pool = solver_pool
+        self._module_name: Optional[str] = None
         self.stats = Stats()
 
     # ------------------------------------------------------------- public
@@ -315,6 +322,7 @@ class Scheduler:
         skips0 = (self._delta_cache.skips
                   if self._delta_cache is not None else 0)
         result = ModuleResult(gen.module.name)
+        self._module_name = gen.module.name
         if self.analyze:
             from ..analysis import analyze_module
             report = analyze_module(gen.module, gen.config)
@@ -349,7 +357,12 @@ class Scheduler:
                     if self._delta_cache is not None:
                         from .delta import (function_dependency_digest,
                                             replay_function)
-                        digest = function_dependency_digest(gen, fn)
+                        # Key on the scheduler-effective solver config
+                        # (max_steps layered on), never the raw base
+                        # config: a PROVED under one budget must not be
+                        # replayed under another.
+                        digest = function_dependency_digest(
+                            gen, fn, solver_config=self._solver_config(gen))
                         entry = self._delta_cache.lookup(digest)
                         if entry is not None:
                             result.functions.append(replay_function(entry))
@@ -604,32 +617,60 @@ class Scheduler:
             # (identical verdict and stats by construction).
             return self._run_fresh(tasks[0])
         prefix = self._common_prefix([t.assertions for t in tasks])
-        solver = SmtSolver(tasks[0].config, incremental=True)
-        for a in tasks[0].assertions[:prefix]:
-            solver.add(a)
-        base_qbytes = solver.stats.query_bytes
-        for task in tasks:
-            t0 = time.perf_counter()
-            before = solver.stats.snapshot()
-            solver.push()
-            for a in task.assertions[prefix:]:
+        pool = self.solver_pool
+        key = None
+        pooled = None
+        if pool is not None:
+            key = pool.group_key(tasks[0].assertions[:prefix],
+                                 tasks[0].config)
+            pooled = pool.acquire(key)
+        if pooled is not None:
+            # Residency: the scope-0 context (learned clauses, E-graph,
+            # tableau) from an earlier request with the same prefix.
+            # base_qbytes is the entry's *original* prefix cost — the
+            # live query_bytes counter never decrements across pops, so
+            # per-goal reporting must use the recorded value to stay
+            # byte-identical to a fresh run.
+            solver, base_qbytes = pooled
+            self.stats.warm_pool_hits += 1
+        else:
+            solver = SmtSolver(tasks[0].config, incremental=True)
+            for a in tasks[0].assertions[:prefix]:
                 solver.add(a)
-            verdict = solver.check(timeout=self.timeout)
-            status = status_from_solver(verdict, solver)
-            stats = Stats.diff(before, solver.stats.snapshot())
-            qbytes = base_qbytes + stats.get("query_bytes", 0)
-            stats["query_bytes"] = qbytes
-            seconds = time.perf_counter() - t0
-            deadline = solver.last_deadline_exceeded
-            if deadline:
-                stats["deadline_exceeded"] = 1
-                status = TIMEOUT
-            elif status == RESOURCE_OUT:
-                stats["resource_out"] = 1
-            self._apply(task, status, stats, qbytes, seconds)
-            if not deadline:
-                self._store(task, status, stats, qbytes)
-            solver.pop()
+            base_qbytes = solver.stats.query_bytes
+            if pool is not None:
+                self.stats.warm_pool_misses += 1
+        try:
+            for task in tasks:
+                t0 = time.perf_counter()
+                before = solver.stats.snapshot()
+                solver.push()
+                for a in task.assertions[prefix:]:
+                    solver.add(a)
+                verdict = solver.check(timeout=self.timeout)
+                status = status_from_solver(verdict, solver)
+                stats = Stats.diff(before, solver.stats.snapshot())
+                qbytes = base_qbytes + stats.get("query_bytes", 0)
+                stats["query_bytes"] = qbytes
+                seconds = time.perf_counter() - t0
+                deadline = solver.last_deadline_exceeded
+                if deadline:
+                    stats["deadline_exceeded"] = 1
+                    status = TIMEOUT
+                elif status == RESOURCE_OUT:
+                    stats["resource_out"] = 1
+                self._apply(task, status, stats, qbytes, seconds)
+                if not deadline:
+                    self._store(task, status, stats, qbytes)
+                solver.pop()
+        except BaseException:
+            key = None  # scope state unknown: never repool a damaged solver
+            raise
+        finally:
+            if pool is not None and key is not None:
+                # Back at scope 0 with exactly the prefix asserted.
+                pool.release(key, solver, base_qbytes,
+                             module=self._module_name)
 
     def _run_parallel(self, tasks: list[_Task]) -> list[_Task]:
         """Fan tasks out across processes; returns tasks that still need

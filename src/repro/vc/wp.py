@@ -176,6 +176,12 @@ class VcGen:
 
         for e in list(fn.requires) + list(fn.ensures):
             scan_expr(e)
+        # The function's own decreases clause is part of its verification
+        # surface (termination obligations translate it), so spec fns it
+        # references need their definitional axioms — and must count as
+        # dependencies in the delta fingerprint.
+        if isinstance(fn.decreases, A.Expr):
+            scan_expr(fn.decreases)
         self._scan_body(fn.body, scan_expr)
         while work:
             e = work.pop()

@@ -15,8 +15,8 @@ import pytest
 
 from repro.api import Session, VerifyConfig
 from repro.lang import (BOOL, INT, U64, Module, and_all, assert_, assign,
-                        call, exec_fn, forall, let_, lit, ret, spec_fn, var,
-                        verify_module, while_)
+                        call, call_stmt, exec_fn, forall, let_, lit, ret,
+                        spec_fn, var, verify_module, while_)
 from repro.smt import terms as T
 from repro.smt.solver import SAT, SmtSolver, UNSAT
 from repro.vc.errors import PROVED, TIMEOUT
@@ -371,6 +371,78 @@ class TestDelta:
         r3 = Session(cfg).verify_module(build(7))  # spec body changed
         assert r3.ok
         assert not r3.stats.get("delta_skips")
+
+    def test_spec_edit_propagates_to_callers(self, tmp_path):
+        """A spec-fn edit invalidates every (transitive) caller, even when
+        the caller's own AST is byte-identical across the edit and only
+        sees the spec through a callee's contract."""
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+
+        def build(threshold):
+            mod = Module("delta_chain")
+            x = var("x", U64)
+            spec_fn(mod, "big", [("x", INT)], BOOL,
+                    body=var("x", INT) >= lit(threshold))
+            # check's AST never mentions `threshold`: it depends on the
+            # edit only through big's definition.
+            exec_fn(mod, "check", [("x", U64)], ret=("r", U64),
+                    requires=[call(mod, "big", x)],
+                    ensures=[var("r", U64).eq(x)],
+                    body=[ret(x)])
+            # caller's AST is also threshold-independent; big is reachable
+            # only through check's contract.
+            exec_fn(mod, "caller", [("x", U64)],
+                    requires=[x >= lit(10)],
+                    body=[call_stmt("check", [x], binds=["y"]),
+                          assert_(var("y", U64).eq(x))])
+            return mod
+
+        assert Session(cfg).verify_module(build(10)).ok
+        r2 = Session(cfg).verify_module(build(10))
+        assert r2.stats.get("delta_skips") == 2
+        r3 = Session(cfg).verify_module(build(7))  # only big's body changed
+        assert r3.ok
+        assert not r3.stats.get("delta_skips"), \
+            "spec edit must re-verify both direct and transitive callers"
+
+    def test_budget_change_invalidates(self, tmp_path):
+        """The delta digest keys the scheduler-*effective* solver config:
+        a PROVED under one max_steps budget must not replay under
+        another (the proof cache already keys budgets; the function
+        cache has to agree)."""
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+        assert Session(cfg).verify_module(_verified_module()).ok
+        r2 = Session(cfg.replace(max_steps=50)).verify_module(
+            _verified_module())
+        assert not r2.stats.get("delta_skips"), \
+            "a tighter step budget must force re-verification"
+        r3 = Session(cfg).verify_module(_verified_module())
+        assert r3.stats.get("delta_skips") == 2  # original budget still warm
+
+    def test_decreases_spec_dependency_invalidates(self, tmp_path):
+        """A spec fn referenced only from a function-level decreases
+        clause is still a dependency: editing it must invalidate."""
+        from repro.vc import ast as A
+
+        cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True)
+
+        def build(weight):
+            mod = Module("delta_dec")
+            n = var("n", U64)
+            spec_fn(mod, "measure", [("n", INT)], INT,
+                    body=var("n", INT) * lit(weight))
+            fn = exec_fn(mod, "work", [("n", U64)],
+                         body=[assert_(n + lit(1) >= lit(1))])
+            fn.decreases = A.coerce(call(mod, "measure", n))
+            return mod
+
+        assert Session(cfg).verify_module(build(2)).ok
+        r2 = Session(cfg).verify_module(build(2))
+        assert r2.stats.get("delta_skips") == 1
+        r3 = Session(cfg).verify_module(build(3))  # measure's body changed
+        assert r3.ok
+        assert not r3.stats.get("delta_skips"), \
+            "decreases-only spec dependencies must participate in digests"
 
     def test_failures_never_recorded(self, tmp_path):
         cfg = VerifyConfig(cache_dir=str(tmp_path), delta=True,
