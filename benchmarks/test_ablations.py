@@ -124,3 +124,37 @@ def test_ablation_nonlinear_isolation(benchmark):
     assert not without.ok
     benchmark.pedantic(lambda: VcGen(build(True)).verify_module(),
                        rounds=1, iterations=1)
+
+
+def test_ablation_automation_profile(benchmark):
+    # The profile axis: each gap-corpus module is provable under one
+    # quantifier strategy and not the other, and the pair of them is
+    # beyond every fixed profile — only the portfolio race gets it.
+    from repro.api import Session, VerifyConfig
+    from repro.profiles.corpus import (build_mbqi_gap_module,
+                                       build_stubborn_pair_module,
+                                       build_universe_gap_module)
+
+    def run(build, **cfg):
+        return Session(VerifyConfig(**cfg)).verify_module(build())
+
+    rows = []
+    for label, build in (("mbqi_gap", build_mbqi_gap_module),
+                         ("universe_gap", build_universe_gap_module),
+                         ("stubborn_pair", build_stubborn_pair_module)):
+        default = run(build, profile="default")
+        epr = run(build, profile="epr")
+        raced = run(build, portfolio=2)
+        rows.append([label,
+                     "yes" if default.ok else "NO",
+                     "yes" if epr.ok else "NO",
+                     "yes" if raced.ok else "NO"])
+    banner("Ablation: automation profile (quantifier strategy)")
+    table(["module", "default (E-matching)", "epr (MBQI)", "portfolio=2"],
+          rows)
+    assert [r[1:] for r in rows] == [["NO", "yes", "yes"],
+                                     ["yes", "NO", "yes"],
+                                     ["NO", "NO", "yes"]]
+    benchmark.pedantic(
+        lambda: run(build_stubborn_pair_module, portfolio=2),
+        rounds=1, iterations=1)

@@ -72,7 +72,7 @@ def main(argv=None) -> int:
     ap.add_argument("--json", action="store_true",
                     help="print the raw reply as JSON")
     ap.add_argument("verb", choices=["verify", "analyze", "diagnose",
-                                     "status", "shutdown"])
+                                     "profiles", "status", "shutdown"])
     ap.add_argument("builder", nargs="?",
                     help="dotted builder path 'pkg.mod:fn' "
                          "(module verbs, unless --source)")
@@ -85,6 +85,10 @@ def main(argv=None) -> int:
                     help="request per-failure diagnostics")
     ap.add_argument("--max-steps", type=int, default=None,
                     help="per-check solver step budget override")
+    ap.add_argument("--profile", default=None,
+                    help="automation profile name (see the 'profiles' verb)")
+    ap.add_argument("--portfolio", type=int, default=None,
+                    help="race width for stubborn obligations (0 = off)")
     args = ap.parse_args(argv)
 
     config = {}
@@ -92,10 +96,16 @@ def main(argv=None) -> int:
         config["diagnostics"] = True
     if args.max_steps is not None:
         config["max_steps"] = args.max_steps
+    if args.profile is not None:
+        config["profile"] = args.profile
+    if args.portfolio is not None:
+        config["portfolio"] = args.portfolio
 
     try:
         with ServerClient(args.host, args.port, client=args.client,
                           timeout=args.timeout) as client:
+            if args.verb == "profiles":
+                return _print_result(client.profiles(), args.json)
             if args.verb == "status":
                 return _print_result(client.status(), args.json)
             if args.verb == "shutdown":

@@ -143,11 +143,11 @@ def main() -> int:
     # Machine-readable rendering round-trips through json and carries
     # the documented schema version.
     payload = serial.to_json()
-    if payload.get("schema_version") != 1:
+    if payload.get("schema_version") != 2:
         print("FATAL: unexpected report schema_version", file=sys.stderr)
         return 1
     print("\nJSON rendering ok "
-          f"({len(json.dumps(payload))} bytes, schema_version 1)")
+          f"({len(json.dumps(payload))} bytes, schema_version 2)")
     return 0
 
 

@@ -22,8 +22,22 @@ one aggregate :class:`~repro.smt.solver.Stats`, so verifying several
 modules through the same session shares cache-hit bookkeeping the way a
 single CLI invocation of Verus would.
 
+The knob soup is collapsed behind **automation profiles**
+(:mod:`repro.profiles`): ``VerifyConfig.profile`` names a detent on the
+automation dial (``default`` / ``frugal`` / ``aggressive`` /
+``nonlinear`` / ``bitvector`` / ``epr``), and the run-level fields it
+implies (``incremental``, ``retries``, ``max_steps``) default to the
+profile's values unless set explicitly — an explicit field always wins.
+``VerifyConfig.portfolio`` enables racing: stubborn obligations are
+re-discharged under that many alternative profiles, and the recorded
+winner (the auto-tuner) is tried first on later runs.
+
 Environment knobs (all optional, read only by :meth:`from_env`):
 
+* ``REPRO_PROFILE`` — automation profile name (default ``default``).
+* ``REPRO_PORTFOLIO`` — portfolio race width for stubborn obligations:
+  an integer, or any other truthy value for the default width of 3
+  (``0``/unset = racing off).
 * ``REPRO_JOBS`` — worker count (``1`` = serial, the default).
 * ``REPRO_CACHE_DIR`` — enable the content-addressed proof cache here.
 * ``REPRO_DIAG`` — truthy to diagnose every failed obligation.
@@ -55,6 +69,8 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+PROFILE_ENV = "REPRO_PROFILE"
+PORTFOLIO_ENV = "REPRO_PORTFOLIO"
 JOBS_ENV = "REPRO_JOBS"
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 DIAG_ENV = "REPRO_DIAG"
@@ -74,36 +90,75 @@ def _env_truthy(name: str) -> bool:
     return os.environ.get(name, "").strip().lower() not in _FALSY
 
 
+def _env_flag(name: str):
+    """Tri-state env flag: None when unset/empty (let the profile
+    decide), else the parsed boolean (an explicit ``0`` really means
+    "off", even under a profile that defaults it on)."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return None
+    return raw.strip().lower() not in _FALSY
+
+
+def _parse_portfolio(raw) -> int:
+    """Race width from ``$REPRO_PORTFOLIO``: an int, or any other
+    truthy value for the default width of 3."""
+    if raw is None:
+        return 0
+    raw = raw.strip()
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return 0 if raw.lower() in _FALSY else 3
+
+
 @dataclass(frozen=True)
 class VerifyConfig:
     """Frozen bundle of run-level verification knobs.
 
+    ``profile``         automation-profile name (:mod:`repro.profiles`);
+                        the profile supplies the solver knobs and the
+                        defaults for ``incremental``/``retries``/
+                        ``max_steps`` left unset.
+    ``portfolio``       portfolio race width: re-discharge stubborn
+                        obligations under this many alternative
+                        profiles (0 = off).
     ``jobs``            worker processes; obligations fan out when > 1.
     ``cache_dir``       proof-cache directory, or None to disable.
     ``diagnostics``     attach a full Diagnostic to every failure.
     ``job_timeout``     per-obligation soft deadline in seconds.
-    ``incremental``     warm per-function solver contexts (push/pop).
+    ``incremental``     warm per-function solver contexts (push/pop);
+                        None = profile default.
     ``delta``           skip functions with unchanged dependency
                         fingerprints (needs ``cache_dir``).
     ``analyze``         run the static-analysis gate before planning;
                         error findings reject the module solver-free.
     ``retries``         retry-escalation attempts per failed/resource-out
-                        /crashed obligation (0 = ladder off).
+                        /crashed obligation (0 = ladder off; None =
+                        profile default).
     ``max_steps``       per-check solver step budget; exhaustion yields
-                        a ``resource-out`` verdict instead of a hang.
+                        a ``resource-out`` verdict instead of a hang
+                        (None = profile default).
     ``fault_plan``      a deterministic fault-injection plan string
                         (see :mod:`repro.resilience.faults`).
     ``journal_dir``     directory for crash-resumable run journals.
+
+    The tri-state fields resolve through the ``effective_*`` properties;
+    everything downstream (``Session.scheduler``, the daemon) reads
+    those, never the raw fields, so a profile default and an explicit
+    value behave identically once a scheduler is built.
     """
 
+    profile: str = "default"
+    portfolio: int = 0
     jobs: int = 1
     cache_dir: Optional[str] = None
     diagnostics: bool = False
     job_timeout: Optional[float] = None
-    incremental: bool = False
+    incremental: Optional[bool] = None
     delta: bool = False
     analyze: bool = False
-    retries: int = 0
+    retries: Optional[int] = None
     max_steps: Optional[int] = None
     fault_plan: Optional[str] = None
     journal_dir: Optional[str] = None
@@ -128,19 +183,21 @@ class VerifyConfig:
             job_timeout = None
         raw_retries = os.environ.get(RETRIES_ENV)
         try:
-            retries = max(0, int(raw_retries)) if raw_retries else 0
+            retries = max(0, int(raw_retries)) if raw_retries else None
         except ValueError:
-            retries = 0
+            retries = None
         raw_steps = os.environ.get(MAX_STEPS_ENV)
         try:
             max_steps = max(1, int(raw_steps)) if raw_steps else None
         except ValueError:
             max_steps = None
-        cfg = cls(jobs=jobs,
+        cfg = cls(profile=os.environ.get(PROFILE_ENV) or "default",
+                  portfolio=_parse_portfolio(os.environ.get(PORTFOLIO_ENV)),
+                  jobs=jobs,
                   cache_dir=os.environ.get(CACHE_DIR_ENV) or None,
                   diagnostics=_env_truthy(DIAG_ENV),
                   job_timeout=job_timeout,
-                  incremental=_env_truthy(INCREMENTAL_ENV),
+                  incremental=_env_flag(INCREMENTAL_ENV),
                   delta=_env_truthy(DELTA_ENV),
                   analyze=_env_truthy(ANALYZE_ENV),
                   retries=retries,
@@ -157,6 +214,34 @@ class VerifyConfig:
             raise TypeError(f"unknown VerifyConfig fields: {sorted(unknown)}")
         return dataclasses.replace(self, **live) if live else self
 
+    # ------------------------------------------- profile-derived defaults
+
+    @property
+    def automation_profile(self):
+        """The :class:`~repro.profiles.AutomationProfile` this config
+        names; raises :class:`~repro.profiles.UnknownProfileError` for
+        an unrecognized name."""
+        from .profiles import get_profile
+        return get_profile(self.profile)
+
+    @property
+    def effective_incremental(self) -> bool:
+        if self.incremental is not None:
+            return self.incremental
+        return self.automation_profile.default_incremental
+
+    @property
+    def effective_retries(self) -> int:
+        if self.retries is not None:
+            return self.retries
+        return self.automation_profile.default_retries
+
+    @property
+    def effective_max_steps(self) -> Optional[int]:
+        if self.max_steps is not None:
+            return self.max_steps
+        return self.automation_profile.max_steps
+
 
 class Session:
     """One verification session: a config plus shared cache/stats state.
@@ -169,14 +254,22 @@ class Session:
     """
 
     def __init__(self, config: Optional[VerifyConfig] = None, cache=None,
-                 warm_pool=None, **overrides):
+                 warm_pool=None, tuner=None, **overrides):
         if config is None:
             config = VerifyConfig.from_env(**overrides)
         elif overrides:
             config = config.replace(**overrides)
         self.config = config
+        # Resolve the profile eagerly so an unknown name fails at
+        # session construction, not mid-run.
+        config.automation_profile
         self._cache = None
         self._cache_opened = False
+        # Auto-tuner for portfolio racing: explicit injection wins;
+        # otherwise one is opened beside the proof cache when racing is
+        # enabled (no cache dir -> nowhere durable to learn -> None).
+        self._tuner = tuner
+        self._tuner_opened = tuner is not None
         if cache is not None:
             # An already-open ProofCache injected directly (tests, and
             # the legacy lang shims, pass one around).
@@ -207,6 +300,20 @@ class Session:
                 self._cache = ProofCache(self.config.cache_dir)
         return self._cache
 
+    @property
+    def tuner(self):
+        """The session's :class:`~repro.profiles.ProfileTuner` (or None).
+
+        Lazily opened under the proof-cache directory when portfolio
+        racing is enabled; sessions without a cache dir race statelessly.
+        """
+        if not self._tuner_opened:
+            self._tuner_opened = True
+            if self.config.portfolio > 0 and self.config.cache_dir:
+                from .profiles import ProfileTuner
+                self._tuner = ProfileTuner.for_cache_dir(self.config.cache_dir)
+        return self._tuner
+
     def scheduler(self, journal=None):
         """A fresh :class:`~repro.vc.scheduler.Scheduler` wired to this
         session's config and shared cache.
@@ -222,15 +329,18 @@ class Session:
                          cache=cache if cache is not None else False,
                          timeout=cfg.job_timeout,
                          diagnostics=cfg.diagnostics,
-                         incremental=cfg.incremental,
+                         incremental=cfg.effective_incremental,
                          delta=cfg.delta,
                          analyze=cfg.analyze,
-                         retries=cfg.retries,
-                         max_steps=cfg.max_steps,
+                         retries=cfg.effective_retries,
+                         max_steps=cfg.effective_max_steps,
                          fault_plan=cfg.fault_plan,
                          journal=journal if journal is not None
                          else cfg.journal_dir,
-                         solver_pool=self.warm_pool)
+                         solver_pool=self.warm_pool,
+                         profile=cfg.profile,
+                         portfolio=cfg.portfolio,
+                         tuner=self.tuner)
 
     # ------------------------------------------------------------- verbs
 

@@ -47,6 +47,12 @@ def obligation_to_json(o) -> dict:
         "span": str(o.span) if o.span is not None else None,
         "error_type": None if o.ok else o.error_type,
         "seconds": round(o.seconds, 6),
+        # Schema v2 (additive): the automation profile whose verdict
+        # this is (None = the session primary) and the portfolio race
+        # record ({raced, outcomes, winner, tuner_recorded}, None when
+        # the obligation was never raced).
+        "profile": o.stats.get("profile"),
+        "portfolio": o.stats.get("portfolio"),
         "diag": o.diag.to_dict() if o.diag is not None else None,
     }
 
@@ -91,8 +97,9 @@ def analysis_to_json(report) -> dict:
 # Version of the machine-readable report below.  Bump on any breaking
 # change to the key layout; consumers should reject versions they do not
 # know.  The schema is documented in README.md ("Machine-readable
-# reports").
-SCHEMA_VERSION = 1
+# reports").  v2 added the per-obligation "profile" and "portfolio"
+# fields (additive: every v1 key is unchanged).
+SCHEMA_VERSION = 2
 
 
 def module_to_json(result) -> dict:

@@ -16,7 +16,13 @@ Typical usage::
             ensures=[res.eq(call(mod, "max2", a, b))],
             body=[if_(a >= b, [ret(a)], [ret(b)])])
 
-    verify(mod)   # raises VerificationFailure on failure
+    from repro.api import Session
+    Session().verify(mod)   # raises VerificationFailure on failure
+
+This module builds *programs*; running the verifier is
+:class:`repro.api.Session`'s job (the historical ``lang.verify`` /
+``lang.verify_module`` / ``lang.diagnose`` shims were removed after a
+deprecation cycle).
 """
 
 from __future__ import annotations
@@ -271,98 +277,8 @@ def proof_fn(mod: A.Module, name: str, params: Sequence,
 
 
 # ---------------------------------------------------------------------------
-# Verification entry points
+# Reporting helpers
 # ---------------------------------------------------------------------------
-
-# Shim names that have already warned this process (each shim warns at
-# most once, so legacy scripts stay readable while still being nudged).
-_DEPRECATED_WARNED: set[str] = set()
-
-
-def _warn_deprecated(name: str, replacement: str) -> None:
-    if name in _DEPRECATED_WARNED:
-        return
-    _DEPRECATED_WARNED.add(name)
-    import warnings
-    warnings.warn(
-        f"repro.lang.{name}() is deprecated; use {replacement} instead",
-        DeprecationWarning, stacklevel=3)
-
-
-def _legacy_session(jobs, cache, diagnostics,
-                    incremental=None, delta=None):
-    """Build a :class:`repro.api.Session` from the historical kwargs.
-
-    The old ``cache`` argument conflated three shapes (directory path,
-    live ProofCache, ``False`` to disable); the Session API splits them
-    into ``cache_dir`` config vs. direct cache injection.
-    """
-    import dataclasses
-    from ..api import Session, VerifyConfig
-    cfg = VerifyConfig.from_env(jobs=jobs, diagnostics=diagnostics,
-                                incremental=incremental, delta=delta)
-    cache_obj = None
-    if cache is False:
-        cfg = dataclasses.replace(cfg, cache_dir=None)
-    elif isinstance(cache, str):
-        cfg = dataclasses.replace(cfg, cache_dir=cache)
-    elif cache is not None:
-        cache_obj = cache
-    return Session(cfg, cache=cache_obj)
-
-
-def verify_module(mod: A.Module, config: Optional[VcConfig] = None,
-                  jobs: Optional[int] = None, cache=None,
-                  diagnostics: Optional[bool] = None) -> ModuleResult:
-    """Verify a module, returning the detailed result.
-
-    .. deprecated::
-        Thin shim over :meth:`repro.api.Session.verify_module`, kept for
-        existing callers; new code should build a
-        :class:`repro.api.Session` (which also exposes the
-        ``incremental``/``delta``/``job_timeout`` knobs).
-
-    ``jobs``: obligation-level parallelism — ``N > 1`` fans obligations
-    out across a process pool (default ``$REPRO_JOBS`` or 1 = serial).
-    ``cache``: proof-cache directory (str), a
-    :class:`~repro.vc.cache.ProofCache`, ``False`` to disable, or
-    ``None`` for the ``$REPRO_CACHE_DIR`` env default.
-    ``diagnostics``: attach a full :class:`~repro.diag.taxonomy.
-    Diagnostic` (counterexample witness, split conjuncts, QI profile) to
-    every failed obligation (default ``$REPRO_DIAG`` or off).
-    """
-    _warn_deprecated("verify_module", "repro.api.Session.verify_module")
-    return _legacy_session(jobs, cache, diagnostics).verify_module(
-        mod, config)
-
-
-def verify(mod: A.Module, config: Optional[VcConfig] = None,
-           jobs: Optional[int] = None, cache=None,
-           diagnostics: Optional[bool] = None) -> ModuleResult:
-    """Verify a module; raise VerificationFailure if anything fails.
-
-    .. deprecated::
-        Thin shim over :meth:`repro.api.Session.verify`; accepts the
-        same ``jobs``/``cache``/``diagnostics`` knobs as
-        :func:`verify_module`.
-    """
-    _warn_deprecated("verify", "repro.api.Session.verify")
-    return _legacy_session(jobs, cache, diagnostics).verify(mod, config)
-
-
-def diagnose(mod: A.Module, config: Optional[VcConfig] = None,
-             jobs: Optional[int] = None, cache=None) -> ModuleResult:
-    """Verify with the diagnostics engine on: every failure carries its
-    taxonomy class, source span, counterexample witness, failing
-    conjuncts, and quantifier-instantiation profile.  Never raises —
-    inspect ``result.ok`` / ``result.report()`` / ``result.to_json()``.
-
-    .. deprecated::
-        Thin shim over :meth:`repro.api.Session.diagnose`.
-    """
-    _warn_deprecated("diagnose", "repro.api.Session.diagnose")
-    return _legacy_session(jobs, cache, True).diagnose(mod, config)
-
 
 def count_idioms(mod: A.Module) -> dict[str, int]:
     """Count by(...) idiom invocations in a module (paper reports these)."""
@@ -398,5 +314,5 @@ __all__ = [
     "let_", "assign", "if_", "while_", "assert_", "assume_", "call_stmt",
     "ret",
     "spec_fn", "exec_fn", "proof_fn",
-    "verify", "verify_module", "diagnose", "count_idioms",
+    "count_idioms",
 ]

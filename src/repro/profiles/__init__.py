@@ -1,0 +1,23 @@
+"""Tunable automation profiles, portfolio racing, and the auto-tuner.
+
+The public surface of the automation *dial* (see ``registry.py`` for
+the detents, ``portfolio.py`` for the race semantics, ``tuner.py`` for
+the learned per-obligation winners, and ``corpus.py`` for the seeded
+stubborn-obligation fixtures).  Typical use goes through
+:class:`repro.api.Session`::
+
+    Session(profile="aggressive")            # one fixed detent
+    Session(portfolio=2)                     # race 2 profiles on
+                                             # stubborn obligations
+    REPRO_PROFILE=frugal REPRO_PORTFOLIO=3   # same, from the env
+"""
+
+from .registry import (PROFILES, RACE_ORDER, AutomationProfile,
+                       UnknownProfileError, escalate_config, get_profile,
+                       portfolio_candidates, profile_names)
+from .tuner import ProfileTuner, tuner_fingerprint
+
+__all__ = ["AutomationProfile", "UnknownProfileError", "PROFILES",
+           "RACE_ORDER", "get_profile", "profile_names",
+           "portfolio_candidates", "escalate_config", "ProfileTuner",
+           "tuner_fingerprint"]

@@ -1,0 +1,136 @@
+"""Portfolio racing: try several automation profiles on one obligation.
+
+Generalizes the prover-portfolio prototype in
+``baselines/pipelines.py`` (``CreusotVcGen.PORTFOLIO``) into a
+first-class scheduler pass.  A *stubborn* obligation — one the
+session's primary profile failed, timed out, or resource-outed on — is
+re-discharged under 2–3 alternative profiles
+(:func:`~repro.profiles.registry.portfolio_candidates`), and a PROVED
+verdict from *any* profile is adopted: validity is profile-independent
+(an UNSAT core under one knob set is a proof, full stop), so adoption
+is sound even though a SAT answer under quantifiers may be spurious —
+which is exactly why non-PROVED race outcomes are never adopted.
+
+Determinism contract (pinned by ``tests/test_profiles.py``):
+
+* the candidate lineup is a pure function of (primary profile, width);
+* **every** candidate is attempted — no short-circuiting — so serial,
+  ``jobs=N``, and cache-warm runs leave byte-identical proof-cache
+  state;
+* the winner is elected by *candidate order*, never completion order:
+  the lowest-index PROVED attempt wins;
+* deadline/killed attempts (wall-clock artifacts) can never win and
+  are never stored.
+
+Each attempt carries its own proof-cache digest (the candidate
+profile's knobs change :func:`~repro.smt.fingerprint.solver_config_key`),
+so cache-warm races replay without constructing a single solver.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..smt.fingerprint import obligation_digest, solver_config_key
+from ..smt.solver import SmtSolver, SolverConfig
+from ..vc.errors import PROVED, RESOURCE_OUT, status_from_solver
+from .registry import get_profile, portfolio_candidates
+
+__all__ = ["RaceAttempt", "plan_attempts", "solve_attempt",
+           "elect_winner", "race_summary"]
+
+
+class RaceAttempt:
+    """One candidate profile's shot at a stubborn obligation."""
+
+    __slots__ = ("profile", "config", "digest", "status", "stats",
+                 "qbytes", "seconds", "from_cache")
+
+    def __init__(self, profile: str, config: SolverConfig, digest: str):
+        self.profile = profile
+        self.config = config
+        self.digest = digest
+        self.status: Optional[str] = None
+        self.stats: dict = {}
+        self.qbytes = 0
+        self.seconds = 0.0
+        self.from_cache = False
+
+    def record(self, status: str, stats: dict, qbytes: int,
+               seconds: float, from_cache: bool = False) -> None:
+        self.status = status
+        self.stats = stats
+        self.qbytes = qbytes
+        self.seconds = seconds
+        self.from_cache = from_cache
+
+    def __repr__(self) -> str:
+        return f"<RaceAttempt {self.profile}: {self.status}>"
+
+
+def plan_attempts(primary, width: int, base_config: SolverConfig,
+                  assertions: Sequence, strategy: str) -> list[RaceAttempt]:
+    """The deterministic race lineup for one obligation.
+
+    ``base_config`` is the *unprofiled* discharge config
+    (``VcConfig.make_solver_config()``); each candidate layers its own
+    knobs on top, so an attempt's digest is exactly the digest a
+    session running that profile as primary would compute for the same
+    assertion list — the tuner's replay path depends on this.
+    """
+    attempts = []
+    for name in portfolio_candidates(primary, width):
+        cfg = get_profile(name).apply_solver(base_config)
+        digest = obligation_digest(assertions, solver_config_key(cfg),
+                                   strategy)
+        attempts.append(RaceAttempt(name, cfg, digest))
+    return attempts
+
+
+def solve_attempt(attempt: RaceAttempt, assertions: Sequence,
+                  timeout: Optional[float] = None) -> None:
+    """Discharge one attempt in-process with a fresh solver.
+
+    Mirrors the scheduler's ``_run_fresh`` semantics: a soft-deadline
+    kill reports a ``deadline_exceeded`` stat (the caller must neither
+    adopt nor store it), budget exhaustion reports ``resource_out``.
+    """
+    import time
+    t0 = time.perf_counter()
+    solver = SmtSolver(attempt.config)
+    for a in assertions:
+        solver.add(a)
+    verdict = solver.check(timeout=timeout)
+    status = status_from_solver(verdict, solver)
+    stats = solver.stats.snapshot()
+    if solver.last_deadline_exceeded:
+        stats["deadline_exceeded"] = 1
+    elif status == RESOURCE_OUT:
+        stats["resource_out"] = 1
+    attempt.record(status, stats, solver.stats.query_bytes,
+                   time.perf_counter() - t0)
+
+
+def elect_winner(attempts: Sequence[RaceAttempt]) -> Optional[RaceAttempt]:
+    """The lowest-index PROVED attempt, or None.
+
+    Only PROVED results are adoptable (see module docstring), and
+    wall-clock artifacts never win, so the election is a deterministic
+    function of the attempts' solver verdicts alone.
+    """
+    for attempt in attempts:
+        if (attempt.status == PROVED
+                and not attempt.stats.get("deadline_exceeded")
+                and not attempt.stats.get("job_timeouts")):
+            return attempt
+    return None
+
+
+def race_summary(attempts: Sequence[RaceAttempt],
+                 winner: Optional[RaceAttempt],
+                 tuner_recorded: bool = False) -> dict:
+    """The additive per-obligation ``portfolio`` stats/JSON payload."""
+    return {"raced": [a.profile for a in attempts],
+            "outcomes": {a.profile: a.status for a in attempts},
+            "winner": winner.profile if winner is not None else None,
+            "tuner_recorded": bool(tuner_recorded)}

@@ -135,6 +135,9 @@ class ServerClient:
                             self._module_spec(builder, source),
                             config, priority)
 
+    def profiles(self) -> dict:
+        return self.request(protocol.PROFILES)
+
     def status(self) -> dict:
         return self.request(protocol.STATUS)
 

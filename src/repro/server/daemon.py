@@ -92,6 +92,13 @@ class VerifyServer:
             base = dataclasses.replace(base, delta=True)
         self.base = base
         self.pool = SolverPool(self.config.warm_budget)
+        # Resident auto-tuner: shared by every request so race winners
+        # learned for one client redirect everyone (no cache root ->
+        # nowhere durable to learn -> requests race statelessly).
+        self.tuner = None
+        if base.cache_dir:
+            from ..profiles import ProfileTuner
+            self.tuner = ProfileTuner.for_cache_dir(base.cache_dir)
         self.ledger = QuotaLedger(self.config.client_quota)
         self.queue: Optional[FairQueue] = None     # built on start()
         self.executor = ThreadPoolExecutor(
@@ -236,13 +243,20 @@ class VerifyServer:
                              protocol.ok_reply(request["id"],
                                                result=self.status()))
             return
+        if verb == protocol.PROFILES:
+            await self._send(writer, wlock,
+                             protocol.ok_reply(request["id"],
+                                               result=self.profiles()))
+            return
         if verb == protocol.SHUTDOWN:
             await self._send(writer, wlock, protocol.ok_reply(request["id"]))
             asyncio.ensure_future(self.shutdown())
             return
-        # Module verbs: admission-check the quota, then queue.
-        requested_steps = request["config"].get("max_steps",
-                                                self.base.max_steps)
+        # Module verbs: admission-check the quota, then queue.  The
+        # admission default is the *effective* step budget (an explicit
+        # base max_steps, else the base profile's).
+        requested_steps = request["config"].get(
+            "max_steps", self.base.effective_max_steps)
         try:
             effective = self.ledger.admit(request["client"], requested_steps)
         except QuotaExceeded as exc:
@@ -306,6 +320,7 @@ class VerifyServer:
 
     def _process(self, pending: _Pending) -> dict:
         """Verify/analyze/diagnose one request (runs on a worker thread)."""
+        from ..profiles import UnknownProfileError
         request = pending.request
         try:
             mod = protocol.build_module(request["module"])
@@ -314,6 +329,14 @@ class VerifyServer:
                 self._errors += 1
             return protocol.error_reply(request["id"], str(exc))
         cfg = self._request_config(pending)
+        try:
+            cfg.automation_profile   # fail fast on an unknown name
+        except UnknownProfileError as exc:
+            # A structured reply (the message lists the shipped names)
+            # instead of an opaque internal error.
+            with self._stats_lock:
+                self._errors += 1
+            return protocol.error_reply(request["id"], str(exc))
         if request["verb"] == protocol.ANALYZE:
             with Session(cfg, warm_pool=self.pool) as session:
                 report = session.analyze(mod)
@@ -322,7 +345,8 @@ class VerifyServer:
                                              "solvers_built": 0,
                                              "steps_spent": 0})
         built0 = solver_constructions()
-        with Session(cfg, warm_pool=self.pool) as session:
+        with Session(cfg, warm_pool=self.pool,
+                     tuner=self.tuner) as session:
             if request["verb"] == protocol.DIAGNOSE:
                 result = session.diagnose(mod)
             else:
@@ -344,6 +368,9 @@ class VerifyServer:
             "warm_pool_hits": int(stats.get("warm_pool_hits", 0) or 0),
             "cache_hits": int(stats.get("cache_hits", 0) or 0),
             "cache_misses": int(stats.get("cache_misses", 0) or 0),
+            "portfolio_races": int(stats.get("portfolio_races", 0) or 0),
+            "portfolio_wins": int(stats.get("portfolio_wins", 0) or 0),
+            "tuner_hits": int(stats.get("tuner_hits", 0) or 0),
         }
         return protocol.ok_reply(request["id"], result=result.to_json(),
                                  server=server)
@@ -363,6 +390,18 @@ class VerifyServer:
         return PATH_COLD
 
     # -------------------------------------------------------------- status
+
+    def profiles(self) -> dict:
+        """The ``profiles`` verb payload: shipped detents, the race
+        order, and the resident tuner's learned-winner statistics."""
+        from ..profiles import PROFILES, RACE_ORDER
+        return {
+            "profiles": [p.describe() for p in PROFILES.values()],
+            "race_order": list(RACE_ORDER),
+            "base_profile": self.base.profile,
+            "base_portfolio": self.base.portfolio,
+            "tuner": self.tuner.stats() if self.tuner is not None else None,
+        }
 
     def status(self) -> dict:
         """The ``status`` verb payload."""

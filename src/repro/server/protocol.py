@@ -11,7 +11,9 @@ Every request is one JSON object terminated by ``\\n``::
 
 * ``id`` — caller-chosen request id, echoed on the reply (required).
 * ``verb`` — one of ``verify`` / ``analyze`` / ``diagnose`` /
-  ``status`` / ``shutdown`` (required).
+  ``profiles`` / ``status`` / ``shutdown`` (required).  ``profiles``
+  lists the shipped automation profiles, the portfolio race order, and
+  the resident auto-tuner's statistics.
 * ``client`` — client name for fairness and quota accounting
   (default ``"anon"``).
 * ``priority`` — integer band; higher bands are served first, requests
@@ -53,10 +55,11 @@ from typing import Optional
 VERIFY = "verify"
 ANALYZE = "analyze"
 DIAGNOSE = "diagnose"
+PROFILES = "profiles"
 STATUS = "status"
 SHUTDOWN = "shutdown"
 
-VERBS = (VERIFY, ANALYZE, DIAGNOSE, STATUS, SHUTDOWN)
+VERBS = (VERIFY, ANALYZE, DIAGNOSE, PROFILES, STATUS, SHUTDOWN)
 MODULE_VERBS = (VERIFY, ANALYZE, DIAGNOSE)
 
 OK = "ok"
@@ -66,8 +69,12 @@ ERROR = "error"
 #: VerifyConfig fields a client may override per request.  Everything
 #: else (cache_dir, jobs, fault_plan, journal_dir) is infrastructure the
 #: daemon owns; letting clients touch it would corrupt shared state.
+#: ``profile``/``portfolio`` are per-request automation choices: an
+#: unknown profile name passes validation here and becomes a structured
+#: ``error`` reply (listing the shipped names) at request time.
 ALLOWED_OVERRIDES = ("diagnostics", "job_timeout", "incremental", "delta",
-                     "analyze", "retries", "max_steps")
+                     "analyze", "retries", "max_steps", "profile",
+                     "portfolio")
 
 DEFAULT_CLIENT = "anon"
 

@@ -42,6 +42,16 @@ UNSAT = "unsat"
 UNKNOWN = "unknown"
 
 
+class _DeadlineReached(Exception):
+    """Internal: the soft wall-clock deadline passed inside an inner
+    loop (see :meth:`SmtSolver._poll_deadline`).  Caught in
+    :meth:`SmtSolver.check`, never escapes the solver."""
+
+
+def _no_poll() -> None:
+    """Deadline poll stand-in for contexts that must not abort."""
+
+
 class _ThreadConstructions(threading.local):
     """Per-thread count of SmtSolver instances built."""
 
@@ -134,6 +144,13 @@ class Stats:
         # context vs. groups that had to build their prefix from scratch.
         self.warm_pool_hits = 0
         self.warm_pool_misses = 0
+        # Portfolio racing / auto-tuner (repro.profiles + the scheduler's
+        # _portfolio_pass); all stay 0 when racing is off.
+        self.portfolio_races = 0      # stubborn obligations raced
+        self.portfolio_attempts = 0   # live (non-cache) race solves
+        self.portfolio_wins = 0       # races that adopted a PROVED verdict
+        self.tuner_hits = 0           # obligations redirected by the tuner
+        self.tuner_misses = 0         # tuner lookups with no record
 
     def snapshot(self) -> dict:
         snap = dict(self.__dict__)
@@ -266,6 +283,12 @@ class SmtSolver:
         # max_rounds) ran out rather than because the problem is beyond
         # the solver.  The scheduler maps this to a RESOURCE_OUT verdict.
         self.last_resource_out = False
+        # Soft-deadline polling state: single rounds over a large ground
+        # universe (MBQI) can take seconds, so the hot inner loops poll
+        # the wall clock (every 256th call) and abort to UNKNOWN instead
+        # of waiting for the next between-rounds check.
+        self._deadline: Optional[float] = None
+        self._poll_tick = 0
 
     # ------------------------------------------------------------------ API
 
@@ -373,10 +396,28 @@ class SmtSolver:
         # mentions; instances created during solving must not raise it
         # (that would let matching loops feed themselves).
         self._guard_limit = 60 + 2 * self._max_ground_size
+        self._deadline = deadline
         try:
             return self._check_loop(deadline)
+        except _DeadlineReached:
+            self.last_deadline_exceeded = True
+            return UNKNOWN
         finally:
+            self._deadline = None
             self.stats.solve_seconds += time.perf_counter() - t0
+
+    def _poll_deadline(self) -> None:
+        """Cheap inner-loop deadline check: reads the clock every 256th
+        call and raises :class:`_DeadlineReached` past the deadline.
+        Only sound abort points may call this — aborting yields UNKNOWN,
+        never a wrong verdict, but must not tear persistent state."""
+        if self._deadline is None:
+            return
+        self._poll_tick += 1
+        if self._poll_tick & 0xFF:
+            return
+        if time.monotonic() >= self._deadline:
+            raise _DeadlineReached()
 
     def model_int(self, term: T.Term) -> Optional[int]:
         """Value of an int term in the last SAT model, if known."""
@@ -826,6 +867,7 @@ class SmtSolver:
                 continue
             if self._probed_none.get(atom) == context_sig:
                 continue  # theory context unchanged since the last probe
+            self._poll_deadline()  # probes are pure: safe abort point
             tests += 1
             implied = theory.implied_atom(atom)
             if implied is not None:
@@ -1163,6 +1205,7 @@ class SmtSolver:
                     complete = False
                 domains.append(dom)
             for combo in _product(domains):
+                self._poll_deadline()  # instances already added stand
                 if (self.stats.instantiations
                         >= self.config.max_instantiations):
                     return added > 0, False
@@ -1299,7 +1342,12 @@ class _TheoryModel:
 
     def _feed_euf(self, items: list[tuple]) -> None:
         euf = self.euf
+        # Persistent (warm) theories feed transactionally and must not
+        # be torn mid-update; throwaway models rebuild next round, so
+        # aborting them on deadline is safe.
+        poll = _no_poll if self.persistent else self.solver._poll_deadline
         for atom, var, value in items:
+            poll()
             lit_true = mk_lit(var, value)
             if atom.kind == T.EQ:
                 a, b = atom.args
@@ -1321,7 +1369,9 @@ class _TheoryModel:
         euf.flush()  # settle congruences queued by late registrations
 
     def _feed_lia(self, items: list[tuple]) -> None:
+        poll = _no_poll if self.persistent else self.solver._poll_deadline
         for atom, var, value in items:
+            poll()
             lit_true = mk_lit(var, value)
             if atom.kind in (T.LE, T.LT):
                 a = self._linearize(atom.args[0])

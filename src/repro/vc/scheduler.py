@@ -76,6 +76,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
 from ..api import DIAG_ENV, JOB_TIMEOUT_ENV, JOBS_ENV, VerifyConfig
+from ..profiles import escalate_config, get_profile, tuner_fingerprint
 from ..resilience import faults as _faults
 from ..resilience.faults import FaultPlan, InjectedCrash
 from ..resilience.journal import RunJournal
@@ -168,25 +169,13 @@ def _execute_job(job: ObligationJob) -> tuple:
     return job.run()
 
 
-def _escalated(cfg: SolverConfig) -> SolverConfig:
-    """A copy of ``cfg`` with every resource budget raised — the
-    ladder's "fresh context" and "split" rungs trade more work for a
-    chance of discharging a goal that blew its budget."""
-    boosted = SolverConfig(**vars(cfg))
-    boosted.max_rounds *= 2
-    boosted.max_instantiations *= 2
-    boosted.sat_conflict_budget *= 2
-    if boosted.max_steps is not None:
-        boosted.max_steps *= 4
-    return boosted
-
-
 class _Task:
     """Scheduler-internal handle pairing a pending obligation with its
     (lazily computed) assertions, digest, and owning function plan."""
 
     __slots__ = ("item", "plan", "assertions", "config", "digest", "done",
-                 "qbytes", "crash", "pruned_axioms", "pruned_bytes")
+                 "qbytes", "crash", "pruned_axioms", "pruned_bytes",
+                 "profile", "tuner_hit")
 
     def __init__(self, item, plan):
         self.item = item
@@ -205,6 +194,12 @@ class _Task:
         # attempt died; surfaced in Stats/diag and consumed by the
         # retry ladder.
         self.crash: Optional[str] = None
+        # Automation-profile name this task's config embodies when it
+        # differs from the session primary (a tuner redirect), and
+        # whether the tuner chose it — redirected tasks discharge via
+        # _run_fresh (their config can't share a warm-group prefix).
+        self.profile: Optional[str] = None
+        self.tuner_hit = False
 
 
 # ---------------------------------------------------------------------------
@@ -248,6 +243,21 @@ class Scheduler:
     ``journal``: a :class:`~repro.resilience.RunJournal`, a
     ``*.journal`` file path, a journal directory, or ``False`` to
     disable even if ``$REPRO_JOURNAL_DIR`` is set.
+
+    ``profile``: the primary automation profile — a name or an
+    :class:`~repro.profiles.AutomationProfile` (default
+    ``$REPRO_PROFILE`` or ``default``); its solver knobs layer onto
+    every discharge config and its run-level defaults fill
+    ``incremental``/``retries``/``max_steps`` left unset.
+    ``portfolio``: race width for stubborn obligations — after the main
+    pass, each failed/unknown/resource-out obligation is re-discharged
+    under that many alternative profiles and a PROVED verdict from any
+    of them is adopted (default ``$REPRO_PORTFOLIO`` or 0 = off).
+    ``tuner``: a :class:`~repro.profiles.ProfileTuner` recording race
+    winners; when present, obligations with a learned winner are
+    redirected straight to it *before* digests are computed, so a
+    tuner-warm + cache-warm run replays races with zero solver
+    constructions.
     """
 
     #: Escalation order of the retry ladder: cheapest recovery first,
@@ -265,7 +275,10 @@ class Scheduler:
                  fault_plan=None,
                  journal=None,
                  retry_backoff: float = 0.01,
-                 solver_pool=None):
+                 solver_pool=None,
+                 profile=None,
+                 portfolio: Optional[int] = None,
+                 tuner=None):
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
@@ -275,16 +288,32 @@ class Scheduler:
         elif isinstance(cache, str):
             cache = ProofCache(cache)
         self.cache: Optional[ProofCache] = cache
+        # Primary automation profile + portfolio/tuner wiring.  The
+        # tri-state run-level knobs resolve explicit arg -> env ->
+        # profile default (exactly VerifyConfig.effective_*, inlined so
+        # direct Scheduler construction behaves like Session).
+        self.profile = get_profile(profile if profile is not None
+                                   else env.profile)
+        self.portfolio = (max(0, int(portfolio)) if portfolio is not None
+                          else env.portfolio)
+        self.tuner = tuner
         self.timeout = timeout if timeout is not None else env.job_timeout
         self.diagnostics = (diagnostics if diagnostics is not None
                             else env.diagnostics)
-        self.incremental = (incremental if incremental is not None
-                            else env.incremental)
+        if incremental is None:
+            incremental = (env.incremental if env.incremental is not None
+                           else self.profile.default_incremental)
+        self.incremental = incremental
         self.delta = delta if delta is not None else env.delta
         self.analyze = analyze if analyze is not None else env.analyze
-        self.retries = (max(0, int(retries)) if retries is not None
-                        else env.retries)
-        self.max_steps = max_steps if max_steps is not None else env.max_steps
+        if retries is None:
+            retries = (env.retries if env.retries is not None
+                       else self.profile.default_retries)
+        self.retries = max(0, int(retries))
+        if max_steps is None:
+            max_steps = (env.max_steps if env.max_steps is not None
+                         else self.profile.max_steps)
+        self.max_steps = max_steps
         plan = fault_plan if fault_plan is not None else env.fault_plan
         if isinstance(plan, str):
             plan = FaultPlan.from_string(plan)
@@ -335,6 +364,13 @@ class Scheduler:
                 return result
         plans = []
         tasks: list[_Task] = []
+        # Profile-driven context pruning: the primary profile may force
+        # pruning on/off for this run (restored afterwards — the VcGen
+        # config can be shared across schedulers).
+        prune_override = self.profile.prune_context
+        prev_prune = gen.config.prune_context
+        if prune_override is not None:
+            gen.config.prune_context = prune_override
         # Fault plan: installed for the duration of this run (previous
         # plan restored after), so every instrumented fault point in
         # this process consults the same deterministic counters.  A
@@ -374,12 +410,16 @@ class Scheduler:
                     result.functions.append(plan.result)
                     tasks.extend(self._plan_tasks(gen, plan))
             self._run_tasks(gen, tasks)
+            if self.portfolio > 0:
+                self._portfolio_pass(gen, tasks)
             if self.retries > 0:
                 self._retry_pass(gen, tasks)
             if self.diagnostics:
                 self._diagnose_failures(gen, tasks)
         finally:
             gen.proof_cache = None
+            if prune_override is not None:
+                gen.config.prune_context = prev_prune
             self._journal = None
             if journal is not None and journal is not self._journal_spec:
                 journal.close()
@@ -438,14 +478,23 @@ class Scheduler:
         return RunJournal(path, module=module_name)
 
     def _solver_config(self, gen) -> SolverConfig:
-        """The discharge config, with the scheduler's ``max_steps``
-        budget layered on a *copy* (``make_solver_config`` may hand out
-        a shared instance that must not be mutated)."""
-        cfg = gen.config.make_solver_config()
+        """The discharge config: the primary profile's solver knobs,
+        then the scheduler's ``max_steps`` budget, layered on a *copy*
+        (``make_solver_config`` may hand out a shared instance that
+        must not be mutated; the ``default`` profile is an identity, so
+        profile-free behavior is byte-identical)."""
+        cfg = self.profile.apply_solver(gen.config.make_solver_config())
         if self.max_steps is not None and cfg.max_steps != self.max_steps:
             cfg = SolverConfig(**vars(cfg))
             cfg.max_steps = self.max_steps
         return cfg
+
+    def _race_base(self, gen) -> SolverConfig:
+        """The *unprofiled* discharge config race candidates layer their
+        knobs onto — shared by the tuner redirect and _portfolio_pass so
+        a redirected task's digest is exactly the digest the winning
+        race attempt stored its verdict under."""
+        return gen.config.make_solver_config()
 
     def _plan_tasks(self, gen, plan) -> list[_Task]:
         tasks = []
@@ -460,7 +509,8 @@ class Scheduler:
                            or ((self.jobs > 1 or self.incremental
                                 or self.timeout is not None
                                 or self.max_steps is not None
-                                or self.retries > 0) and offload))
+                                or self.retries > 0
+                                or self.portfolio > 0) and offload))
         for item in plan.pending:
             ob = item.obligation
             plan.result.obligations.append(ob)
@@ -496,7 +546,28 @@ class Scheduler:
     def _run_tasks(self, gen, tasks: list[_Task]) -> None:
         unsolved = []
         strategy = type(gen).__qualname__
+        racing = (self.portfolio > 0 and self.tuner is not None
+                  and self._offloadable(gen))
         for task in tasks:
+            if racing and task.assertions is not None:
+                winner = self.tuner.lookup(
+                    tuner_fingerprint(task.assertions, strategy))
+                if winner is None:
+                    self.stats.tuner_misses += 1
+                elif winner != self.profile.name:
+                    # Learned redirect: discharge straight under the
+                    # recorded race winner.  The digest below becomes
+                    # the winner attempt's digest, so a cache-warm run
+                    # replays the race outcome with zero solvers.
+                    task.config = get_profile(winner).apply_solver(
+                        self._race_base(gen))
+                    task.profile = winner
+                    task.tuner_hit = True
+                    self.stats.tuner_hits += 1
+                else:
+                    # The tuner confirmed the primary profile: no
+                    # redirect needed, but it still counts as learned.
+                    self.stats.tuner_hits += 1
             if ((self.cache is not None or self._journal is not None)
                     and task.assertions is not None):
                 task.digest = obligation_digest(
@@ -537,6 +608,11 @@ class Scheduler:
             # is the whole point), so incremental wins over `jobs`.
             groups: dict[int, list[_Task]] = {}
             for task in unsolved:
+                if task.tuner_hit:
+                    # A redirected task runs under a different profile's
+                    # config and cannot share the group's warm prefix.
+                    self._run_fresh(task)
+                    continue
                 groups.setdefault(id(task.plan), []).append(task)
             for group in groups.values():
                 self._run_warm_group(group)
@@ -551,12 +627,21 @@ class Scheduler:
             self._run_serial(gen, task)
 
     def _run_serial(self, gen, task: _Task) -> None:
-        if ((self.timeout is not None or self.max_steps is not None)
+        if task.tuner_hit or (
+                (self.timeout is not None or self.max_steps is not None)
                 and task.assertions is not None and self._offloadable(gen)):
+            # Tuner-redirected tasks must solve from their redirected
+            # config — gen._solve_obligation would rebuild the default.
             return self._run_fresh(task)
         t0 = time.perf_counter()
+        # Standard pipelines discharge under the primary profile's
+        # solver knobs; baselines (non-offloadable) keep their own
+        # retry strategies and ignore the scheduler's profile.
+        solver_config = (self._solver_config(gen)
+                         if self._offloadable(gen) else None)
         status, stats, qbytes = gen._solve_obligation(
-            task.item, task.plan.encoder, task.plan.spec_axioms)
+            task.item, task.plan.encoder, task.plan.spec_axioms,
+            solver_config=solver_config)
         seconds = time.perf_counter() - t0
         self._apply(task, status, stats, qbytes, seconds)
         self._store(task, status, stats, qbytes)
@@ -739,6 +824,103 @@ class Scheduler:
             self.stats.pool_failures += 1
         task.crash = f"{type(exc).__name__}: {exc}"[:300]
 
+    # ------------------------------------------------ portfolio racing
+
+    def _portfolio_pass(self, gen, tasks: list[_Task]) -> None:
+        """Race alternative profiles on every stubborn obligation.
+
+        A *stubborn* obligation is one the primary profile left
+        FAILED/unknown/resource-out.  Each race candidate
+        (:func:`~repro.profiles.portfolio.plan_attempts`) is attempted
+        — every one, always, so serial/parallel/cache-warm runs leave
+        byte-identical proof-cache state — with its verdict stored
+        under the *attempt's own* digest (never the primary's: the
+        primary entry keeps recording what the primary profile actually
+        concluded).  The lowest-index PROVED attempt wins and its
+        verdict is adopted; the tuner (when present) records the winner
+        so later runs redirect this obligation before fan-out.
+
+        Runs in the parent process after the main pass and before the
+        retry ladder: a race rescue flips the obligation to PROVED, so
+        the ladder never sees it.
+        """
+        if not self._offloadable(gen):
+            return
+        from ..profiles.portfolio import (elect_winner, plan_attempts,
+                                          race_summary, solve_attempt)
+        strategy = type(gen).__qualname__
+        base_cfg = None
+        for task in tasks:
+            if (not task.done or task.assertions is None
+                    or task.item.direct_result is not None):
+                continue        # crashes belong to the retry ladder
+            ob = task.item.obligation
+            if ob.status not in (FAILED, TIMEOUT, RESOURCE_OUT):
+                continue
+            if ob.stats.get("job_timeouts"):
+                continue        # a killed worker, not a solver verdict
+            if base_cfg is None:
+                base_cfg = self._race_base(gen)
+            primary = task.profile or self.profile.name
+            attempts = plan_attempts(primary, self.portfolio, base_cfg,
+                                     task.assertions, strategy)
+            if not attempts:
+                continue
+            self.stats.portfolio_races += 1
+            for attempt in attempts:
+                entry = (self.cache.lookup(attempt.digest)
+                         if self.cache is not None else None)
+                if entry is not None:
+                    stats = dict(entry.get("stats") or {})
+                    attempt.record(entry["status"], stats,
+                                   entry.get("query_bytes", 0), 0.0,
+                                   from_cache=True)
+                    continue
+                solve_attempt(attempt, task.assertions,
+                              timeout=self.timeout)
+                self.stats.portfolio_attempts += 1
+                self.stats.merge(attempt.stats)
+                if not attempt.stats.get("deadline_exceeded") \
+                        and attempt.status != RESOURCE_OUT:
+                    if self.cache is not None:
+                        self.cache.store(attempt.digest, attempt.status,
+                                         attempt.stats, attempt.qbytes,
+                                         label=ob.label)
+            winner = elect_winner(attempts)
+            recorded = False
+            if winner is not None and self.tuner is not None:
+                self.tuner.record_win(
+                    tuner_fingerprint(task.assertions, strategy),
+                    winner.profile, status=winner.status)
+                recorded = True
+            summary = race_summary(attempts, winner, recorded)
+            race_seconds = sum(a.seconds for a in attempts)
+            ob.seconds += race_seconds
+            self.stats.obligation_seconds += race_seconds
+            live_qbytes = sum(a.qbytes for a in attempts
+                              if not a.from_cache)
+            task.plan.result.query_bytes += live_qbytes
+            if winner is None:
+                stats = dict(ob.stats)
+                stats["portfolio"] = summary
+                ob.stats = stats
+                continue
+            self.stats.portfolio_wins += 1
+            adopted = dict(winner.stats)
+            adopted["profile"] = winner.profile
+            adopted["portfolio"] = summary
+            if winner.from_cache:
+                adopted["cache_hit"] = True
+            ob.status = winner.status
+            ob.stats = adopted
+            task.qbytes += winner.qbytes
+            if self._journal is not None:
+                # Journaled under the winner's digest: a resumed run
+                # with a warm tuner redirects to exactly that digest.
+                self._journal.record(winner.digest, winner.status,
+                                     adopted, winner.qbytes,
+                                     label=ob.label)
+
     # ------------------------------------------------ retry escalation
 
     def _retry_pass(self, gen, tasks: list[_Task]) -> None:
@@ -779,7 +961,10 @@ class Scheduler:
         for rung in rungs:
             if attempts >= self.retries:
                 break
-            if rung == "split" and not self._splittable(task):
+            if rung == "split" and (self.profile.split_strategy == "off"
+                                    or not self._splittable(task)):
+                # The profile may veto conjunct splitting outright
+                # (frugal runs should not quietly multiply queries).
                 continue
             attempts += 1
             self._backoff(attempts)
@@ -802,6 +987,10 @@ class Scheduler:
         stats = dict(stats)
         stats["retries"] = attempts
         stats["escalation"] = list(escalation)
+        if "portfolio" in ob.stats:
+            # Keep the race record visible even after the ladder
+            # replaces the verdict it raced for.
+            stats["portfolio"] = ob.stats["portfolio"]
         if task.crash is not None:
             stats["pool_failure"] = task.crash
         if task.done:
@@ -844,7 +1033,7 @@ class Scheduler:
             return status, stats, qbytes, time.perf_counter() - t0
         if rung == "split":
             return self._run_split(task)
-        cfg = task.config if rung == "warm" else _escalated(task.config)
+        cfg = task.config if rung == "warm" else escalate_config(task.config)
         solver = SmtSolver(cfg, incremental=(rung == "warm"))
         for a in task.assertions:
             solver.add(a)
@@ -871,7 +1060,7 @@ class Scheduler:
         t0 = time.perf_counter()
         conjuncts = split_goal(task.item.goal)
         base = task.assertions[:-1]     # everything but the negated goal
-        cfg = _escalated(task.config)
+        cfg = escalate_config(task.config)
         agg = Stats()
         qbytes = 0
         status = PROVED
@@ -996,6 +1185,11 @@ class Scheduler:
         if task.crash is not None and "pool_failure" not in stats:
             stats = dict(stats)
             stats["pool_failure"] = task.crash
+        if task.profile is not None and "profile" not in stats:
+            # A tuner-redirected discharge: record whose profile's
+            # verdict this is, matching what the original race adopted.
+            stats = dict(stats)
+            stats["profile"] = task.profile
         ob.stats = stats
         task.plan.result.query_bytes += qbytes
         self.stats.obligations += 1

@@ -1,0 +1,48 @@
+"""Session-API wrappers shared by tests that predate ``repro.api``.
+
+The historical ``repro.lang.verify`` / ``verify_module`` / ``diagnose``
+shims are gone; these helpers keep the old call shapes the test corpus
+was written against (``cache=`` as a directory path, a live
+``ProofCache``, or ``False``; ``jobs=``; ``diagnostics=``) while
+routing everything through the one supported front door,
+:class:`repro.api.Session`.
+"""
+
+import dataclasses
+
+from repro.api import Session, VerifyConfig
+
+
+def make_session(jobs=None, cache=None, diagnostics=None):
+    """A Session from the historical kwarg shapes.
+
+    ``cache`` conflates three shapes the Session API splits apart: a
+    directory path becomes ``cache_dir`` config, a live ProofCache is
+    injected directly, and ``False`` disables caching even when
+    ``$REPRO_CACHE_DIR`` is set.
+    """
+    cfg = VerifyConfig.from_env(jobs=jobs, diagnostics=diagnostics)
+    cache_obj = None
+    if cache is False:
+        cfg = dataclasses.replace(cfg, cache_dir=None)
+    elif isinstance(cache, str):
+        cfg = dataclasses.replace(cfg, cache_dir=cache)
+    elif cache is not None:
+        cache_obj = cache
+    return Session(cfg, cache=cache_obj)
+
+
+def verify_module(mod, config=None, jobs=None, cache=None,
+                  diagnostics=None):
+    """Detailed ModuleResult via a throwaway Session."""
+    return make_session(jobs, cache, diagnostics).verify_module(mod, config)
+
+
+def verify(mod, config=None, jobs=None, cache=None, diagnostics=None):
+    """Raise VerificationFailure on failure via a throwaway Session."""
+    return make_session(jobs, cache, diagnostics).verify(mod, config)
+
+
+def diagnose(mod, config=None, jobs=None, cache=None):
+    """Verify with diagnostics forced on via a throwaway Session."""
+    return make_session(jobs, cache, True).diagnose(mod, config)

@@ -1,6 +1,6 @@
 """Static-analysis tests: the five passes, the scheduler gate, and the
 satellite plumbing (trigger-fallback counting, EprViolation adapters,
-JSON/text rendering, lang-shim deprecation warnings).
+JSON/text rendering, retired lang-shim absence).
 
 The negative fixtures are seeded so each yields exactly the expected
 finding; the sweep at the bottom asserts every shipped case-study and
@@ -9,7 +9,6 @@ repo-wide invariant the CI ``analyze`` step enforces.
 """
 
 import importlib
-import warnings
 
 import pytest
 
@@ -346,26 +345,18 @@ class TestRendering:
 
 
 # ---------------------------------------------------------------------------
-# Satellite: lang shims warn exactly once per process
+# Satellite: the deprecated lang shims are gone for good
 # ---------------------------------------------------------------------------
 
 class TestDeprecationShims:
-    def test_verify_module_warns_once(self):
+    def test_legacy_shims_removed(self):
+        """The deprecated ``lang.verify``/``verify_module``/``diagnose``
+        shims were retired; verification goes through repro.api.Session
+        (and the module neither exports nor defines the old names)."""
         import repro.lang as lang
-        mod = Module("dep_demo")
-        x = var("x", INT)
-        exec_fn(mod, "ident", [("x", INT)], ret=("r", INT),
-                ensures=[var("r", INT).eq(x)], body=[ret(x)])
-        lang._DEPRECATED_WARNED.discard("verify_module")
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            lang.verify_module(mod)
-            lang.verify_module(mod)
-        dep = [w for w in caught
-               if issubclass(w.category, DeprecationWarning)
-               and "verify_module" in str(w.message)]
-        assert len(dep) == 1
-        assert "Session" in str(dep[0].message)
+        for name in ("verify", "verify_module", "diagnose"):
+            assert not hasattr(lang, name)
+            assert name not in lang.__all__
 
 
 # ---------------------------------------------------------------------------

@@ -16,9 +16,9 @@ from repro.diag import (Diagnostic, VerusErrorType, classify,
 from repro.diag.model import pretty_name
 from repro.diag.profile import profile_table
 from repro.lang import (BOOL, INT, U64, Module, VerificationFailure, and_all,
-                        assert_, assign, diagnose, exec_fn, forall, if_, let_,
-                        lit, proof_fn, ret, spec_fn, var, verify,
-                        verify_module, while_)
+                        assert_, assign, exec_fn, forall, if_, let_,
+                        lit, proof_fn, ret, spec_fn, var, while_)
+from tests.helpers import diagnose, verify, verify_module
 from repro.smt import terms as T
 from repro.vc.ast import Span
 from repro.vc.errors import (FAILED, PROVED, TIMEOUT, FunctionResult,

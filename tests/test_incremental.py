@@ -16,7 +16,8 @@ import pytest
 from repro.api import Session, VerifyConfig
 from repro.lang import (BOOL, INT, U64, Module, and_all, assert_, assign,
                         call, call_stmt, exec_fn, forall, let_, lit, ret,
-                        spec_fn, var, verify_module, while_)
+                        spec_fn, var, while_)
+from tests.helpers import verify_module
 from repro.smt import terms as T
 from repro.smt.solver import SAT, SmtSolver, UNSAT
 from repro.vc.errors import PROVED, TIMEOUT
@@ -506,17 +507,17 @@ class TestApi:
         _, ob = result.first_failure()
         assert ob.diag is not None
 
-    def test_legacy_shims_still_work(self, tmp_path):
-        from repro.lang import diagnose, verify
-        from repro.vc.errors import VerificationFailure
-        assert verify_module(_verified_module(),
-                             cache=str(tmp_path)).ok
-        with pytest.raises(VerificationFailure):
-            verify(_broken_postcond())
-        result = diagnose(_broken_postcond())
-        assert result.failures()[0][1].diag is not None
+    def test_legacy_shims_removed(self):
+        import repro.lang as lang
+        for name in ("verify", "verify_module", "diagnose"):
+            assert not hasattr(lang, name)
 
     def test_schema_version_present(self):
         payload = Session(VerifyConfig()).verify_module(
             _verified_module()).to_json()
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
+        # v2's additive per-obligation fields are present (and None on
+        # an un-raced default run).
+        ob = payload["functions"][0]["obligations"][0]
+        assert "profile" in ob and "portfolio" in ob
+        assert ob["profile"] is None and ob["portfolio"] is None

@@ -1,0 +1,381 @@
+"""Automation profiles: registry detents, the profile-first config API,
+portfolio racing (with its determinism contract), the learning
+auto-tuner, and the daemon's ``profiles`` verb.
+
+The empirical backbone is the profile-gap corpus in
+:mod:`repro.profiles.corpus`: ``mbqi_gap`` is provable only under MBQI
+(the ``epr`` profile), ``universe_gap`` only under E-matching (every
+non-``epr`` profile), so ``stubborn_pair`` — which contains both — is
+beyond every *fixed* profile and needs the portfolio race.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import PORTFOLIO_ENV, PROFILE_ENV, Session, VerifyConfig
+from repro.profiles import (
+    PROFILES,
+    RACE_ORDER,
+    AutomationProfile,
+    ProfileTuner,
+    UnknownProfileError,
+    escalate_config,
+    get_profile,
+    portfolio_candidates,
+    profile_names,
+    tuner_fingerprint,
+)
+from repro.profiles.corpus import (
+    CORPUS_BUILDERS,
+    build_mbqi_gap_module,
+    build_stubborn_pair_module,
+    build_universe_gap_module,
+)
+from repro.smt.fingerprint import solver_config_key
+from repro.smt.solver import SolverConfig, solver_constructions
+from tests.test_incremental import _normalize
+
+
+def _strip_race_fields(payload: dict) -> dict:
+    """Normalize minus the additive per-obligation race metadata.
+
+    A tuner-warm run *replays* a race instead of re-running it, so its
+    ``portfolio`` field is ``None`` by design — and it never re-pays the
+    losing attempts' query bytes, so module-level ``query_bytes`` is an
+    effort counter here, not a verdict field.  Everything else must
+    still match byte-for-byte.
+    """
+    payload = _normalize(payload)
+    payload.pop("query_bytes", None)
+    for f in payload["functions"]:
+        for o in f["obligations"]:
+            o.pop("profile", None)
+            o.pop("portfolio", None)
+    return payload
+
+
+def _raced_obligations(result) -> list:
+    return [o for fn in result.functions for o in fn.obligations
+            if o.stats.get("portfolio")]
+
+
+# ---------------------------------------------------------------------------
+# Registry
+
+
+class TestRegistry:
+    def test_shipped_names_and_race_order(self):
+        assert list(profile_names()) == ["default", "frugal", "aggressive",
+                                         "nonlinear", "bitvector", "epr"]
+        assert set(RACE_ORDER) == set(profile_names())
+        assert RACE_ORDER[0] == "aggressive"
+
+    def test_default_profile_is_identity(self):
+        """The default profile must not perturb solver configs — its
+        obligation digests stay byte-identical to a profile-free build."""
+        base = SolverConfig()
+        assert get_profile("default").apply_solver(base) is base
+
+    def test_profiles_change_cache_key(self):
+        base = SolverConfig()
+        keys = {name: solver_config_key(get_profile(name).apply_solver(base))
+                for name in profile_names()}
+        assert keys["default"] == solver_config_key(base)
+        # Every non-default profile keys differently from default and
+        # from each other: per-profile cache entries never collide.
+        assert len(set(map(str, keys.values()))) == len(keys)
+
+    def test_get_profile_passthrough_and_unknown(self):
+        aggressive = PROFILES["aggressive"]
+        assert get_profile(aggressive) is aggressive
+        with pytest.raises(UnknownProfileError) as exc:
+            get_profile("warpspeed")
+        assert exc.value.name == "warpspeed"
+        assert "available" in str(exc.value)
+
+    def test_portfolio_candidates_skip_primary(self):
+        assert portfolio_candidates("default", 2) == ("aggressive", "epr")
+        assert portfolio_candidates("aggressive", 2) == ("epr", "nonlinear")
+        assert portfolio_candidates("default", 0) == ()
+        assert len(portfolio_candidates("default", 99)) == len(RACE_ORDER) - 1
+
+    def test_escalate_config_doubles_budgets(self):
+        base = SolverConfig(max_steps=1000)
+        esc = escalate_config(base)
+        assert (esc.max_rounds, esc.max_instantiations) == \
+            (2 * base.max_rounds, 2 * base.max_instantiations)
+        assert esc.sat_conflict_budget == 2 * base.sat_conflict_budget
+        assert esc.max_steps == 4000
+        assert escalate_config(SolverConfig()).max_steps is None
+
+    def test_custom_profile_validation(self):
+        with pytest.raises(ValueError):
+            AutomationProfile(name="bad", doc="", split_strategy="banana")
+
+    def test_describe_is_json_safe(self):
+        for name in profile_names():
+            json.dumps(get_profile(name).describe())
+
+
+# ---------------------------------------------------------------------------
+# Profile-first config API
+
+
+class TestConfigApi:
+    def test_from_env_profile_and_portfolio(self, monkeypatch):
+        monkeypatch.setenv(PROFILE_ENV, "epr")
+        monkeypatch.setenv(PORTFOLIO_ENV, "2")
+        cfg = VerifyConfig.from_env()
+        assert cfg.profile == "epr" and cfg.portfolio == 2
+
+    @pytest.mark.parametrize("raw,expect", [
+        (None, 0), ("", 0), ("0", 0), ("no", 0),
+        ("2", 2), ("yes", 3), ("true", 3),
+    ])
+    def test_portfolio_env_parse(self, monkeypatch, raw, expect):
+        monkeypatch.delenv(PORTFOLIO_ENV, raising=False)
+        if raw is not None:
+            monkeypatch.setenv(PORTFOLIO_ENV, raw)
+        assert VerifyConfig.from_env().portfolio == expect
+
+    def test_knobs_default_from_profile(self):
+        cfg = VerifyConfig()
+        assert cfg.incremental is None and cfg.retries is None
+        assert (cfg.effective_incremental, cfg.effective_retries) == (False, 0)
+        aggr = VerifyConfig(profile="aggressive")
+        assert (aggr.effective_incremental, aggr.effective_retries) == (True, 1)
+        assert VerifyConfig(profile="frugal").effective_max_steps == 200000
+
+    def test_explicit_override_beats_profile(self):
+        cfg = VerifyConfig(profile="aggressive", incremental=False,
+                           retries=0, max_steps=123)
+        assert cfg.effective_incremental is False
+        assert cfg.effective_retries == 0
+        assert cfg.effective_max_steps == 123
+
+    def test_unknown_profile_rejected_at_session_open(self):
+        with pytest.raises(UnknownProfileError):
+            Session(VerifyConfig(profile="warpspeed"))
+
+
+# ---------------------------------------------------------------------------
+# Corpus gaps + portfolio acceptance
+
+
+class TestProfileGaps:
+    def test_corpus_registry(self):
+        assert set(CORPUS_BUILDERS) == {"mbqi_gap", "universe_gap",
+                                        "stubborn_pair"}
+
+    def test_mbqi_gap_needs_epr(self):
+        assert Session(VerifyConfig(profile="epr")).verify_module(
+            build_mbqi_gap_module()).ok
+        assert not Session(VerifyConfig()).verify_module(
+            build_mbqi_gap_module()).ok
+
+    def test_universe_gap_needs_ematching(self):
+        assert Session(VerifyConfig()).verify_module(
+            build_universe_gap_module()).ok
+        assert not Session(VerifyConfig(profile="epr")).verify_module(
+            build_universe_gap_module()).ok
+
+    def test_portfolio_beats_every_fixed_profile(self):
+        """The headline acceptance: a module no single profile can
+        verify goes through once racing is on."""
+        for name in profile_names():
+            result = Session(VerifyConfig(profile=name)).verify_module(
+                build_stubborn_pair_module())
+            assert not result.ok, f"profile {name} unexpectedly verified"
+        raced = Session(VerifyConfig(portfolio=2)).verify_module(
+            build_stubborn_pair_module())
+        assert raced.ok
+        assert raced.stats.get("portfolio_races", 0) >= 1
+        assert raced.stats.get("portfolio_wins", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+
+
+class TestPortfolioDeterminism:
+    def test_race_results_identical_across_modes(self):
+        """serial / jobs=2 / incremental must adopt the same winner and
+        produce byte-identical reports (timing aside)."""
+        arms = {
+            "serial": VerifyConfig(portfolio=2),
+            "jobs2": VerifyConfig(portfolio=2, jobs=2),
+            "warm": VerifyConfig(portfolio=2, incremental=True),
+        }
+        reports = {}
+        for label, cfg in arms.items():
+            result = Session(cfg).verify_module(build_stubborn_pair_module())
+            assert result.ok, label
+            raced = _raced_obligations(result)
+            assert raced, label
+            for ob in raced:
+                assert ob.stats["portfolio"]["winner"] == "epr"
+                assert ob.stats["profile"] == "epr"
+            reports[label] = _normalize(result.to_json())
+        assert reports["serial"] == reports["jobs2"] == reports["warm"]
+
+    def test_cache_warm_replays_race(self, tmp_path):
+        cfg = VerifyConfig(portfolio=2, cache_dir=str(tmp_path / "cache"))
+        cold = Session(cfg).verify_module(build_stubborn_pair_module())
+        assert cold.ok and cold.stats.get("portfolio_races", 0) >= 1
+
+        before = solver_constructions()
+        warm = Session(cfg).verify_module(build_stubborn_pair_module())
+        assert warm.ok
+        assert solver_constructions() == before, \
+            "tuner-warm replay must build zero solvers"
+        assert warm.stats.get("portfolio_races", 0) == 0
+        assert warm.stats.get("tuner_hits", 0) >= 1
+        # The replayed verdict still carries the winning profile; only
+        # the race record itself is absent (nothing was re-raced).
+        raced_cold = _raced_obligations(cold)
+        assert raced_cold
+        warm_obs = {o.label: o for fn in warm.functions
+                    for o in fn.obligations}
+        for ob in raced_cold:
+            assert warm_obs[ob.label].stats.get("profile") == \
+                ob.stats["portfolio"]["winner"]
+        assert _strip_race_fields(cold.to_json()) == \
+            _strip_race_fields(warm.to_json())
+
+    def test_case_studies_unaffected_by_portfolio(self, tmp_path):
+        """Modules with no stubborn obligations never fan out: the
+        portfolio flag cannot change their verdicts or their bytes,
+        serial vs jobs=2 vs cache-warm."""
+        import importlib
+        for dotted in [
+            "repro.systems.ironkv.delegation_map:build_default_module",
+            "repro.systems.nr.model:build_nr_core_module",
+            "repro.systems.pagetable.view_verified:build_view_module",
+            "repro.systems.mimalloc.verified:build_bit_tricks_module",
+            "repro.systems.plog.crc_verified:build_crc_table_module",
+        ]:
+            mod_path, _, attr = dotted.partition(":")
+            build = getattr(importlib.import_module(mod_path), attr)
+            cache = str(tmp_path / attr)
+            plain = Session(VerifyConfig()).verify_module(build())
+            serial = Session(VerifyConfig(portfolio=2,
+                                          cache_dir=cache)).verify_module(
+                build())
+            jobs2 = Session(VerifyConfig(portfolio=2,
+                                         jobs=2)).verify_module(build())
+            rewarm = Session(VerifyConfig(portfolio=2,
+                                          cache_dir=cache)).verify_module(
+                build())
+            assert plain.ok and serial.ok and jobs2.ok and rewarm.ok
+            assert serial.stats.get("portfolio_races", 0) == 0
+            expected = _normalize(plain.to_json())
+            assert _normalize(serial.to_json()) == expected
+            assert _normalize(jobs2.to_json()) == expected
+            assert _strip_race_fields(rewarm.to_json()) == \
+                _strip_race_fields(expected)
+
+
+# ---------------------------------------------------------------------------
+# Tuner
+
+
+class TestTuner:
+    def test_record_lookup_roundtrip(self, tmp_path):
+        tuner = ProfileTuner(str(tmp_path))
+        fp = "a" * 40
+        assert tuner.lookup(fp) is None
+        tuner.record_win(fp, "epr", status="proved")
+        assert tuner.lookup(fp) == "epr"
+        tuner.record_win(fp, "epr", status="proved")
+        stats = tuner.stats()
+        assert stats["records"] == 2 and stats["entries"] == 1
+        assert stats["wins_by_profile"] == {"epr": 2}
+
+    def test_malformed_and_unknown_entries_evicted(self, tmp_path):
+        from pathlib import Path
+        tuner = ProfileTuner(str(tmp_path))
+        fp_bad, fp_gone = "b" * 40, "c" * 40
+        tuner.record_win(fp_bad, "epr")
+        Path(tuner._path(fp_bad)).write_text("not json", encoding="utf-8")
+        assert tuner.lookup(fp_bad) is None
+        tuner.record_win(fp_gone, "epr")
+        gone = Path(tuner._path(fp_gone))
+        entry = json.loads(gone.read_text(encoding="utf-8"))
+        entry["profile"] = "retired-profile"
+        gone.write_text(json.dumps(entry), encoding="utf-8")
+        assert tuner.lookup(fp_gone) is None
+        assert tuner.stats()["evictions"] == 2
+
+    def test_fingerprint_is_profile_independent(self):
+        from repro.smt import terms as T
+        from repro.smt.sorts import BOOL
+        x = T.Const("x", BOOL)
+        fp = tuner_fingerprint([x], "VcGen")
+        assert fp == tuner_fingerprint([x], "VcGen")
+        assert fp != tuner_fingerprint([x], "OtherGen")
+
+    def test_learned_winner_survives_proof_cache_wipe(self, tmp_path):
+        """The tuner redirects *before* fan-out: a second run against a
+        fresh proof cache still skips the race entirely."""
+        cold_cfg = VerifyConfig(portfolio=2,
+                                cache_dir=str(tmp_path / "cacheA"))
+        session = Session(cold_cfg)
+        assert session.verify_module(build_stubborn_pair_module()).ok
+        tuner = ProfileTuner.for_cache_dir(cold_cfg.cache_dir)
+        assert tuner.stats()["entries"] >= 1
+
+        fresh_cfg = VerifyConfig(portfolio=2,
+                                 cache_dir=str(tmp_path / "cacheB"))
+        redirected = Session(fresh_cfg, tuner=tuner).verify_module(
+            build_stubborn_pair_module())
+        assert redirected.ok
+        assert redirected.stats.get("portfolio_races", 0) == 0
+        assert redirected.stats.get("portfolio_attempts", 0) == 0
+        assert redirected.stats.get("tuner_hits", 0) >= 1
+
+
+# ---------------------------------------------------------------------------
+# Daemon integration
+
+
+class TestServerProfiles:
+    def test_profiles_verb_and_unknown_profile_error(self, tmp_path):
+        from tests.test_server import _Daemon
+        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"))
+        with _Daemon(verify_cfg=cfg) as d, d.client("profiles") as c:
+            listing = c.profiles()
+            assert listing["status"] == "ok"
+            result = listing["result"]
+            assert [p["name"] for p in result["profiles"]] == \
+                list(profile_names())
+            assert result["race_order"] == list(RACE_ORDER)
+            assert result["tuner"] is not None
+
+            bad = c.verify(
+                builder="repro.profiles.corpus:build_stubborn_pair_module",
+                config={"profile": "warpspeed"})
+            assert bad["status"] == "error"
+            assert "warpspeed" in bad["error"]
+            assert "available" in bad["error"]
+
+            ok = c.verify(
+                builder="repro.systems.plog.crc_verified:build_crc_table_module",
+                config={"profile": "frugal", "portfolio": 2})
+            assert ok["status"] == "ok" and ok["result"]["ok"]
+            assert ok["server"]["portfolio_races"] == 0
+
+    def test_server_races_and_tuner_persists(self, tmp_path):
+        from tests.test_server import _Daemon
+        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"))
+        with _Daemon(verify_cfg=cfg) as d, d.client("racer") as c:
+            first = c.verify(
+                builder="repro.profiles.corpus:build_stubborn_pair_module",
+                config={"portfolio": 2})
+            assert first["status"] == "ok" and first["result"]["ok"]
+            assert first["server"]["portfolio_races"] >= 1
+            assert first["server"]["portfolio_wins"] >= 1
+            stats = c.profiles()["result"]["tuner"]
+            assert stats["entries"] >= 1
+            assert stats["wins_by_profile"].get("epr", 0) >= 1

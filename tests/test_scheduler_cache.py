@@ -22,6 +22,7 @@ from repro.smt.sorts import bv, uninterpreted
 from repro.vc.cache import CACHE_DIR_ENV, ProofCache
 from repro.vc.scheduler import JOBS_ENV, Scheduler, default_jobs
 from repro.vc.wp import VcConfig, VcGen
+from tests.helpers import verify_module
 
 
 def _mk_module(bound=5, name="sched_demo"):

@@ -5,7 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lang import (INT, Module, and_all, assert_, call_stmt, lit,
-                        proof_fn, var, verify_module)
+                        proof_fn, var)
+from tests.helpers import verify_module
 from repro.lang.stdlib import MapII, SeqI, build_stdlib
 from repro.vc.interp import Interp
 

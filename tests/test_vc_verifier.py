@@ -3,6 +3,7 @@
 import pytest
 
 from repro.lang import *
+from tests.helpers import verify_module
 
 
 U64_MAX = (1 << 64) - 1
