@@ -1,0 +1,127 @@
+"""Static proving tier bench: obligation triage over the five §4
+case-study systems.
+
+Emits ``BENCH_absint.json`` (repo root) with per-system rows —
+obligation count, statically discharged count, solver constructions
+with triage on vs off, wall clock both ways — plus the aggregate
+discharge rate and the solver-economy delta.
+
+Asserted acceptance (not just reported): the aggregate static
+discharge rate clears the PR's 15% floor, every statically discharged
+obligation costs zero solver constructions (on-mode constructions =
+off-mode constructions − static count), and verdict signatures are
+identical both ways.
+"""
+
+import importlib
+import json
+import os
+import time
+
+from conftest import banner, table
+from repro.api import Session, VerifyConfig
+from repro.smt.solver import total_solver_constructions
+
+BENCH_FILE = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_absint.json")
+
+SYSTEMS = [
+    ("ironkv", "repro.systems.ironkv.delegation_map:build_default_module"),
+    ("nr", "repro.systems.nr.model:build_nr_core_module"),
+    ("pagetable", "repro.systems.pagetable.view_verified:build_view_module"),
+    ("mimalloc", "repro.systems.mimalloc.verified:build_bit_tricks_module"),
+    ("plog", "repro.systems.plog.crc_verified:build_crc_table_module"),
+]
+
+
+def _build(spec: str):
+    mod_path, _, attr = spec.partition(":")
+    return getattr(importlib.import_module(mod_path), attr)()
+
+
+def _signature(result):
+    return [(f.name, o.label, o.kind, o.status)
+            for f in result.functions for o in f.obligations]
+
+
+def _run(label, spec, triage):
+    before = total_solver_constructions()
+    t0 = time.perf_counter()
+    result = Session(VerifyConfig(triage=triage)).verify_module(_build(spec))
+    seconds = round(time.perf_counter() - t0, 4)
+    built = total_solver_constructions() - before
+    assert result.ok, (label, triage)
+    return result, built, seconds
+
+
+def test_absint_triage_bench():
+    rows = []
+    total_obl = total_static = on_built_sum = off_built_sum = 0
+    on_seconds_sum = off_seconds_sum = 0.0
+    for label, spec in SYSTEMS:
+        off, off_built, off_seconds = _run(label, spec, "off")
+        on, on_built, on_seconds = _run(label, spec, "on")
+        assert _signature(on) == _signature(off), label
+        obligations = sum(len(f.obligations) for f in on.functions)
+        static = int(on.stats.get("static_proved", 0) or 0)
+        # Every static discharge is a solver never constructed.
+        assert off_built - on_built == static, (label, off_built, on_built)
+        rows.append({
+            "system": label,
+            "obligations": obligations,
+            "static_proved": static,
+            "rate": round(static / obligations, 4) if obligations else 0.0,
+            "solvers_off": off_built,
+            "solvers_on": on_built,
+            "seconds_off": off_seconds,
+            "seconds_on": on_seconds,
+        })
+        total_obl += obligations
+        total_static += static
+        on_built_sum += on_built
+        off_built_sum += off_built
+        on_seconds_sum += on_seconds
+        off_seconds_sum += off_seconds
+
+    rate = total_static / total_obl if total_obl else 0.0
+
+    banner("Static proving tier: obligation triage over the case studies")
+    table(["system", "obligations", "static", "rate",
+           "solvers off→on", "time off→on (s)"],
+          [[r["system"], r["obligations"], r["static_proved"],
+            f"{r['rate']:.0%}",
+            f"{r['solvers_off']}→{r['solvers_on']}",
+            f"{r['seconds_off']}→{r['seconds_on']}"]
+           for r in rows]
+          + [["TOTAL", total_obl, total_static, f"{rate:.0%}",
+              f"{off_built_sum}→{on_built_sum}",
+              f"{round(off_seconds_sum, 4)}→{round(on_seconds_sum, 4)}"]])
+
+    payload = {
+        "description": "Abstract-interpretation obligation triage over "
+                       "the five case-study systems: statically "
+                       "discharged obligations never construct a "
+                       "solver; verdicts are identical to triage-off.",
+        "command": "PYTHONPATH=src python -m pytest "
+                   "benchmarks/test_absint_bench.py -q",
+        "systems": rows,
+        "totals": {
+            "obligations": total_obl,
+            "static_proved": total_static,
+            "discharge_rate": round(rate, 4),
+            "solver_constructions_off": off_built_sum,
+            "solver_constructions_on": on_built_sum,
+            "solver_constructions_avoided": off_built_sum - on_built_sum,
+            "seconds_off": round(off_seconds_sum, 4),
+            "seconds_on": round(on_seconds_sum, 4),
+            "wall_clock_delta_seconds": round(
+                off_seconds_sum - on_seconds_sum, 4),
+        },
+    }
+    with open(BENCH_FILE, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    # The PR's acceptance bars, asserted where the numbers are emitted.
+    assert rate >= 0.15, f"discharge rate {rate:.1%} below the 15% floor"
+    assert off_built_sum - on_built_sum == total_static

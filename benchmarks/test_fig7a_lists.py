@@ -83,8 +83,12 @@ def test_fig7a_verus_not_slowest(measurements):
 
 
 def _time_session(builder, **knobs):
+    # Triage off: this benchmark measures fresh-vs-warm solver-context
+    # economics, and BENCH_solver.json's embedded pre-PR baseline was
+    # captured with every obligation on the solver path.
     t0 = time.perf_counter()
-    result = Session(VerifyConfig(**knobs)).verify_module(builder())
+    result = Session(VerifyConfig(triage="off",
+                                  **knobs)).verify_module(builder())
     return result, time.perf_counter() - t0
 
 

@@ -58,6 +58,10 @@ def main(argv=None) -> int:
                     help="analyze every preset")
     ap.add_argument("--json", action="store_true",
                     help="machine-readable output (one report per line)")
+    ap.add_argument("--triage", action="store_true",
+                    help="also preview the static proving tier: plan each "
+                         "function (no solver) and report how many "
+                         "obligations abstract interpretation discharges")
     ap.add_argument("--list", action="store_true",
                     help="list preset names and exit")
     args = ap.parse_args(argv)
@@ -73,12 +77,26 @@ def main(argv=None) -> int:
     session = Session()
     failed = False
     for target in targets:
-        report = session.analyze(build(target))
+        mod = build(target)
+        report = session.analyze(mod)
         failed = failed or report.has_errors
+        payload = report.to_json() if args.json else None
+        preview = None
+        if args.triage:
+            from repro.analysis.absint import triage_preview
+            preview = triage_preview(mod)
         if args.json:
-            print(json.dumps(report.to_json(), sort_keys=True))
+            if preview is not None:
+                # Additive key; the analysis schema stays version 2.
+                payload["triage"] = preview
+            print(json.dumps(payload, sort_keys=True))
         else:
             print(report.report())
+            if preview is not None:
+                print(f"  triage: {preview['static_proved']}/"
+                      f"{preview['obligations']} obligations statically "
+                      f"proved ({preview['rate']:.0%}), "
+                      f"{preview['direct']} direct")
     return 1 if failed else 0
 
 

@@ -101,7 +101,11 @@ def main() -> int:
 
     env = dict(os.environ,
                PYTHONPATH=os.path.join(ROOT, "src")
-               + os.pathsep + os.environ.get("PYTHONPATH", ""))
+               + os.pathsep + os.environ.get("PYTHONPATH", ""),
+               # Triage off for this gate: its cold/delta/quota
+               # arithmetic assumes every obligation reaches the solver
+               # (the static tier has its own gate, triage_smoke.py).
+               REPRO_TRIAGE="0")
     serve = subprocess.Popen(
         [sys.executable, os.path.join(ROOT, "scripts", "serve.py"),
          "--port", "0", "--workers", "2",

@@ -1,0 +1,554 @@
+"""AST-level abstract interpreter over :mod:`repro.vc.ast`.
+
+This is the *preview* half of the static tier: a classic forward
+abstract interpretation of function bodies over the
+interval × constant × congruence product, with widening/narrowing
+fixpoints for loops seeded from declared invariants.  Its operator
+semantics mirror :mod:`repro.vc.interp` literal-for-literal (Euclidean
+``/`` and ``%``, short-circuit booleans), which is what the randomized
+differential harness in ``tests/test_absint.py`` checks: for any
+concrete environment inside the abstract one, the concrete result must
+lie inside the abstract result.
+
+The engine feeds ``triage_preview`` (analyze verb / --triage reports)
+and the tests.  The scheduler's discharge decision deliberately does
+*not* depend on it — obligations are triaged from their own translated
+assumption terms only (see :mod:`.transfer`), so engine imprecision can
+never turn into an unsound ``STATIC_PROVED``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...vc import ast as A
+from ...vc import types as VT
+from ..graph import scc_order
+from .domains import (BOT_VAL, FALSE_VAL, TOP_VAL, TRUE_VAL, Interval, Val,
+                      cmp_eq, cmp_le, cmp_lt)
+
+#: Joins before widening kicks in, and the hard cap on loop iterations.
+WIDEN_AFTER = 2
+MAX_LOOP_ITERS = 20
+
+_CMP_NEG = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+            "==": "!=", "!=": "=="}
+
+
+def type_range(t: VT.VType) -> Val:
+    """Sound abstraction of any value of type ``t`` (matches the range
+    assumptions the encoder emits for parameters)."""
+    if isinstance(t, VT.BoolType):
+        return TOP_VAL
+    bounds = VT.range_bounds(t)
+    if bounds is None:
+        return TOP_VAL
+    lo, hi = bounds
+    return Val(Interval(lo, hi))
+
+
+class AbsState:
+    """Variable name -> abstract value, with an unreachable flag."""
+
+    __slots__ = ("env", "bottom")
+
+    def __init__(self, env: Optional[dict] = None, bottom: bool = False):
+        self.env: dict[str, Val] = env if env is not None else {}
+        self.bottom = bottom
+
+    def clone(self) -> "AbsState":
+        return AbsState(dict(self.env), self.bottom)
+
+    def get(self, name: str) -> Val:
+        return self.env.get(name, TOP_VAL)
+
+    def set(self, name: str, v: Val) -> None:
+        if v.is_bottom:
+            self.bottom = True
+        else:
+            self.env[name] = v
+
+    def join(self, other: "AbsState") -> "AbsState":
+        if self.bottom:
+            return other.clone()
+        if other.bottom:
+            return self.clone()
+        env: dict[str, Val] = {}
+        for name in set(self.env) | set(other.env):
+            env[name] = self.get(name).join(other.get(name))
+        return AbsState(env)
+
+    def widen(self, other: "AbsState") -> "AbsState":
+        if self.bottom:
+            return other.clone()
+        if other.bottom:
+            return self.clone()
+        env = {name: self.get(name).widen(other.get(name))
+               for name in set(self.env) | set(other.env)}
+        return AbsState(env)
+
+    def narrow(self, other: "AbsState") -> "AbsState":
+        if self.bottom or other.bottom:
+            return self.clone()
+        env = {name: self.get(name).narrow(other.get(name))
+               for name in set(self.env) | set(other.env)}
+        return AbsState(env)
+
+    def le(self, other: "AbsState") -> bool:
+        if self.bottom:
+            return True
+        if other.bottom:
+            return False
+        return all(self.get(n).le(other.get(n))
+                   for n in set(self.env) | set(other.env))
+
+
+class FunctionSummary:
+    """Interprocedural summary for a spec function: an over-approximation
+    of its return value (ignoring preconditions — always sound)."""
+
+    __slots__ = ("name", "ret")
+
+    def __init__(self, name: str, ret: Val):
+        self.name = name
+        self.ret = ret
+
+
+class AbstractInterp:
+    """Forward abstract interpretation of one function body."""
+
+    def __init__(self, module: Optional[A.Module] = None,
+                 summaries: Optional[dict] = None):
+        self.module = module
+        self.summaries: dict[str, FunctionSummary] = summaries or {}
+        self.loop_iters = 0  # fixpoint iterations across all loops
+
+    # ------------------------------------------------------ expressions
+
+    def eval(self, e: A.Expr, state: AbsState) -> Val:
+        method = getattr(self, f"_ev_{type(e).__name__}", None)
+        if method is None:
+            return TOP_VAL
+        return method(e, state)
+
+    def _ev_Lit(self, e: A.Lit, state) -> Val:
+        return Val.const(e.value)
+
+    def _ev_VarE(self, e: A.VarE, state) -> Val:
+        v = state.env.get(e.name)
+        if v is None:
+            return type_range(e.vtype)
+        return v.meet(type_range(e.vtype))
+
+    def _ev_Old(self, e: A.Old, state) -> Val:
+        v = state.env.get(f"old!{e.name}")
+        if v is None:
+            return type_range(e.vtype)
+        return v.meet(type_range(e.vtype))
+
+    def _ev_BinOp(self, e: A.BinOp, state) -> Val:
+        op = e.op
+        if op in ("&&", "||", "==>", "<==>"):
+            ta = self.eval(e.lhs, state).truth()
+            tb = self.eval(e.rhs, state).truth()
+            if op == "&&":
+                if ta is False or tb is False:
+                    return FALSE_VAL
+                if ta is True and tb is True:
+                    return TRUE_VAL
+            elif op == "||":
+                if ta is True or tb is True:
+                    return TRUE_VAL
+                if ta is False and tb is False:
+                    return FALSE_VAL
+            elif op == "==>":
+                if ta is False or tb is True:
+                    return TRUE_VAL
+                if ta is True and tb is False:
+                    return FALSE_VAL
+            else:  # <==>
+                if ta is not None and tb is not None:
+                    return TRUE_VAL if ta == tb else FALSE_VAL
+            return TOP_VAL
+        a = self.eval(e.lhs, state)
+        b = self.eval(e.rhs, state)
+        if op == "+":
+            return a.add(b)
+        if op == "-":
+            return a.sub(b)
+        if op == "*":
+            return a.mul(b)
+        if op == "/":
+            return a.div(b)
+        if op == "%":
+            return a.mod(b)
+        if op in ("&", "|", "^", "<<", ">>"):
+            return self._bitwise(op, a, b)
+        if op == "<":
+            return Val.bool3(cmp_lt(a, b))
+        if op == "<=":
+            return Val.bool3(cmp_le(a, b))
+        if op == ">":
+            return Val.bool3(cmp_lt(b, a))
+        if op == ">=":
+            return Val.bool3(cmp_le(b, a))
+        if op in ("==", "=~="):
+            ca, cb = a.as_const(), b.as_const()
+            if isinstance(ca, bool) or isinstance(cb, bool):
+                if ca is not None and cb is not None:
+                    return TRUE_VAL if ca == cb else FALSE_VAL
+                return TOP_VAL
+            return Val.bool3(cmp_eq(a, b))
+        if op == "!=":
+            v = self._ev_BinOp(A.BinOp("==", e.lhs, e.rhs), state)
+            t = v.truth()
+            return TOP_VAL if t is None else Val.bool3(not t)
+        return TOP_VAL
+
+    @staticmethod
+    def _bitwise(op: str, a: Val, b: Val) -> Val:
+        """Sound bit-op abstractions for non-negative operands (the
+        mimalloc bit-tricks shapes); anything signed goes to top."""
+        ca, cb = a.as_const(), b.as_const()
+        if isinstance(ca, int) and isinstance(cb, int) and not (
+                isinstance(ca, bool) or isinstance(cb, bool)):
+            if op == "&":
+                return Val.const(ca & cb)
+            if op == "|":
+                return Val.const(ca | cb)
+            if op == "^":
+                return Val.const(ca ^ cb)
+            if op == "<<" and cb >= 0:
+                return Val.const(ca << cb)
+            if op == ">>" and cb >= 0:
+                return Val.const(ca >> cb)
+            return TOP_VAL
+        alo, ahi = a.itv.lo, a.itv.hi
+        blo, bhi = b.itv.lo, b.itv.hi
+        nonneg = (alo is not None and alo >= 0
+                  and blo is not None and blo >= 0)
+        if not nonneg:
+            return TOP_VAL
+        if op == "&":
+            # a & b <= min(a, b) for non-negative ints.
+            if ahi is None and bhi is None:
+                return Val(Interval(0, None))
+            hi = min(h for h in (ahi, bhi) if h is not None)
+            return Val(Interval(0, hi))
+        if op in ("|", "^"):
+            if ahi is None or bhi is None:
+                return Val(Interval(0, None))
+            hi = (1 << max(ahi.bit_length(), bhi.bit_length())) - 1
+            return Val(Interval(0, hi))
+        if op == "<<":
+            if bhi is None:
+                return Val(Interval(0, None))
+            lo = alo << blo
+            hi = None if ahi is None else ahi << bhi
+            return Val(Interval(lo, hi))
+        if op == ">>":
+            # a >> b == a div 2^b for non-negative a, b.
+            lo = 0 if bhi is None else (alo >> bhi)
+            hi = None if ahi is None else ahi >> blo
+            return Val(Interval(lo, hi))
+        return TOP_VAL
+
+    def _ev_UnOp(self, e: A.UnOp, state) -> Val:
+        v = self.eval(e.operand, state)
+        if e.op == "!":
+            t = v.truth()
+            return TOP_VAL if t is None else Val.bool3(not t)
+        return v.neg()
+
+    def _ev_IteE(self, e: A.IteE, state) -> Val:
+        t = self.eval(e.cond, state).truth()
+        if t is True:
+            return self.eval(e.then, state)
+        if t is False:
+            return self.eval(e.els, state)
+        return self.eval(e.then, state).join(self.eval(e.els, state))
+
+    def _ev_LetE(self, e: A.LetE, state) -> Val:
+        inner = state.clone()
+        inner.set(e.name, self.eval(e.value, state))
+        return self.eval(e.body, inner)
+
+    def _ev_Call(self, e: A.Call, state) -> Val:
+        ret = type_range(e.vtype)
+        summary = self.summaries.get(e.fn_name)
+        if summary is not None:
+            ret = ret.meet(summary.ret)
+        return ret
+
+    def _ev_SeqLen(self, e: A.SeqLen, state) -> Val:
+        if isinstance(e.seq, A.SeqLit):
+            return Val.const(len(e.seq.items))
+        return Val(Interval(0, None))
+
+    def _ev_SeqIndex(self, e: A.SeqIndex, state) -> Val:
+        if isinstance(e.seq, A.SeqLit):
+            acc = BOT_VAL
+            for item in e.seq.items:
+                acc = acc.join(self.eval(item, state))
+            return acc if not acc.is_bottom else TOP_VAL
+        return type_range(e.vtype)
+
+    def _ev_MapGet(self, e: A.MapGet, state) -> Val:
+        return type_range(e.vtype)
+
+    def _ev_FieldGet(self, e: A.FieldGet, state) -> Val:
+        return type_range(e.vtype)
+
+    def _ev_VariantGet(self, e: A.VariantGet, state) -> Val:
+        return type_range(e.vtype)
+
+    # ------------------------------------------------- condition refine
+
+    def assume(self, e: A.Expr, state: AbsState, positive: bool = True):
+        """Refine ``state`` in place under condition ``e`` (or ``!e``)."""
+        if state.bottom:
+            return
+        if isinstance(e, A.UnOp) and e.op == "!":
+            self.assume(e.operand, state, not positive)
+            return
+        if isinstance(e, A.Lit) and isinstance(e.value, bool):
+            if e.value != positive:
+                state.bottom = True
+            return
+        if isinstance(e, A.BinOp):
+            op = e.op
+            if (positive and op == "&&") or (not positive and op == "||"):
+                self.assume(e.lhs, state, positive)
+                self.assume(e.rhs, state, positive)
+                return
+            if not positive and op == "==>":
+                self.assume(e.lhs, state, True)
+                self.assume(e.rhs, state, False)
+                return
+            if not positive and op in _CMP_NEG:
+                self.assume(A.BinOp(_CMP_NEG[op], e.lhs, e.rhs), state, True)
+                return
+            if positive and op in ("<", "<=", ">", ">="):
+                lhs, rhs = e.lhs, e.rhs
+                if op in (">", ">="):
+                    lhs, rhs = rhs, lhs
+                strict = op in ("<", ">")
+                self._assume_le(lhs, rhs, strict, state)
+                return
+            if positive and op in ("==", "=~="):
+                self._assume_eq(e.lhs, e.rhs, state)
+                return
+            if positive and op == "!=":
+                va = self.eval(e.lhs, state)
+                vb = self.eval(e.rhs, state)
+                if cmp_eq(va, vb) is True:
+                    state.bottom = True
+                return
+        if isinstance(e, A.VarE) and isinstance(e.vtype, VT.BoolType):
+            state.set(e.name, TRUE_VAL if positive else FALSE_VAL)
+            return
+        # Opaque condition: evaluate; a definitely-wrong branch is dead.
+        t = self.eval(e, state).truth()
+        if t is not None and t != positive:
+            state.bottom = True
+
+    def _assume_le(self, lhs: A.Expr, rhs: A.Expr, strict: bool,
+                   state: AbsState) -> None:
+        vr = self.eval(rhs, state)
+        if isinstance(lhs, A.VarE) and vr.itv.hi is not None:
+            hi = vr.itv.hi - 1 if strict else vr.itv.hi
+            state.set(lhs.name, self.eval(lhs, state).meet(
+                Val(Interval(None, hi))))
+        vl = self.eval(lhs, state)
+        if isinstance(rhs, A.VarE) and vl.itv.lo is not None:
+            lo = vl.itv.lo + 1 if strict else vl.itv.lo
+            state.set(rhs.name, self.eval(rhs, state).meet(
+                Val(Interval(lo, None))))
+        if not isinstance(lhs, A.VarE) and not isinstance(rhs, A.VarE):
+            contradicted = (cmp_le(vr, vl) if strict else cmp_lt(vr, vl))
+            if contradicted is True:
+                state.bottom = True
+
+    def _assume_eq(self, lhs: A.Expr, rhs: A.Expr, state: AbsState) -> None:
+        va = self.eval(lhs, state)
+        vb = self.eval(rhs, state)
+        m = va.meet(vb)
+        if m.is_bottom:
+            state.bottom = True
+            return
+        if isinstance(lhs, A.VarE):
+            state.set(lhs.name, m)
+        if isinstance(rhs, A.VarE):
+            state.set(rhs.name, m)
+
+    # -------------------------------------------------------- statements
+
+    def exec_stmts(self, stmts: Sequence[A.Stmt], state: AbsState,
+                   assigned: Optional[set] = None) -> AbsState:
+        for stmt in stmts:
+            if state.bottom:
+                return state
+            state = self.exec_stmt(stmt, state, assigned)
+        return state
+
+    def exec_stmt(self, stmt: A.Stmt, state: AbsState,
+                  assigned: Optional[set] = None) -> AbsState:
+        if isinstance(stmt, (A.SLet, A.SAssign)):
+            state.set(stmt.name, self.eval(stmt.expr, state))
+            if assigned is not None:
+                assigned.add(stmt.name)
+            return state
+        if isinstance(stmt, A.SIf):
+            then_state = state.clone()
+            self.assume(stmt.cond, then_state, True)
+            then_state = self.exec_stmts(stmt.then, then_state, assigned)
+            else_state = state.clone()
+            self.assume(stmt.cond, else_state, False)
+            else_state = self.exec_stmts(stmt.els, else_state, assigned)
+            return then_state.join(else_state)
+        if isinstance(stmt, A.SWhile):
+            return self._exec_while(stmt, state, assigned)
+        if isinstance(stmt, (A.SAssert, A.SAssume)):
+            self.assume(stmt.expr, state, True)
+            return state
+        if isinstance(stmt, A.SCall):
+            self._exec_call(stmt, state, assigned)
+            return state
+        if isinstance(stmt, A.SReturn):
+            if stmt.expr is not None:
+                state.set("return!", self.eval(stmt.expr, state))
+            return state
+        return state
+
+    def _exec_call(self, stmt: A.SCall, state: AbsState,
+                   assigned: Optional[set]) -> None:
+        callee = None
+        if self.module is not None:
+            try:
+                callee = self.module.lookup(stmt.fn_name)
+            except KeyError:
+                callee = None
+        rets = []
+        if callee is not None and callee.ret is not None:
+            rets = [type_range(callee.ret[1])]
+        for i, name in enumerate(stmt.binds):
+            state.set(name, rets[i] if i < len(rets) else TOP_VAL)
+            if assigned is not None:
+                assigned.add(name)
+        for name in stmt.mut_args:
+            # &mut argument: havoc to its declared type range.
+            havocked = TOP_VAL
+            if callee is not None:
+                for p in callee.params:
+                    if p.mutable:
+                        havocked = type_range(p.vtype)
+                        break
+            state.set(name, havocked)
+            if assigned is not None:
+                assigned.add(name)
+
+    def _exec_while(self, stmt: A.SWhile, state: AbsState,
+                    assigned: Optional[set]) -> AbsState:
+        # Names the loop body can change; everything else is stable.
+        body_assigned: set[str] = set()
+        probe = state.clone()
+        self.exec_stmts(stmt.body, probe, body_assigned)
+        if assigned is not None:
+            assigned.update(body_assigned)
+
+        # Loop-head state: havoc assigned names, then re-assume the
+        # declared invariants — the same havoc+invariant seeding the WP
+        # transformer uses, so the fixpoint starts where wp.py starts.
+        head = state.clone()
+        for name in body_assigned:
+            head.env.pop(name, None)
+        for inv in stmt.invariants:
+            self.assume(inv, head, True)
+
+        iters = 0
+        while iters < MAX_LOOP_ITERS:
+            iters += 1
+            inside = head.clone()
+            self.assume(stmt.cond, inside, True)
+            after = self.exec_stmts(stmt.body, inside)
+            for inv in stmt.invariants:
+                self.assume(inv, after, True)
+            joined = head.join(after)
+            if joined.le(head):
+                break
+            head = head.widen(joined) if iters >= WIDEN_AFTER else joined
+        # One narrowing pass to claw back widened bounds.
+        inside = head.clone()
+        self.assume(stmt.cond, inside, True)
+        after = self.exec_stmts(stmt.body, inside)
+        for inv in stmt.invariants:
+            self.assume(inv, after, True)
+        head = head.narrow(head.join(after))
+        self.loop_iters += iters
+
+        exit_state = head
+        self.assume(stmt.cond, exit_state, False)
+        return exit_state
+
+
+# ---------------------------------------------------------------------------
+# Whole-function / whole-module analysis
+# ---------------------------------------------------------------------------
+
+
+class FunctionReport:
+    """Result of abstractly interpreting one function."""
+
+    __slots__ = ("name", "state", "loop_iters")
+
+    def __init__(self, name: str, state: AbsState, loop_iters: int):
+        self.name = name
+        self.state = state
+        self.loop_iters = loop_iters
+
+
+def analyze_function(module: A.Module, fn: A.Function,
+                     summaries: Optional[dict] = None) -> FunctionReport:
+    """Abstractly execute ``fn``: params seeded from type ranges,
+    requires assumed, body interpreted with loop fixpoints."""
+    interp = AbstractInterp(module, summaries)
+    state = AbsState()
+    for p in fn.params:
+        state.set(p.name, type_range(p.vtype))
+        state.set(f"old!{p.name}", type_range(p.vtype))
+    for req in fn.requires:
+        interp.assume(req, state, True)
+    if isinstance(fn.body, (list, tuple)):
+        state = interp.exec_stmts(list(fn.body), state)
+    elif isinstance(fn.body, A.Expr):
+        state.set("return!", interp.eval(fn.body, state))
+    return FunctionReport(fn.name, state, interp.loop_iters)
+
+
+def module_summaries(module: A.Module) -> dict[str, FunctionSummary]:
+    """Return-value summaries for the module's spec functions, computed
+    callees-first over the call-graph SCC order (:func:`scc_order`) so
+    non-recursive callees sharpen their callers; recursive SCCs fall
+    back to the declared return-type range."""
+    from .. import AnalysisContext
+    adjacency = AnalysisContext(module).call_graph
+    fns = module.all_functions()
+    summaries: dict[str, FunctionSummary] = {}
+    for component in scc_order(adjacency, callees_first=True):
+        recursive = len(component) > 1 or any(
+            name in adjacency.get(name, ()) for name in component)
+        for name in component:
+            fn = fns.get(name)
+            if fn is None or not fn.is_spec or fn.ret is None:
+                continue
+            ret = type_range(fn.ret[1])
+            if not recursive and isinstance(fn.body, A.Expr):
+                interp = AbstractInterp(module, summaries)
+                state = AbsState()
+                for p in fn.params:
+                    state.set(p.name, type_range(p.vtype))
+                ret = ret.meet(interp.eval(fn.body, state))
+                if ret.is_bottom:
+                    ret = type_range(fn.ret[1])
+            summaries[name] = FunctionSummary(name, ret)
+    return summaries

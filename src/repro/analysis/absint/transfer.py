@@ -1,0 +1,405 @@
+"""Term-level abstract transfer functions and the entailment check.
+
+This is the half of the static tier the scheduler trusts.  It works on
+the *already-translated* SMT terms of a pending obligation — the
+``assumptions`` list (path facts, parameter range assumptions, assumed
+loop invariants) and the ``goal`` — and decides whether the assumptions
+alone entail the goal under the interval × constant × congruence
+product of :mod:`.domains`.
+
+Soundness discipline: every abstract fact is derived **only** from the
+obligation's own assumption list, which is a subset of the assertion
+set the solver would receive (``kept ++ assumptions ++ [¬goal]``).  If
+the abstract state proves the goal, the solver's quantifier-free
+LIA/EUF core sees the same contradiction in ``assumptions ∧ ¬goal`` and
+must answer unsat.  No builtin theory facts (sequence length axioms,
+spec-function summaries) are consulted here precisely because the
+solver might have pruned or under-instantiated them — the differential
+harness and ``REPRO_TRIAGE=shadow`` hold this layer to "the solver can
+only agree".
+
+Terms are hash-consed (:mod:`repro.smt.terms`), so ``is`` / dict
+identity is structural equality; the fact sets below lean on that.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...smt import terms as T
+from ...smt.sorts import BOOL, INT
+from .domains import (BOT_VAL, FALSE_VAL, TOP_VAL, TRUE_VAL, Congruence,
+                      Interval, Val, cmp_eq, cmp_le, cmp_lt)
+
+#: Fixpoint cap for re-scanning an obligation's assumption list.  The
+#: assumptions arrive roughly in dependency order, so two passes settle
+#: almost everything; the cap keeps the tier O(assumptions).
+MAX_PASSES = 4
+
+
+def _bool3_not(t: Optional[bool]) -> Optional[bool]:
+    return None if t is None else (not t)
+
+
+class AbsEnv:
+    """Abstract state: a refinement map from terms to product values,
+    plus the sets of boolean facts assumed true / false.
+
+    ``vals`` may refine *any* term, not just variables — ``x + y <= 10``
+    stores a bound on the ``x + y`` term itself, which evaluation meets
+    with the structurally computed value.  ``bottom`` means the
+    assumptions are contradictory (the obligation is vacuously
+    entailed).
+    """
+
+    __slots__ = ("vals", "facts", "neg_facts", "bottom")
+
+    def __init__(self):
+        self.vals: dict[T.Term, Val] = {}
+        self.facts: set[T.Term] = set()
+        self.neg_facts: set[T.Term] = set()
+        self.bottom = False
+
+    def clone(self) -> "AbsEnv":
+        env = AbsEnv.__new__(AbsEnv)
+        env.vals = dict(self.vals)
+        env.facts = set(self.facts)
+        env.neg_facts = set(self.neg_facts)
+        env.bottom = self.bottom
+        return env
+
+    # ------------------------------------------------------------- eval
+
+    def eval(self, t: T.Term, memo: Optional[dict] = None) -> Val:
+        """Over-approximate the possible values of ``t``."""
+        if memo is None:
+            memo = {}
+        hit = memo.get(t)
+        if hit is not None:
+            return hit
+        v = self._eval_structural(t, memo)
+        stored = self.vals.get(t)
+        if stored is not None:
+            v = v.meet(stored)
+        memo[t] = v
+        return v
+
+    def _eval_structural(self, t: T.Term, memo: dict) -> Val:
+        k = t.kind
+        if t.sort is BOOL:
+            if t in self.facts:
+                return TRUE_VAL
+            if t in self.neg_facts:
+                return FALSE_VAL
+        if k == T.INT_CONST:
+            return Val.const(t.payload)
+        if k == T.BOOL_CONST:
+            return TRUE_VAL if t.payload else FALSE_VAL
+        if k == T.ADD:
+            acc = self.eval(t.args[0], memo)
+            for a in t.args[1:]:
+                acc = acc.add(self.eval(a, memo))
+            return acc
+        if k == T.SUB:
+            return self.eval(t.args[0], memo).sub(self.eval(t.args[1], memo))
+        if k == T.MUL:
+            return self.eval(t.args[0], memo).mul(self.eval(t.args[1], memo))
+        if k == T.IDIV:
+            return self.eval(t.args[0], memo).div(self.eval(t.args[1], memo))
+        if k == T.IMOD:
+            return self.eval(t.args[0], memo).mod(self.eval(t.args[1], memo))
+        if k == T.NEG:
+            return self.eval(t.args[0], memo).neg()
+        if k == T.LE:
+            return Val.bool3(cmp_le(self.eval(t.args[0], memo),
+                                    self.eval(t.args[1], memo)))
+        if k == T.LT:
+            return Val.bool3(cmp_lt(self.eval(t.args[0], memo),
+                                    self.eval(t.args[1], memo)))
+        if k == T.EQ:
+            a, b = t.args
+            if a.sort is INT:
+                return Val.bool3(cmp_eq(self.eval(a, memo),
+                                        self.eval(b, memo)))
+            if a.sort is BOOL:
+                ta = self.eval(a, memo).truth()
+                tb = self.eval(b, memo).truth()
+                if ta is None or tb is None:
+                    return TOP_VAL
+                return Val.bool3(ta == tb)
+            return TOP_VAL
+        if k == T.NOT:
+            return Val.bool3(_bool3_not(self.eval(t.args[0], memo).truth()))
+        if k == T.AND:
+            unknown = False
+            for a in t.args:
+                ta = self.eval(a, memo).truth()
+                if ta is False:
+                    return FALSE_VAL
+                if ta is None:
+                    unknown = True
+            return TOP_VAL if unknown else TRUE_VAL
+        if k == T.OR:
+            unknown = False
+            for a in t.args:
+                ta = self.eval(a, memo).truth()
+                if ta is True:
+                    return TRUE_VAL
+                if ta is None:
+                    unknown = True
+            return TOP_VAL if unknown else FALSE_VAL
+        if k == T.IMPLIES:
+            ta = self.eval(t.args[0], memo).truth()
+            tb = self.eval(t.args[1], memo).truth()
+            if ta is False or tb is True:
+                return TRUE_VAL
+            if ta is True and tb is False:
+                return FALSE_VAL
+            return TOP_VAL
+        if k == T.ITE:
+            tc = self.eval(t.args[0], memo).truth()
+            if tc is True:
+                return self.eval(t.args[1], memo)
+            if tc is False:
+                return self.eval(t.args[2], memo)
+            return self.eval(t.args[1], memo).join(self.eval(t.args[2], memo))
+        # VAR / APP / quantifiers / DISTINCT / bit-vectors: no structural
+        # knowledge; refinements stored in ``vals`` still apply.
+        return TOP_VAL
+
+    # ----------------------------------------------------------- assume
+
+    def _refine(self, t: T.Term, v: Val) -> bool:
+        """Meet ``v`` into the stored refinement for ``t``."""
+        if v is TOP_VAL:
+            return False
+        if t.kind in (T.INT_CONST, T.BOOL_CONST):
+            # A literal's value is exact already; a contradictory
+            # refinement on it still has to flip the state to bottom.
+            if self.eval(t).meet(v).is_bottom:
+                self.bottom = True
+                return True
+            return False
+        old = self.vals.get(t, TOP_VAL)
+        new = old.meet(v)
+        if new.is_bottom:
+            self.bottom = True
+            return True
+        if new == old:
+            return False
+        self.vals[t] = new
+        return True
+
+    def assume(self, t: T.Term, positive: bool = True) -> bool:
+        """Constrain the state with ``t`` (or ``¬t``); True if changed."""
+        if self.bottom:
+            return False
+        k = t.kind
+        if k == T.NOT:
+            return self.assume(t.args[0], not positive)
+        if k == T.BOOL_CONST:
+            if t.payload != positive:
+                self.bottom = True
+                return True
+            return False
+        changed = self._record_fact(t, positive)
+        if (positive and k == T.AND) or (not positive and k == T.OR):
+            for a in t.args:
+                changed |= self.assume(a, positive)
+                if self.bottom:
+                    return True
+            return changed
+        if positive and k == T.OR:
+            return self._assume_or(t.args, True) or changed
+        if not positive and k == T.AND:
+            return self._assume_or(t.args, False) or changed
+        if k == T.IMPLIES:
+            if not positive:
+                # ¬(a => b)  ==  a ∧ ¬b
+                changed |= self.assume(t.args[0], True)
+                if not self.bottom:
+                    changed |= self.assume(t.args[1], False)
+                return changed
+            ta = self.eval(t.args[0]).truth()
+            if ta is True:
+                return self.assume(t.args[1], True) or changed
+            tb = self.eval(t.args[1]).truth()
+            if tb is False:
+                return self.assume(t.args[0], False) or changed
+            return changed
+        if k == T.EQ:
+            a, b = t.args
+            if positive:
+                return self._assume_eq(a, b) or changed
+            return self._assume_ne(a, b) or changed
+        if k == T.LE:
+            a, b = t.args
+            if positive:
+                return self._assume_cmp(a, b, strict=False) or changed
+            return self._assume_cmp(b, a, strict=True) or changed
+        if k == T.LT:
+            a, b = t.args
+            if positive:
+                return self._assume_cmp(a, b, strict=True) or changed
+            return self._assume_cmp(b, a, strict=False) or changed
+        if t.sort is BOOL:
+            # Opaque boolean atom (VAR / APP / quantifier): pin its value.
+            changed |= self._refine(t, TRUE_VAL if positive else FALSE_VAL)
+        return changed
+
+    def _record_fact(self, t: T.Term, positive: bool) -> bool:
+        target = self.facts if positive else self.neg_facts
+        if t in target:
+            return False
+        if t in (self.neg_facts if positive else self.facts):
+            self.bottom = True  # t and ¬t both assumed
+            return True
+        target.add(t)
+        return True
+
+    def _assume_or(self, parts: Sequence[T.Term], polarity: bool) -> bool:
+        """A disjunction holds (``polarity=True``: one of ``parts``;
+        ``False``: one of ``¬parts``).  Propagate when a single
+        candidate is left; detect the all-refuted contradiction."""
+        live = []
+        for a in parts:
+            ta = self.eval(a).truth()
+            if ta is polarity:
+                return False  # already satisfied: nothing new
+            if ta is None:
+                live.append(a)
+        if not live:
+            self.bottom = True
+            return True
+        if len(live) == 1:
+            return self.assume(live[0], polarity)
+        return False
+
+    def _assume_eq(self, a: T.Term, b: T.Term) -> bool:
+        if a.sort is INT:
+            changed = False
+            va, vb = self.eval(a), self.eval(b)
+            m = va.meet(vb)
+            if m.is_bottom:
+                self.bottom = True
+                return True
+            changed |= self._refine(a, m)
+            changed |= self._refine(b, m)
+            # x mod k == r pins a congruence on x (Euclidean mod: the
+            # remainder determines x's residue class mod |k|).
+            for lhs, rhs_val in ((a, vb), (b, va)):
+                if lhs.kind != T.IMOD or self.bottom:
+                    continue
+                kc = self.eval(lhs.args[1]).as_const()
+                rc = rhs_val.as_const()
+                if kc is not None and kc != 0 and isinstance(rc, int):
+                    changed |= self._refine(
+                        lhs.args[0], Val(cong=Congruence(abs(kc), rc)))
+            return changed
+        if a.sort is BOOL:
+            ta, tb = self.eval(a).truth(), self.eval(b).truth()
+            changed = False
+            if ta is not None:
+                changed |= self.assume(b, ta)
+            if tb is not None and not self.bottom:
+                changed |= self.assume(a, tb)
+            return changed
+        return False
+
+    def _assume_ne(self, a: T.Term, b: T.Term) -> bool:
+        if a.sort is BOOL:
+            ta, tb = self.eval(a).truth(), self.eval(b).truth()
+            changed = False
+            if ta is not None:
+                changed |= self.assume(b, not ta)
+            if tb is not None and not self.bottom:
+                changed |= self.assume(a, not tb)
+            return changed
+        if a.sort is not INT:
+            return False
+        if cmp_eq(self.eval(a), self.eval(b)) is True:
+            self.bottom = True
+            return True
+        changed = False
+        # Shave a constant off a matching interval endpoint.
+        for x, y in ((a, b), (b, a)):
+            c = self.eval(y).as_const()
+            if not isinstance(c, int):
+                continue
+            vx = self.eval(x)
+            if vx.itv.lo == c:
+                changed |= self._refine(x, Val(Interval(c + 1, None)))
+            elif vx.itv.hi == c:
+                changed |= self._refine(x, Val(Interval(None, c - 1)))
+        return changed
+
+    def _assume_cmp(self, a: T.Term, b: T.Term, strict: bool) -> bool:
+        """``a <= b`` (or ``a < b``): push interval bounds both ways."""
+        if a.sort is not INT:
+            return False
+        changed = False
+        vb = self.eval(b)
+        if vb.itv.hi is not None:
+            hi = vb.itv.hi - 1 if strict else vb.itv.hi
+            changed |= self._refine(a, Val(Interval(None, hi)))
+        va = self.eval(a)
+        if va.itv.lo is not None and not self.bottom:
+            lo = va.itv.lo + 1 if strict else va.itv.lo
+            changed |= self._refine(b, Val(Interval(lo, None)))
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# Per-obligation entailment
+# ---------------------------------------------------------------------------
+
+
+def build_env(assumptions: Sequence[T.Term],
+              max_passes: int = MAX_PASSES) -> tuple[AbsEnv, int]:
+    """Abstract state from an assumption list, iterated to a (capped)
+    fixpoint; returns the env and the number of passes taken."""
+    env = AbsEnv()
+    passes = 0
+    changed = True
+    while changed and passes < max_passes and not env.bottom:
+        passes += 1
+        changed = False
+        for a in assumptions:
+            changed |= env.assume(a)
+            if env.bottom:
+                break
+    return env, passes
+
+
+def _goal_holds(env: AbsEnv, goal: T.Term) -> bool:
+    """Whether the abstract state definitely entails ``goal``."""
+    if env.bottom:
+        return True
+    if goal in env.facts:
+        return True
+    if env.eval(goal).truth() is True:
+        return True
+    k = goal.kind
+    if k == T.AND:
+        return all(_goal_holds(env, g) for g in goal.args)
+    if k == T.OR:
+        return any(_goal_holds(env, g) for g in goal.args)
+    if k == T.IMPLIES:
+        sub = env.clone()
+        sub.assume(goal.args[0], True)
+        return _goal_holds(sub, goal.args[1])
+    if k == T.NOT:
+        return env.eval(goal).truth() is True
+    return False
+
+
+def entails(assumptions: Sequence[T.Term], goal: T.Term,
+            max_passes: int = MAX_PASSES) -> tuple[bool, int]:
+    """Do the assumptions alone entail the goal?
+
+    Returns ``(proved, fixpoint_passes)``.  ``proved=True`` promises
+    that ``assumptions ∧ ¬goal`` is unsatisfiable — the exact assertion
+    subset the solver would check — so a sound solver can only agree.
+    """
+    env, passes = build_env(assumptions, max_passes)
+    return _goal_holds(env, goal), passes

@@ -18,10 +18,9 @@ warning — they cannot break soundness, only liveness.
 
 from __future__ import annotations
 
-import networkx as nx
-
 from ..vc import ast as A
 from . import ERROR, WARNING, AnalysisContext, AnalysisPass, Finding
+from .graph import build_digraph, recursive_sccs
 
 
 class TerminationPass(AnalysisPass):
@@ -31,17 +30,11 @@ class TerminationPass(AnalysisPass):
 
     def run(self, ctx: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
-        graph = nx.DiGraph()
-        graph.add_nodes_from(ctx.call_graph)
-        for caller, callees in ctx.call_graph.items():
-            graph.add_edges_from((caller, c) for c in callees)
+        graph = build_digraph(ctx.call_graph)
         all_fns = ctx.module.all_functions()
         own = set(ctx.module.functions)
-        for scc in nx.strongly_connected_components(graph):
+        for scc in recursive_sccs(graph):
             members = sorted(scc)
-            if len(members) == 1 and not graph.has_edge(members[0],
-                                                        members[0]):
-                continue  # not recursive
             cycle = " -> ".join(members + [members[0]])
             for name in members:
                 if name not in own:

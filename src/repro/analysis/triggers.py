@@ -37,6 +37,7 @@ from ..vc import ast as A
 from ..vc.encode import EncodeError, Encoder
 from . import ERROR, WARNING, AnalysisContext, AnalysisPass, Finding, \
     spec_exprs_of, walk_expr
+from .graph import recursive_sccs
 
 
 def _spec_positions(fn: A.Function):
@@ -174,11 +175,7 @@ class MatchingLoopPass(AnalysisPass):
 
     def _loop_findings(self, ctx, graph, sources) -> list[Finding]:
         findings: list[Finding] = []
-        for scc in nx.strongly_connected_components(graph):
-            if len(scc) == 1:
-                node = next(iter(scc))
-                if not graph.has_edge(node, node):
-                    continue
+        for scc in recursive_sccs(graph):
             inner = [(u, v) for u, v in graph.edges(scc)
                      if u in scc and v in scc]
             if not any(graph[u][v]["growing"] for u, v in inner):

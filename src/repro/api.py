@@ -60,6 +60,10 @@ Environment knobs (all optional, read only by :meth:`from_env`):
 * ``REPRO_JOURNAL_DIR`` — directory for crash-resumable run journals
   (one per module); killed runs resume via
   ``Session.verify_module(resume=...)``.
+* ``REPRO_TRIAGE`` — static proving tier (:mod:`repro.analysis.absint`):
+  ``on`` discharges statically-entailed obligations with no solver,
+  ``off`` disables the tier, ``shadow`` runs tier *and* solver and
+  fails loudly on disagreement; unset = profile default.
 """
 
 from __future__ import annotations
@@ -82,6 +86,7 @@ RETRIES_ENV = "REPRO_RETRIES"
 MAX_STEPS_ENV = "REPRO_MAX_STEPS"
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
+TRIAGE_ENV = "REPRO_TRIAGE"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -98,6 +103,18 @@ def _env_flag(name: str):
     if raw is None or raw.strip() == "":
         return None
     return raw.strip().lower() not in _FALSY
+
+
+def _parse_triage(raw) -> Optional[str]:
+    """Tri-state triage mode from ``$REPRO_TRIAGE``: None when unset
+    (profile decides), else ``"on"``/``"off"``/``"shadow"`` —
+    ``shadow`` by name, any other truthy value = on, falsy = off."""
+    if raw is None or raw.strip() == "":
+        return None
+    raw = raw.strip().lower()
+    if raw == "shadow":
+        return "shadow"
+    return "off" if raw in _FALSY else "on"
 
 
 def _parse_portfolio(raw) -> int:
@@ -142,6 +159,8 @@ class VerifyConfig:
     ``fault_plan``      a deterministic fault-injection plan string
                         (see :mod:`repro.resilience.faults`).
     ``journal_dir``     directory for crash-resumable run journals.
+    ``triage``          static proving tier mode: ``"on"``/``"off"``/
+                        ``"shadow"``; None = profile default.
 
     The tri-state fields resolve through the ``effective_*`` properties;
     everything downstream (``Session.scheduler``, the daemon) reads
@@ -162,6 +181,7 @@ class VerifyConfig:
     max_steps: Optional[int] = None
     fault_plan: Optional[str] = None
     journal_dir: Optional[str] = None
+    triage: Optional[str] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "VerifyConfig":
@@ -203,7 +223,8 @@ class VerifyConfig:
                   retries=retries,
                   max_steps=max_steps,
                   fault_plan=os.environ.get(FAULT_PLAN_ENV) or None,
-                  journal_dir=os.environ.get(JOURNAL_DIR_ENV) or None)
+                  journal_dir=os.environ.get(JOURNAL_DIR_ENV) or None,
+                  triage=_parse_triage(os.environ.get(TRIAGE_ENV)))
         return cfg.replace(**overrides) if overrides else cfg
 
     def replace(self, **overrides) -> "VerifyConfig":
@@ -241,6 +262,12 @@ class VerifyConfig:
         if self.max_steps is not None:
             return self.max_steps
         return self.automation_profile.max_steps
+
+    @property
+    def effective_triage(self) -> str:
+        if self.triage is not None:
+            return self.triage
+        return "on" if self.automation_profile.default_triage else "off"
 
 
 class Session:
@@ -340,7 +367,8 @@ class Session:
                          solver_pool=self.warm_pool,
                          profile=cfg.profile,
                          portfolio=cfg.portfolio,
-                         tuner=self.tuner)
+                         tuner=self.tuner,
+                         triage=cfg.effective_triage)
 
     # ------------------------------------------------------------- verbs
 

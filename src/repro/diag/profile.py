@@ -64,6 +64,9 @@ PERF_COUNTERS = (
     ("congruent_skips", "instances skipped as congruent duplicates"),
     ("pruned_axioms", "context axioms dropped before encoding"),
     ("query_bytes_saved", "query bytes those axioms would have cost"),
+    ("static_proved", "obligations discharged by the absint triage tier"),
+    ("absint_fixpoint_iters", "abstract-interpretation fixpoint passes"),
+    ("solver_constructions_avoided", "solvers never built thanks to triage"),
 )
 
 

@@ -8,7 +8,7 @@ CI/demo scripts and error-feedback benchmarks consume.
 
 from __future__ import annotations
 
-from ..vc.errors import PROVED
+from ..vc.errors import PROVED, STATIC_PROVED
 from .profile import profile_table
 from .taxonomy import Diagnostic
 
@@ -53,6 +53,10 @@ def obligation_to_json(o) -> dict:
         # the obligation was never raced).
         "profile": o.stats.get("profile"),
         "portfolio": o.stats.get("portfolio"),
+        # Schema v2 (additive): True when the static proving tier
+        # (repro.analysis.absint) discharged this obligation with no
+        # solver constructed; absent/False for solver verdicts.
+        "static": o.stats.get("tier") == STATIC_PROVED,
         "diag": o.diag.to_dict() if o.diag is not None else None,
     }
 

@@ -21,6 +21,7 @@ from typing import Optional
 
 import networkx as nx
 
+from ..analysis.graph import find_cycle
 from ..smt.solver import SolverConfig
 from ..vc import ast as A
 from ..vc import types as VT
@@ -165,14 +166,12 @@ def check_epr_module(mod: A.Module) -> list[EprViolation]:
                 for p in fn.params:
                     if not isinstance(p.vtype, VT.BoolType):
                         graph.add_edge(p.vtype.name, ret_t.name)
-    try:
-        cycle = nx.find_cycle(graph)
+    cycle = find_cycle(graph)
+    if cycle is not None:
         path = " -> ".join(str(a) for a, _ in cycle) + f" -> {cycle[-1][1]}"
         violations.append(EprViolation(
             mod.name,
             f"quantifier-alternation/function graph has a cycle: {path}"))
-    except nx.NetworkXNoCycle:
-        pass
     return violations
 
 

@@ -97,6 +97,12 @@ class AutomationProfile:
     # --- run-level defaults (explicit VerifyConfig fields win) ---------
     default_incremental: bool = False
     default_retries: int = 0
+    # Static proving tier (repro.analysis.absint): whether obligations
+    # entailed by their path assumptions under the interval/constant/
+    # congruence product are discharged with no solver.  Off for the
+    # bitvector and epr detents, whose goals live outside the tier's
+    # integer-arithmetic fragment anyway.
+    default_triage: bool = True
 
     def __post_init__(self):
         if self.split_strategy not in SPLIT_STRATEGIES:
@@ -147,7 +153,8 @@ class AutomationProfile:
                 "prune_context": self.prune_context,
                 "split_strategy": self.split_strategy,
                 "default_incremental": self.default_incremental,
-                "default_retries": self.default_retries}
+                "default_retries": self.default_retries,
+                "default_triage": self.default_triage}
 
 
 def escalate_config(cfg: SolverConfig) -> SolverConfig:
@@ -211,14 +218,16 @@ PROFILES: dict[str, AutomationProfile] = {p.name: p for p in (
         trigger_policy=CONSERVATIVE,
         max_rounds=30,
         max_instantiations=2000,
-        sat_conflict_budget=1600000),
+        sat_conflict_budget=1600000,
+        default_triage=False),
     AutomationProfile(
         name="epr",
         doc="Finite-model quantifier reasoning: MBQI over the ground "
             "universe instead of syntactic E-matching, for goals whose "
             "triggers never match.",
         mbqi=True,
-        mbqi_max_universe=9),
+        mbqi_max_universe=9,
+        default_triage=False),
 )}
 
 #: Deterministic candidate order for portfolio races: most-different

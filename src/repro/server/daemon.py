@@ -121,6 +121,9 @@ class VerifyServer:
         self._errors = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        # Static proving tier aggregates (repro.analysis.absint).
+        self._static_proved = 0
+        self._solvers_avoided = 0
         self._resumable = self._scan_journals()
 
     # -------------------------------------------------------------- startup
@@ -340,7 +343,17 @@ class VerifyServer:
         if request["verb"] == protocol.ANALYZE:
             with Session(cfg, warm_pool=self.pool) as session:
                 report = session.analyze(mod)
-            return protocol.ok_reply(request["id"], result=report.to_json(),
+            payload = report.to_json()
+            if cfg.effective_triage != "off":
+                # Additive (schema stays v2): what the static tier would
+                # discharge, per function — no solver is constructed.
+                from ..analysis.absint import triage_preview
+                try:
+                    payload["triage"] = triage_preview(mod)
+                except Exception as exc:
+                    payload["triage"] = {
+                        "error": f"{type(exc).__name__}: {exc}"}
+            return protocol.ok_reply(request["id"], result=payload,
                                      server={"path": "analyze",
                                              "solvers_built": 0,
                                              "steps_spent": 0})
@@ -360,6 +373,9 @@ class VerifyServer:
             self._paths[path] += 1
             self._cache_hits += int(stats.get("cache_hits", 0) or 0)
             self._cache_misses += int(stats.get("cache_misses", 0) or 0)
+            self._static_proved += int(stats.get("static_proved", 0) or 0)
+            self._solvers_avoided += int(
+                stats.get("solver_constructions_avoided", 0) or 0)
         server = {
             "path": path,
             "solvers_built": built,
@@ -371,6 +387,9 @@ class VerifyServer:
             "portfolio_races": int(stats.get("portfolio_races", 0) or 0),
             "portfolio_wins": int(stats.get("portfolio_wins", 0) or 0),
             "tuner_hits": int(stats.get("tuner_hits", 0) or 0),
+            "static_proved": int(stats.get("static_proved", 0) or 0),
+            "solver_constructions_avoided": int(
+                stats.get("solver_constructions_avoided", 0) or 0),
         }
         return protocol.ok_reply(request["id"], result=result.to_json(),
                                  server=server)
@@ -411,6 +430,8 @@ class VerifyServer:
             busy = self._busy
             errors = self._errors
             hits, misses = self._cache_hits, self._cache_misses
+            static_proved = self._static_proved
+            solvers_avoided = self._solvers_avoided
         total = hits + misses
         return {
             "uptime_s": round(time.monotonic() - self._started, 3),
@@ -428,5 +449,8 @@ class VerifyServer:
             "cache": {"hits": hits, "misses": misses,
                       "hit_rate": round(hits / total, 4) if total else None,
                       "dir": self.base.cache_dir},
+            "triage": {"mode": self.base.effective_triage,
+                       "static_proved": static_proved,
+                       "solver_constructions_avoided": solvers_avoided},
             "resumable": self._resumable,
         }

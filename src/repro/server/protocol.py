@@ -74,7 +74,7 @@ ERROR = "error"
 #: ``error`` reply (listing the shipped names) at request time.
 ALLOWED_OVERRIDES = ("diagnostics", "job_timeout", "incremental", "delta",
                      "analyze", "retries", "max_steps", "profile",
-                     "portfolio")
+                     "portfolio", "triage")
 
 DEFAULT_CLIENT = "anon"
 

@@ -151,6 +151,11 @@ class Stats:
         self.portfolio_wins = 0       # races that adopted a PROVED verdict
         self.tuner_hits = 0           # obligations redirected by the tuner
         self.tuner_misses = 0         # tuner lookups with no record
+        # Static proving tier (repro.analysis.absint + the scheduler's
+        # triage pass); all stay 0 when triage is off.
+        self.static_proved = 0            # obligations discharged statically
+        self.absint_fixpoint_iters = 0    # entailment fixpoint passes
+        self.solver_constructions_avoided = 0  # solvers never built
 
     def snapshot(self) -> dict:
         snap = dict(self.__dict__)

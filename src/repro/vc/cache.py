@@ -95,12 +95,16 @@ class ProofCache:
 
     def store(self, digest: str, status: str, stats: Optional[dict] = None,
               query_bytes: int = 0, label: str = "",
-              diag: Optional[dict] = None) -> None:
+              diag: Optional[dict] = None,
+              kind: Optional[str] = None) -> None:
         """Persist a verdict (atomic; best-effort on filesystem errors).
 
         ``diag`` is the serialized diagnostic payload for non-PROVED
         verdicts, so cache-warm failures replay the same counterexample
-        /split/profile report without re-solving.
+        /split/profile report without re-solving.  ``kind`` marks
+        non-solver provenance (``STATIC_PROVED`` for verdicts from the
+        abstract-interpretation triage tier); the scheduler gates replay
+        of kinded entries on the tier being enabled.
         """
         if status not in _VALID_STATUS:
             return
@@ -110,6 +114,8 @@ class ProofCache:
                  "stats": stats or {}, "label": label}
         if diag is not None:
             entry["diag"] = diag
+        if kind is not None:
+            entry["kind"] = kind
         try:
             spec = _faults.maybe_fault("cache.store")
             if spec is not None:

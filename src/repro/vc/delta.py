@@ -28,7 +28,7 @@ from typing import Optional
 from ..smt.fingerprint import function_fingerprint, solver_config_key
 from . import ast as A
 from . import types as VT
-from .errors import PROVED, FunctionResult, Obligation
+from .errors import PROVED, STATIC_PROVED, FunctionResult, Obligation
 
 DELTA_DIRNAME = "fn"
 
@@ -230,7 +230,10 @@ class DeltaCache:
             "query_bytes": result.query_bytes,
             "obligations": [
                 {"label": o.label, "kind": o.kind, "seq": o.seq,
-                 "span": o.span.to_dict() if o.span is not None else None}
+                 "span": o.span.to_dict() if o.span is not None else None,
+                 # Static-tier provenance survives the delta skip so a
+                 # replayed report is byte-identical to the cold one.
+                 "static": o.stats.get("tier") == STATIC_PROVED}
                 for o in result.obligations
             ],
         }
@@ -262,6 +265,8 @@ def replay_function(entry: dict) -> FunctionResult:
         ob.status = PROVED
         ob.seq = int(rec.get("seq", 0))
         ob.stats = {"delta_skipped": True}
+        if rec.get("static"):
+            ob.stats["tier"] = STATIC_PROVED
         span = rec.get("span")
         if span:
             ob.span = A.Span.from_dict(span)

@@ -20,6 +20,12 @@ TIMEOUT = "unknown"
 # machine-independent and from FAILED because no countermodel exists.
 # Never cached and never journaled — a retry may well succeed.
 RESOURCE_OUT = "resource-out"
+# Marker for obligations discharged by the abstract-interpretation triage
+# tier (repro.analysis.absint) with no solver constructed.  Never a
+# visible ``Obligation.status`` — triaged obligations report PROVED so
+# verdict signatures stay byte-identical with triage-off runs; the marker
+# appears as ``ob.stats["tier"]`` and as the proof-cache entry ``kind``.
+STATIC_PROVED = "static-proved"
 
 
 def status_from_solver(verdict: str, solver) -> str:
@@ -154,6 +160,10 @@ class ModuleResult:
             rate = hits / (hits + misses)
             lines.append(f"  proof cache: {hits} hits / {misses} misses "
                          f"({rate:.0%} hit rate)")
+        static = self.stats.get("static_proved", 0)
+        if static:
+            lines.append(f"  static tier: {static} obligation(s) discharged "
+                         f"by abstract interpretation (no solver built)")
         for f in self.functions:
             mark = "✓" if f.ok else "✗"
             lines.append(f"  {mark} {f.name} "

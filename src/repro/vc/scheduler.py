@@ -85,8 +85,8 @@ from ..smt.fingerprint import (deserialize_terms, obligation_digest,
                                serialize_terms, solver_config_key)
 from ..smt.solver import SmtSolver, SolverConfig, Stats
 from .cache import ProofCache
-from .errors import (FAILED, PROVED, RESOURCE_OUT, TIMEOUT, ModuleResult,
-                     status_from_solver)
+from .errors import (FAILED, PROVED, RESOURCE_OUT, STATIC_PROVED, TIMEOUT,
+                     ModuleResult, status_from_solver)
 
 __all__ = ["Scheduler", "ObligationJob", "default_jobs",
            "default_diagnostics", "run_builder_job", "run_builder_jobs",
@@ -175,7 +175,7 @@ class _Task:
 
     __slots__ = ("item", "plan", "assertions", "config", "digest", "done",
                  "qbytes", "crash", "pruned_axioms", "pruned_bytes",
-                 "profile", "tuner_hit")
+                 "profile", "tuner_hit", "static_claim")
 
     def __init__(self, item, plan):
         self.item = item
@@ -200,6 +200,10 @@ class _Task:
         # _run_fresh (their config can't share a warm-group prefix).
         self.profile: Optional[str] = None
         self.tuner_hit = False
+        # Shadow triage (REPRO_TRIAGE=shadow): the static tier claimed
+        # this obligation; the solver still runs, and a FAILED verdict
+        # afterwards is a soundness bug reported loudly.
+        self.static_claim = False
 
 
 # ---------------------------------------------------------------------------
@@ -278,7 +282,8 @@ class Scheduler:
                  solver_pool=None,
                  profile=None,
                  portfolio: Optional[int] = None,
-                 tuner=None):
+                 tuner=None,
+                 triage: Optional[str] = None):
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
@@ -337,6 +342,19 @@ class Scheduler:
         # reuse a scope-0 context built by a *previous* run_module with
         # the same prefix.  None (the default) keeps batch behavior.
         self.solver_pool = solver_pool
+        # Static proving tier (repro.analysis.absint): tri-state mode
+        # resolved explicit arg -> env -> profile default, like the other
+        # run-level knobs.  "on" discharges entailed obligations with no
+        # solver; "shadow" runs tier AND solver and fails loudly on
+        # disagreement; "off" skips the tier entirely.
+        if triage is None:
+            triage = (env.triage if env.triage is not None
+                      else ("on" if self.profile.default_triage else "off"))
+        from ..analysis.absint import TRIAGE_MODES
+        if triage not in TRIAGE_MODES:
+            raise ValueError(f"triage mode must be one of {TRIAGE_MODES}, "
+                             f"got {triage!r}")
+        self.triage_mode = triage
         self._module_name: Optional[str] = None
         self.stats = Stats()
 
@@ -414,6 +432,17 @@ class Scheduler:
                 self._portfolio_pass(gen, tasks)
             if self.retries > 0:
                 self._retry_pass(gen, tasks)
+            if self.triage_mode == "shadow":
+                # Shadow triage: the static tier ran alongside the
+                # solver; a claimed obligation the solver *refuted* is
+                # an absint soundness bug.  (TIMEOUT/RESOURCE_OUT are
+                # not refutations — only a countermodel disagrees.)
+                from ..analysis.absint import TriageDisagreement
+                for task in tasks:
+                    if (task.static_claim
+                            and task.item.obligation.status == FAILED):
+                        raise TriageDisagreement(
+                            task.plan.fn.name, task.item.obligation.label)
             if self.diagnostics:
                 self._diagnose_failures(gen, tasks)
         finally:
@@ -548,6 +577,10 @@ class Scheduler:
         strategy = type(gen).__qualname__
         racing = (self.portfolio > 0 and self.tuner is not None
                   and self._offloadable(gen))
+        triage = None
+        if self.triage_mode != "off" and self._offloadable(gen):
+            from ..analysis.absint import Triage
+            triage = Triage(self.triage_mode)
         for task in tasks:
             if racing and task.assertions is not None:
                 winner = self.tuner.lookup(
@@ -585,7 +618,15 @@ class Scheduler:
             if self.cache is not None and task.digest is not None:
                 entry = self.cache.lookup(task.digest)
                 if entry is not None:
-                    if (self.diagnostics and entry["status"] != PROVED
+                    if (entry.get("kind") == STATIC_PROVED
+                            and self.triage_mode != "on"):
+                        # A static-tier verdict, but the tier is not
+                        # trusted this run (off, or shadow — which must
+                        # actually solve to compare): treat as a miss;
+                        # the fresh solver verdict overwrites the entry.
+                        self.cache.hits -= 1
+                        self.cache.misses += 1
+                    elif (self.diagnostics and entry["status"] != PROVED
                             and entry.get("diag") is None):
                         # A pre-diagnostics entry for a failure: the
                         # verdict alone is not what the user asked for,
@@ -602,6 +643,26 @@ class Scheduler:
                                     entry.get("query_bytes", 0), 0.0,
                                     from_cache=True)
                         continue
+            if triage is not None:
+                t0 = time.perf_counter()
+                claimed, passes = triage.check(task.item)
+                if claimed and triage.mode == "on":
+                    # Statically discharged: no solver is constructed.
+                    # _apply merges the stats dict into self.stats, which
+                    # is the only place these counters are incremented.
+                    stats = {"static_proved": 1,
+                             "absint_fixpoint_iters": passes,
+                             "solver_constructions_avoided": 1,
+                             "tier": STATIC_PROVED}
+                    seconds = time.perf_counter() - t0
+                    self._apply(task, PROVED, stats, 0, seconds)
+                    self._store(task, PROVED, stats, 0, kind=STATIC_PROVED)
+                    continue
+                if claimed:
+                    # Shadow: remember the claim, still run the solver.
+                    task.static_claim = True
+                    self.stats.static_proved += 1
+                    self.stats.absint_fixpoint_iters += passes
             unsolved.append(task)
         if self.incremental and self._offloadable(gen):
             # Warm contexts are in-process by design (the pooled solver
@@ -1200,12 +1261,12 @@ class Scheduler:
         task.qbytes = qbytes
 
     def _store(self, task: _Task, status: str, stats: dict,
-               qbytes: int) -> None:
+               qbytes: int, kind: Optional[str] = None) -> None:
         if task.digest is None:
             return
         if self.cache is not None:
             self.cache.store(task.digest, status, stats, qbytes,
-                             label=task.item.obligation.label)
+                             label=task.item.obligation.label, kind=kind)
         if self._journal is not None:
             self._journal.record(task.digest, status, stats, qbytes,
                                  label=task.item.obligation.label)

@@ -285,6 +285,10 @@ class TestSerialDeadline:
                      "REPRO_JOB_TIMEOUT", "REPRO_INCREMENTAL",
                      "REPRO_DELTA"):
             monkeypatch.delenv(name, raising=False)
+        # The static proving tier would discharge these obligations
+        # before any solver deadline is consulted; force them all onto
+        # the solver path the deadline actually guards.
+        monkeypatch.setenv("REPRO_TRIAGE", "0")
 
     def test_serial_run_honors_job_timeout_env(self, monkeypatch):
         # A zero deadline trips deterministically at the first wall-clock
@@ -311,7 +315,8 @@ class TestSerialDeadline:
         assert r2.stats.get("cache_hits", 0) == 0
 
     def test_warm_deadline_also_soft(self):
-        session = Session(VerifyConfig(incremental=True, job_timeout=0.0))
+        session = Session(VerifyConfig(incremental=True, job_timeout=0.0,
+                                       triage="off"))
         result = session.verify_module(_verified_module())
         assert not result.ok
         statuses = {o.status for f in result.functions

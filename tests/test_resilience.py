@@ -36,6 +36,9 @@ def _hermetic_env(monkeypatch):
     one to Scheduler explicitly."""
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     monkeypatch.delenv("REPRO_DELTA", raising=False)
+    # Likewise the static proving tier: it would discharge the cheap
+    # fixture obligations before the solver/worker fault points fire.
+    monkeypatch.setenv("REPRO_TRIAGE", "0")
 
 
 def _mk_module(name="resil_demo"):

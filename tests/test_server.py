@@ -425,8 +425,12 @@ class TestDaemon:
     def test_cold_delta_edit_lifecycle(self, tmp_path):
         """Cold solve → identical re-submission rides the delta path with
         zero solver constructions → a one-function edit re-solves only
-        the changed fingerprint.  Verdicts stay byte-identical."""
-        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"))
+        the changed fingerprint.  Verdicts stay byte-identical.
+
+        Triage off: the fixture's obligations must actually reach the
+        solver so cold-vs-delta solver constructions witness the path."""
+        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"),
+                           triage="off")
         with _Daemon(verify_cfg=cfg) as d, d.client("editor") as c:
             cold = c.verify(source=MODULE_V1, builder="build")
             assert cold["status"] == "ok" and cold["result"]["ok"]
@@ -529,7 +533,10 @@ class TestDaemon:
 
     def test_quota_exhaustion_busy(self):
         server_cfg = ServerConfig(port=0, workers=1, client_quota=5)
-        with _Daemon(server_cfg) as d:
+        # Triage off: quotas charge solver steps, which statically
+        # discharged obligations never spend.
+        with _Daemon(server_cfg,
+                     verify_cfg=VerifyConfig(triage="off")) as d:
             with d.client("greedy") as c:
                 replies = []
                 for i in range(10):
@@ -637,7 +644,9 @@ class TestDaemon:
             assert "JSON" in reply["error"]
 
     def test_shutdown_releases_residency(self, tmp_path):
-        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"))
+        # Triage off so the verify actually populates the warm pool.
+        cfg = VerifyConfig(cache_dir=str(tmp_path / "cache"),
+                           triage="off")
         d = _Daemon(verify_cfg=cfg)
         with d, d.client() as c:
             c.verify(source=MODULE_V1, builder="build")
