@@ -220,20 +220,29 @@ class Interval:
         return TOP_INTERVAL
 
     def mod(self, other: "Interval") -> "Interval":
-        """Euclidean remainder: always lands in ``[0, max|b| - 1]``."""
+        """Euclidean remainder; top unless the divisor excludes 0.
+
+        The solver's divmod axioms are guarded by ``b >= 1`` /
+        ``b <= -1``, so mod-by-zero is a fully uninterpreted value —
+        any divisor interval straddling 0 constrains nothing (mirrors
+        :meth:`div`).  When the sign is fixed, ``a mod b`` lands in
+        ``[0, max|b| - 1]``.
+        """
         if self.is_empty or other.is_empty:
             return EMPTY_INTERVAL
-        # a mod b == a when 0 <= a < b is guaranteed (positive divisor).
-        if (other.lo is not None and other.lo >= 1
-                and self.lo is not None and self.lo >= 0
-                and self.hi is not None and self.hi < other.lo):
-            return self
-        if other.lo is None or other.hi is None:
-            return Interval(0, None)
-        max_abs = max(abs(other.lo), abs(other.hi))
-        if max_abs == 0:
-            return TOP_INTERVAL  # divisor can only be 0: undefined
-        return Interval(0, max_abs - 1)
+        if other.lo is not None and other.lo >= 1:
+            # a mod b == a when 0 <= a < b is guaranteed.
+            if (self.lo is not None and self.lo >= 0
+                    and self.hi is not None and self.hi < other.lo):
+                return self
+            if other.hi is None:
+                return Interval(0, None)
+            return Interval(0, other.hi - 1)
+        if other.hi is not None and other.hi <= -1:
+            if other.lo is None:
+                return Interval(0, None)
+            return Interval(0, -other.lo - 1)
+        return TOP_INTERVAL
 
 
 TOP_INTERVAL = Interval()

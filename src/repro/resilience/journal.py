@@ -106,17 +106,23 @@ class RunJournal:
     # ------------------------------------------------------------- writing
 
     def record(self, digest: str, status: str, stats: Optional[dict] = None,
-               query_bytes: int = 0, label: str = "") -> bool:
+               query_bytes: int = 0, label: str = "",
+               kind: Optional[str] = None) -> bool:
         """Append one completed obligation; False if not journalable.
 
         Best effort like ``ProofCache.store``: an unwritable journal
         degrades resumability, never the verification run itself.
+        ``kind`` marks non-solver provenance (mirroring
+        ``ProofCache.store``) so a resumed run only replays such
+        entries when the producing tier is still enabled.
         """
         if status not in _RECORDABLE:
             return False
         entry = {"digest": digest, "status": status,
                  "query_bytes": int(query_bytes), "label": label,
                  "stats": _plain_stats(stats)}
+        if kind is not None:
+            entry["kind"] = kind
         try:
             self._append(json.dumps(entry, sort_keys=True))
         except (OSError, ValueError):

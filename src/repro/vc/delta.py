@@ -255,8 +255,13 @@ class DeltaCache:
         self.stores += 1
 
 
-def replay_function(entry: dict) -> FunctionResult:
-    """Rebuild a FunctionResult from a delta-cache hit (all PROVED)."""
+def replay_function(entry: dict, triage_on: bool = True) -> FunctionResult:
+    """Rebuild a FunctionResult from a delta-cache hit (all PROVED).
+
+    Static-tier provenance is restored only when ``triage_on`` — a
+    triage-off warm run must report exactly what a triage-off cold run
+    would, and that run never produces static verdicts.
+    """
     result = FunctionResult(entry["function"])
     result.query_bytes = int(entry.get("query_bytes", 0))
     result.seconds = 0.0
@@ -265,7 +270,7 @@ def replay_function(entry: dict) -> FunctionResult:
         ob.status = PROVED
         ob.seq = int(rec.get("seq", 0))
         ob.stats = {"delta_skipped": True}
-        if rec.get("static"):
+        if rec.get("static") and triage_on:
             ob.stats["tier"] = STATIC_PROVED
         span = rec.get("span")
         if span:

@@ -419,7 +419,9 @@ class Scheduler:
                             gen, fn, solver_config=self._solver_config(gen))
                         entry = self._delta_cache.lookup(digest)
                         if entry is not None:
-                            result.functions.append(replay_function(entry))
+                            result.functions.append(replay_function(
+                                entry,
+                                triage_on=self.triage_mode == "on"))
                             continue
                     plan = gen.plan_function(fn)
                     if self._delta_cache is not None:
@@ -607,6 +609,14 @@ class Scheduler:
                     task.assertions, solver_config_key(task.config), strategy)
             if self._journal is not None and task.digest is not None:
                 entry = self._journal.lookup(task.digest)
+                if (entry is not None
+                        and entry.get("kind") == STATIC_PROVED
+                        and self.triage_mode != "on"):
+                    # A static-tier verdict journaled by a triage-on
+                    # run: the tier is not trusted here, so re-solve —
+                    # the same gate the proof cache applies.
+                    self._journal.skips -= 1
+                    entry = None
                 if entry is not None:
                     # A goal this (possibly killed) run already finished:
                     # replay the journaled verdict, solve nothing.
@@ -1269,7 +1279,8 @@ class Scheduler:
                              label=task.item.obligation.label, kind=kind)
         if self._journal is not None:
             self._journal.record(task.digest, status, stats, qbytes,
-                                 label=task.item.obligation.label)
+                                 label=task.item.obligation.label,
+                                 kind=kind)
 
 
 # ---------------------------------------------------------------------------

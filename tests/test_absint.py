@@ -92,6 +92,27 @@ def test_interval_euclidean_mod_nonnegative():
     assert m.lo >= 0 and m.hi <= 3
 
 
+def test_interval_mod_divisor_straddling_zero_is_top():
+    # The solver's divmod axioms are guarded by b>=1 / b<=-1; a divisor
+    # range containing 0 leaves mod uninterpreted, so the abstract
+    # result must be top — never [0, max|b|-1].
+    assert Interval(-9, 9).mod(Interval(0, 3)) == Interval()
+    assert Interval(-9, 9).mod(Interval(-3, 3)) == Interval()
+    assert Interval(-9, 9).mod(Interval(0, 0)) == Interval()
+    assert Interval(-9, 9).mod(Interval(None, 3)) == Interval()
+    assert Interval(-9, 9).mod(Interval(-3, None)) == Interval()
+    assert Interval(-9, 9).mod(Interval(None, None)) == Interval()
+    # Sign-fixed divisors stay bounded (and sound on members).
+    assert Interval(-9, 9).mod(Interval(1, 3)) == Interval(0, 2)
+    assert Interval(-9, 9).mod(Interval(2, None)) == Interval(0, None)
+    m = Interval(-9, 9).mod(Interval(-5, -2))
+    for a in range(-9, 10):
+        for b in (-5, -4, -3, -2):
+            assert m.contains(a % abs(b))
+    assert m == Interval(0, 4)
+    assert Interval(-9, 9).mod(Interval(None, -2)) == Interval(0, None)
+
+
 def test_congruence_join_gcd_meet_crt():
     a, b = Congruence(4, 1), Congruence(6, 3)
     j = a.join(b)
@@ -166,6 +187,10 @@ def _random_obligation(rng):
         T.And(T.Le(T.IntVal(lo), x), T.Lt(x, T.IntVal(hi))),
         T.Eq(T.Mod(x, T.IntVal(k)), T.IntVal(r)),
         T.Implies(T.Lt(x, T.IntVal(lo)), T.FALSE),
+        # Variable divisor whose range may straddle 0 (mod is then
+        # uninterpreted in the solver): claimable only when the
+        # assumptions force y >= 1.
+        T.Le(T.IntVal(0), T.Mod(x, y)),
         # Deliberately unprovable sometimes: tier must just decline.
         T.Lt(y, T.IntVal(rng.randint(-5, 5))),
         T.Eq(x, T.IntVal(rng.randint(lo, hi - 1))),
@@ -201,6 +226,31 @@ def test_entails_declines_falsifiable_goals():
     s.add(T.Le(T.IntVal(0), x))
     s.add(T.Not(T.Lt(x, T.IntVal(10))))
     assert s.check() == SAT
+
+
+def test_entails_declines_mod_with_divisor_straddling_zero():
+    # Reviewer repro: with 0 <= b <= 3 the divisor may be 0, where the
+    # solver's mod is uninterpreted — the tier must not claim
+    # 0 <= a mod b, and the solver indeed finds a countermodel (b=0).
+    a = T.Var("a", SINT)
+    b = T.Var("b", SINT)
+    assumptions = [T.Le(T.IntVal(0), b), T.Le(b, T.IntVal(3))]
+    goal = T.Le(T.IntVal(0), T.Mod(a, b))
+    proved, _ = entails(assumptions, goal)
+    assert not proved
+    s = SmtSolver()
+    for t in assumptions:
+        s.add(t)
+    s.add(T.Not(goal))
+    assert s.check() == SAT
+    # Excluding 0 restores the guarded axiom, and the claim is sound.
+    proved, _ = entails([T.Le(T.IntVal(1), b), T.Le(b, T.IntVal(3))], goal)
+    assert proved
+    s = SmtSolver()
+    s.add(T.Le(T.IntVal(1), b))
+    s.add(T.Le(b, T.IntVal(3)))
+    s.add(T.Not(goal))
+    assert s.check() == UNSAT
 
 
 def test_entails_bottom_assumptions_prove_anything():
@@ -385,6 +435,44 @@ def test_static_cache_entry_is_miss_when_triage_off(tmp_path):
     off2 = _verify(_case_module, triage="off", cache_dir=cache)
     assert total_solver_constructions() == before
     assert _signature(off2) == _signature(cold)
+
+
+def test_static_journal_entry_is_miss_when_triage_off(tmp_path):
+    jdir = str(tmp_path / "journals")
+    cold = _verify(_case_module, triage="on", journal_dir=jdir)
+    n_static = cold.stats["static_proved"]
+    assert n_static >= 1
+    # A triage-off resume must not replay static-kinded journal records
+    # with no solver: they get re-proved (constructions observable).
+    before = total_solver_constructions()
+    off = _verify(_case_module, triage="off", journal_dir=jdir)
+    assert total_solver_constructions() - before >= n_static
+    assert off.stats.get("static_proved", 0) == 0
+    assert _signature(off) == _signature(cold)
+    # The re-proved records overwrote the static ones, so a further
+    # resume replays everything solver-free again.
+    before = total_solver_constructions()
+    replay = _verify(_case_module, triage="off", journal_dir=jdir)
+    assert total_solver_constructions() == before
+    assert _signature(replay) == _signature(cold)
+
+
+def test_delta_replay_drops_static_provenance_when_triage_off(tmp_path):
+    cache = str(tmp_path / "pv_cache")
+    cold = _verify(_case_module, triage="on", cache_dir=cache, delta=True)
+    assert cold.stats["static_proved"] >= 1
+    # A triage-off warm run hits the delta entries (verdicts are sound
+    # either way) but must report exactly what a triage-off cold run
+    # would — no static provenance.
+    off = _verify(_case_module, triage="off", cache_dir=cache, delta=True)
+    assert off.stats.get("delta_skips", 0) >= 1
+    assert not any(o.stats.get("tier") == STATIC_PROVED
+                   for f in off.functions for o in f.obligations)
+    # An on-mode warm run keeps the provenance byte-identical to cold.
+    on = _verify(_case_module, triage="on", cache_dir=cache, delta=True)
+    assert on.stats.get("delta_skips", 0) >= 1
+    assert any(o.stats.get("tier") == STATIC_PROVED
+               for f in on.functions for o in f.obligations)
 
 
 def test_shadow_mode_runs_solver_and_agrees():
