@@ -29,6 +29,9 @@ _INCR_ROWS: list = []
 _SOLVER_FILE = os.path.join(os.path.dirname(__file__), "..",
                             "BENCH_solver.json")
 _SOLVER_ROWS: list = []
+_CACHE_TIERS_FILE = os.path.join(os.path.dirname(__file__), "..",
+                                 "BENCH_cache_tiers.json")
+_CACHE_TIERS_ROWS: list = []
 
 # Pre-PR solver numbers for the same four workloads (captured with the
 # command below before the incremental E-matching / fired-set / context
@@ -59,7 +62,8 @@ _SOLVER_BASELINE = {
 
 def pytest_configure(config):
     _CAPMAN.append(config.pluginmanager.getplugin("capturemanager"))
-    for stale in (_SIDE_FILE, _INCR_FILE, _SOLVER_FILE):
+    for stale in (_SIDE_FILE, _INCR_FILE, _SOLVER_FILE,
+                  _CACHE_TIERS_FILE):
         try:
             os.remove(stale)
         except OSError:
@@ -108,6 +112,16 @@ def record_solver(label: str, fresh_secs: float, warm_secs: float,
     })
 
 
+def record_cache_tier(label: str, payload: dict) -> None:
+    """Record one tiered-cache row for BENCH_cache_tiers.json.
+
+    ``payload`` carries whatever the benchmark measured (per-tier
+    warm-hit latency, degraded-mode overhead ratio, breaker counters);
+    rows are written once at session end.
+    """
+    _CACHE_TIERS_ROWS.append({"benchmark": label, **payload})
+
+
 def pytest_sessionfinish(session, exitstatus):
     if _INCR_ROWS:
         fresh = sum(r["fresh_seconds"] for r in _INCR_ROWS)
@@ -148,6 +162,19 @@ def pytest_sessionfinish(session, exitstatus):
             < _SOLVER_BASELINE["total_query_bytes"],
         }
         with open(_SOLVER_FILE, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+    if _CACHE_TIERS_ROWS:
+        payload = {
+            "description": "Tiered proof cache: warm-hit latency per "
+                           "tier (memory / disk / networked replica) "
+                           "and the overhead of degraded breaker-open "
+                           "operation relative to disk-only.",
+            "command": "PYTHONPATH=src python -m pytest "
+                       "benchmarks/test_cache_tiers_bench.py -q",
+            "rows": _CACHE_TIERS_ROWS,
+        }
+        with open(_CACHE_TIERS_FILE, "w") as fh:
             json.dump(payload, fh, indent=2)
             fh.write("\n")
 

@@ -8,13 +8,22 @@ enabled — and diffs the per-obligation verdict signatures.  Any
 divergence means a recovery path changed an *answer* instead of just
 costing time, and the script exits 1 so CI fails.
 
+``--tiered`` runs the gate against the tiered proof cache instead: each
+module is verified clean, then twice through a memory/disk/network
+cache whose replica sits behind a 30%-drop fabric with plan-injected
+reply corruption — and is partitioned (crashed) mid-run, between the
+cold and warm passes, so the warm pass exercises breaker-tripped
+degradation.  The bar is the same: byte-identical verdicts.
+
 Run:  PYTHONPATH=src python scripts/chaos_check.py
       PYTHONPATH=src python scripts/chaos_check.py --jobs 2 \\
           --plan 'seed=5; pool.worker:crash@1; cache.store:io@1'
+      PYTHONPATH=src python scripts/chaos_check.py --tiered
 """
 
 import argparse
 import importlib
+import os
 import sys
 import tempfile
 
@@ -45,15 +54,85 @@ def _signature(result):
             for f in result.functions for o in f.obligations]
 
 
+TIERED_PLAN = "seed=7; cache.net:corrupt%0.25"
+
+
+def run_tiered(jobs: int, plan: str) -> int:
+    """Tiered-cache chaos gate; returns the number of diverged modules."""
+    from repro.cache import CacheReplica, TieredProofCache
+    from repro.runtime.network import Network
+
+    failures = 0
+    for name, dotted in MODULES:
+        clean = Session(jobs=1).verify_module(_build(dotted))
+        with tempfile.TemporaryDirectory(prefix="chaos_tc.") as cachedir:
+            net = Network(drop_rate=0.3, seed=11)
+            replica = CacheReplica("cache0", net, poll=0.01).start()
+            try:
+                signatures = []
+                stats = []
+                # Each phase gets a cold disk root so the net tier is
+                # really on the lookup path: the cold pass pulls through
+                # a lossy, corrupting fabric; the warm pass finds the
+                # replica partitioned and must trip the breaker and
+                # re-solve from scratch.
+                for phase in ("cold", "warm"):
+                    tc = TieredProofCache(os.path.join(cachedir, phase),
+                                          tiers="mem,disk,net",
+                                          network=net, net_timeout=0.02,
+                                          breaker_threshold=2,
+                                          client_name=f"chaos-{name}-{phase}")
+                    session = Session(jobs=jobs, fault_plan=plan, cache=tc)
+                    result = session.verify_module(_build(dotted))
+                    signatures.append(_signature(result))
+                    stats.append(result.stats)
+                    tc.close()
+                    if phase == "cold":
+                        replica.crash()      # partition mid-run
+            finally:
+                replica.stop()
+        cold, warm = stats
+        tallies = (f"{cold.get('net_retries', 0)} cold retries, "
+                   f"{cold.get('quarantined', 0)} quarantined, "
+                   f"{warm.get('net_timeouts', 0)} warm timeouts, "
+                   f"{warm.get('breaker_trips', 0)} breaker trips")
+        if all(sig == _signature(clean) for sig in signatures):
+            print(f"ok   {name}: verdicts identical across clean/cold/"
+                  f"partitioned-warm ({tallies})")
+        else:
+            failures += 1
+            print(f"FAIL {name}: tiered chaos run diverged from clean run")
+            for sig in signatures:
+                for c, f in zip(_signature(clean), sig):
+                    if c != f:
+                        print(f"     clean={c}  chaos={f}")
+    if failures:
+        print(f"{failures}/{len(MODULES)} modules diverged under the "
+              f"tiered cache chaos scenario")
+    else:
+        print(f"all {len(MODULES)} modules byte-identical through the "
+              f"tiered cache under 30% drop + corruption + mid-run "
+              f"partition (plan {plan!r})")
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--jobs", type=int, default=2,
                     help="worker processes for the chaos run (default 2)")
-    ap.add_argument("--plan", default=DEFAULT_PLAN,
+    ap.add_argument("--plan", default=None,
                     help="fault plan for the chaos run")
     ap.add_argument("--retries", type=int, default=3,
                     help="retry-escalation attempts (default 3)")
+    ap.add_argument("--tiered", action="store_true",
+                    help="gate the tiered proof cache: 30%% drop fabric, "
+                         "corrupted replies, replica partitioned mid-run")
     args = ap.parse_args(argv)
+
+    if args.tiered:
+        return 1 if run_tiered(args.jobs, args.plan or TIERED_PLAN) else 0
+    if args.plan is None:
+        args.plan = DEFAULT_PLAN
 
     failures = 0
     total_fired = 0

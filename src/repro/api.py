@@ -64,6 +64,16 @@ Environment knobs (all optional, read only by :meth:`from_env`):
   ``on`` discharges statically-entailed obligations with no solver,
   ``off`` disables the tier, ``shadow`` runs tier *and* solver and
   fails loudly on disagreement; unset = profile default.
+* ``REPRO_CACHE_TIERS`` — tier spec for the proof cache
+  (``mem,disk,net``; requires ``REPRO_CACHE_DIR``): unset keeps the
+  flat disk store, otherwise a
+  :class:`~repro.cache.tiers.TieredProofCache` is built.  The network
+  tier stays inert until a host (the daemon, a test harness) attaches a
+  datagram fabric, so the spec is safe to set everywhere.
+* ``REPRO_CACHE_MEM_BUDGET`` — byte budget for the in-memory LRU tier
+  (default 4 MiB).
+* ``REPRO_CACHE_NET_TIMEOUT`` — per-request deadline in seconds for the
+  network tier (default 0.05).
 """
 
 from __future__ import annotations
@@ -87,6 +97,9 @@ MAX_STEPS_ENV = "REPRO_MAX_STEPS"
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 JOURNAL_DIR_ENV = "REPRO_JOURNAL_DIR"
 TRIAGE_ENV = "REPRO_TRIAGE"
+CACHE_TIERS_ENV = "REPRO_CACHE_TIERS"
+CACHE_MEM_BUDGET_ENV = "REPRO_CACHE_MEM_BUDGET"
+CACHE_NET_TIMEOUT_ENV = "REPRO_CACHE_NET_TIMEOUT"
 
 _FALSY = ("", "0", "false", "no", "off")
 
@@ -161,6 +174,10 @@ class VerifyConfig:
     ``journal_dir``     directory for crash-resumable run journals.
     ``triage``          static proving tier mode: ``"on"``/``"off"``/
                         ``"shadow"``; None = profile default.
+    ``cache_tiers``     proof-cache tier spec (``"mem,disk,net"``); None
+                        keeps the flat disk store.  Needs ``cache_dir``.
+    ``cache_mem_budget``  byte budget for the in-memory LRU tier.
+    ``cache_net_timeout`` per-request network-tier deadline (seconds).
 
     The tri-state fields resolve through the ``effective_*`` properties;
     everything downstream (``Session.scheduler``, the daemon) reads
@@ -182,6 +199,9 @@ class VerifyConfig:
     fault_plan: Optional[str] = None
     journal_dir: Optional[str] = None
     triage: Optional[str] = None
+    cache_tiers: Optional[str] = None
+    cache_mem_budget: Optional[int] = None
+    cache_net_timeout: Optional[float] = None
 
     @classmethod
     def from_env(cls, **overrides) -> "VerifyConfig":
@@ -211,6 +231,17 @@ class VerifyConfig:
             max_steps = max(1, int(raw_steps)) if raw_steps else None
         except ValueError:
             max_steps = None
+        raw_budget = os.environ.get(CACHE_MEM_BUDGET_ENV)
+        try:
+            mem_budget = max(0, int(raw_budget)) if raw_budget else None
+        except ValueError:
+            mem_budget = None
+        raw_net_timeout = os.environ.get(CACHE_NET_TIMEOUT_ENV)
+        try:
+            net_timeout = (float(raw_net_timeout) if raw_net_timeout
+                           else None)
+        except ValueError:
+            net_timeout = None
         cfg = cls(profile=os.environ.get(PROFILE_ENV) or "default",
                   portfolio=_parse_portfolio(os.environ.get(PORTFOLIO_ENV)),
                   jobs=jobs,
@@ -224,7 +255,10 @@ class VerifyConfig:
                   max_steps=max_steps,
                   fault_plan=os.environ.get(FAULT_PLAN_ENV) or None,
                   journal_dir=os.environ.get(JOURNAL_DIR_ENV) or None,
-                  triage=_parse_triage(os.environ.get(TRIAGE_ENV)))
+                  triage=_parse_triage(os.environ.get(TRIAGE_ENV)),
+                  cache_tiers=os.environ.get(CACHE_TIERS_ENV) or None,
+                  cache_mem_budget=mem_budget,
+                  cache_net_timeout=net_timeout)
         return cfg.replace(**overrides) if overrides else cfg
 
     def replace(self, **overrides) -> "VerifyConfig":
@@ -319,12 +353,26 @@ class Session:
 
     @property
     def cache(self):
-        """The session's :class:`~repro.vc.cache.ProofCache` (or None)."""
+        """The session's proof cache (or None): a
+        :class:`~repro.cache.tiers.TieredProofCache` when
+        ``config.cache_tiers`` is set, the flat
+        :class:`~repro.cache.store.ProofCache` otherwise.  A session
+        built without a network fabric leaves the tiered cache's net
+        tier unattached (inert); hosts like the daemon inject a fully
+        wired cache via ``Session(cfg, cache=...)`` instead."""
         if not self._cache_opened:
             self._cache_opened = True
             if self.config.cache_dir:
-                from .vc.cache import ProofCache
-                self._cache = ProofCache(self.config.cache_dir)
+                if self.config.cache_tiers:
+                    from .cache.tiers import TieredProofCache
+                    self._cache = TieredProofCache(
+                        self.config.cache_dir,
+                        tiers=self.config.cache_tiers,
+                        mem_budget=self.config.cache_mem_budget,
+                        net_timeout=self.config.cache_net_timeout)
+                else:
+                    from .cache.store import ProofCache
+                    self._cache = ProofCache(self.config.cache_dir)
         return self._cache
 
     @property

@@ -1,0 +1,86 @@
+"""Per-replica circuit breaker: stop hammering a dead cache tier.
+
+Classic three-state breaker.  *Closed*: requests flow; consecutive
+failures are counted and ``threshold`` of them trip the breaker.
+*Open*: every request is refused without constructing a network message
+— lookups fall straight through to local tiers, stores queue for a
+later flush.  After ``cooldown`` seconds the breaker *half-opens* and
+admits exactly one probe request; if it succeeds the breaker closes
+(and the owner flushes its queued stores), if it fails the breaker
+re-opens for another cooldown.
+
+The clock is injectable so tests (and the bench emitter) can drive the
+probe schedule deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0          # consecutive failures while closed
+        self.trips = 0             # times the breaker opened
+        self._opened_at = 0.0
+        self._probe_out = False    # a half-open probe is in flight
+
+    def allow(self) -> bool:
+        """May a request be constructed right now?
+
+        In the open state this flips to half-open once the cooldown has
+        elapsed and admits a single probe; concurrent callers see False
+        until that probe reports back.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probe_out = False
+            else:
+                return False
+        # half-open: exactly one probe at a time
+        if self._probe_out:
+            return False
+        self._probe_out = True
+        return True
+
+    def record_success(self) -> bool:
+        """Note a completed request; True if the breaker just closed
+        (the owner should flush queued stores)."""
+        reopened = self.state != CLOSED
+        self.state = CLOSED
+        self.failures = 0
+        self._probe_out = False
+        return reopened
+
+    def record_failure(self) -> bool:
+        """Note a failed request; True if the breaker just tripped."""
+        if self.state == HALF_OPEN:
+            # the probe failed — straight back to open, no new trip count
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self._probe_out = False
+            return False
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.state} failures={self.failures} "
+                f"trips={self.trips}>")

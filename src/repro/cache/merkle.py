@@ -1,0 +1,102 @@
+"""Merkle commitment over a replica's cache entries, for anti-entropy.
+
+The tree is shallow and fixed-shape, mirroring the on-disk cache layout:
+256 shards keyed by the entry digest's 2-hex prefix, one leaf line per
+entry (``digest:checksum``), a shard hash over its sorted leaf lines,
+and a root hash over the 256 shard hashes in prefix order.  Two replicas
+whose roots match hold byte-equivalent entry sets; when roots differ,
+comparing the 256 shard hashes localizes the difference, and leaf lists
+for just those shards identify the exact entries to ship.  Sync cost is
+therefore proportional to the *delta*, not the store.
+
+The leaf commits to :func:`repro.cache.store.entry_checksum` — the
+content digest of the whole entry — not merely its key, so a replica
+holding a *tampered* entry under the right digest still shows a
+differing shard and gets repaired by anti-entropy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+SHARD_PREFIXES = tuple(f"{i:02x}" for i in range(256))
+
+_EMPTY_SHARD = hashlib.sha256(b"").hexdigest()
+
+
+def _shard_hash(leaves: Dict[str, str]) -> str:
+    if not leaves:
+        return _EMPTY_SHARD
+    lines = sorted(f"{digest}:{checksum}"
+                   for digest, checksum in leaves.items())
+    return hashlib.sha256("\n".join(lines).encode("ascii")).hexdigest()
+
+
+class MerkleIndex:
+    """Incremental Merkle commitment over {digest: checksum} leaves."""
+
+    def __init__(self):
+        self._shards: Dict[str, Dict[str, str]] = {p: {} for p
+                                                   in SHARD_PREFIXES}
+        self._shard_cache: Dict[str, str] = dict.fromkeys(SHARD_PREFIXES,
+                                                          _EMPTY_SHARD)
+        self._dirty: set = set()
+        self._root_cache: str = ""
+
+    def put(self, digest: str, checksum: str) -> None:
+        prefix = digest[:2]
+        shard = self._shards.get(prefix)
+        if shard is None:
+            raise KeyError(f"digest {digest!r} has no 2-hex shard prefix")
+        if shard.get(digest) != checksum:
+            shard[digest] = checksum
+            self._dirty.add(prefix)
+            self._root_cache = ""
+
+    def remove(self, digest: str) -> None:
+        shard = self._shards.get(digest[:2])
+        if shard and digest in shard:
+            del shard[digest]
+            self._dirty.add(digest[:2])
+            self._root_cache = ""
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards.values())
+
+    def __contains__(self, digest: str) -> bool:
+        shard = self._shards.get(digest[:2])
+        return bool(shard) and digest in shard
+
+    def checksum_of(self, digest: str):
+        shard = self._shards.get(digest[:2])
+        return shard.get(digest) if shard else None
+
+    def _refresh(self) -> None:
+        for prefix in self._dirty:
+            self._shard_cache[prefix] = _shard_hash(self._shards[prefix])
+        self._dirty.clear()
+
+    def root(self) -> str:
+        """Root hash over all 256 shard hashes in prefix order."""
+        if not self._root_cache or self._dirty:
+            self._refresh()
+            joined = "\n".join(self._shard_cache[p] for p in SHARD_PREFIXES)
+            self._root_cache = hashlib.sha256(
+                joined.encode("ascii")).hexdigest()
+        return self._root_cache
+
+    def shard_hashes(self) -> List[str]:
+        """The 256 shard hashes in prefix order (the level-1 exchange)."""
+        self._refresh()
+        return [self._shard_cache[p] for p in SHARD_PREFIXES]
+
+    def leaves(self, prefix: str) -> Dict[str, str]:
+        """{digest: checksum} for one 2-hex shard (the leaf exchange)."""
+        return dict(self._shards.get(prefix, {}))
+
+
+def diff_shards(mine: List[str], theirs: List[str]) -> List[str]:
+    """Prefixes whose shard hashes differ — the subtrees worth walking."""
+    return [SHARD_PREFIXES[i] for i, (a, b) in enumerate(zip(mine, theirs))
+            if a != b]

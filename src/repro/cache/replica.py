@@ -1,0 +1,390 @@
+"""The networked cache tier: replicas over simulated datagrams.
+
+A :class:`CacheReplica` holds proof-cache entries in memory, serves
+them over a :class:`repro.runtime.network.Network` endpoint (the same
+datagram fabric the IronKV harness uses), and keeps a
+:class:`~repro.cache.merkle.MerkleIndex` over its contents so replicas
+can reconcile by anti-entropy: exchange roots, compare the 256 shard
+hashes when they differ, walk only the differing shards to leaf
+``digest:checksum`` lists, and ship only the missing or conflicting
+entries — a replica partitioned for a whole run converges by
+transferring deltas, not the world.
+
+:class:`ReplicaClient` is the requesting side: fire one JSON datagram,
+wait out a per-request deadline for the rid-matched reply, retry on a
+ladder of exponential backoff with seeded jitter (the PR 5 escalation
+pattern), and surface *only* validated data.  Fault kinds from the
+``cache.net`` point (drop / timeout / corrupt) are honored per attempt;
+``cache.replica:crash`` silences the serving side until revived.
+
+Nothing read off the wire is ever trusted raw: every entry carries a
+``sum`` content checksum computed at store time, and the receiving side
+recomputes it before accepting.  A tampered or torn payload — injected
+or real — is quarantined (counted, dropped), never promoted.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+from typing import Dict, Iterable, List, Optional
+
+from ..resilience import faults as _faults
+from .merkle import MerkleIndex, diff_shards
+from .store import entry_checksum, validate_entry
+
+DEFAULT_TIMEOUT = 0.05      # seconds per request attempt
+DEFAULT_RETRIES = 2         # additional attempts after the first
+DEFAULT_BACKOFF = 0.005     # base backoff between attempts
+_JITTER_SEED = 0x5EED       # same seed family as the scheduler's ladder
+
+
+def seal_entry(entry: dict) -> dict:
+    """A copy of ``entry`` carrying its content checksum in ``sum``."""
+    sealed = {k: v for k, v in entry.items() if k != "sum"}
+    sealed["sum"] = entry_checksum(sealed)
+    return sealed
+
+
+def unseal_entry(entry: dict) -> dict:
+    """The transportable entry without its wire checksum."""
+    return {k: v for k, v in entry.items() if k != "sum"}
+
+
+def entry_is_sound(entry, digest: str) -> bool:
+    """Full boundary check: structural validity + checksum integrity."""
+    return (validate_entry(entry, digest)
+            and entry.get("sum") == entry_checksum(entry))
+
+
+class ReplicaStore:
+    """Thread-safe entry map + Merkle index for one replica."""
+
+    def __init__(self):
+        self._entries: Dict[str, dict] = {}
+        self.index = MerkleIndex()
+        self._lock = threading.RLock()
+        self.quarantined = 0    # rejected puts (invalid shape/checksum)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, digest: str) -> Optional[dict]:
+        with self._lock:
+            return self._entries.get(digest)
+
+    def resolve_put(self, entry) -> bool:
+        """Store a sealed entry if it wins; the only trusted write path.
+
+        The entry must be structurally valid *and* its ``sum`` must
+        match its recomputed content checksum — otherwise it is
+        quarantined.  On conflict with an existing entry the rule is
+        deterministic and symmetric, so two replicas applying it to each
+        other's entries converge: a valid entry beats an invalid one,
+        and between two valid entries the lexicographically smaller
+        checksum wins (ties keep the incumbent).
+        """
+        if not isinstance(entry, dict):
+            self.quarantined += 1
+            return False
+        digest = entry.get("digest")
+        if not isinstance(digest, str) or not entry_is_sound(entry, digest):
+            self.quarantined += 1
+            return False
+        checksum = entry["sum"]
+        with self._lock:
+            existing = self._entries.get(digest)
+            if existing is not None:
+                if entry_is_sound(existing, digest):
+                    if checksum >= entry_checksum(existing):
+                        return False
+                # else: the incumbent is corrupt — the valid
+                # newcomer repairs it unconditionally.
+            self._entries[digest] = entry
+            self.index.put(digest, checksum)
+            return True
+
+    def plant(self, entry: dict) -> None:
+        """Store WITHOUT validation — a fault/test hook simulating
+        bit-rot inside a replica.  The Merkle leaf commits to the
+        entry's *recomputed* checksum, so a planted corruption shows up
+        as a differing shard and anti-entropy repairs it."""
+        with self._lock:
+            self._entries[entry["digest"]] = dict(entry)
+            self.index.put(entry["digest"], entry_checksum(entry))
+
+    def root(self) -> str:
+        with self._lock:
+            return self.index.root()
+
+    def shard_hashes(self) -> List[str]:
+        with self._lock:
+            return self.index.shard_hashes()
+
+    def leaves(self, prefix: str) -> Dict[str, str]:
+        with self._lock:
+            return self.index.leaves(prefix)
+
+    def digests(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+
+class ReplicaClient:
+    """Requesting side of the cache protocol, with the fault envelope.
+
+    One attempt = one datagram + one rid-matched reply awaited under a
+    deadline (stale replies from earlier timed-out attempts are
+    discarded by rid).  Failed attempts climb a retry ladder of
+    exponential backoff with seeded jitter.  The client never raises on
+    network trouble — :meth:`call` returns None and the caller degrades.
+    """
+
+    def __init__(self, network, replica_name: str, client_name: str,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff: float = DEFAULT_BACKOFF,
+                 seed: int = _JITTER_SEED):
+        self.network = network
+        self.replica_name = replica_name
+        self.endpoint = network.endpoint(client_name)
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self._rng = random.Random(seed)
+        self._rid = 0
+        self.requests = 0       # datagram attempts constructed
+        self.timeouts = 0       # attempts abandoned at the deadline
+        self.retried = 0        # ladder steps taken
+        self.corrupt = 0        # undecodable replies discarded
+
+    def call(self, op: str, **fields) -> Optional[dict]:
+        """The decoded reply dict, or None once the ladder is exhausted."""
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried += 1
+                step = self.backoff * (2 ** (attempt - 1))
+                time.sleep(step * (1.0 + 0.25 * self._rng.random()))
+            reply = self._attempt(op, fields)
+            if reply is not None:
+                return reply
+        return None
+
+    def _attempt(self, op: str, fields: dict) -> Optional[dict]:
+        self.requests += 1
+        self._rid += 1
+        rid = self._rid
+        spec = _faults.maybe_fault("cache.net")
+        kind = spec.kind if spec is not None else None
+        if kind == "timeout":
+            # Injected deadline expiry: the request is abandoned as if
+            # the timer had already run out — no datagram, no wait.
+            self.timeouts += 1
+            return None
+        if kind != "drop":
+            # An injected drop swallows the request datagram but the
+            # client doesn't know that: it still waits out its deadline.
+            request = dict(fields)
+            request["rid"] = rid
+            request["op"] = op
+            self.endpoint.send(self.replica_name,
+                               json.dumps(request).encode("utf-8"))
+        deadline = time.monotonic() + self.timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.timeouts += 1
+                return None
+            got = self.endpoint.recv(remaining)
+            if got is None:
+                self.timeouts += 1
+                return None
+            payload = got[1]
+            if kind == "corrupt":
+                # Tamper the first reply of this attempt in flight.
+                payload = (payload[:-2] + b"\xff\x00") if len(payload) > 2 \
+                    else b"\xff"
+                kind = None
+            try:
+                reply = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                self.corrupt += 1
+                continue
+            if not isinstance(reply, dict) or reply.get("rid") != rid:
+                continue        # stale reply from a timed-out attempt
+            return reply
+
+
+class CacheReplica:
+    """One serving replica: entry store + request loop + anti-entropy."""
+
+    def __init__(self, name: str, network, poll: float = 0.02):
+        self.name = name
+        self.network = network
+        self.endpoint = network.endpoint(name)
+        self.store = ReplicaStore()
+        self.poll = poll
+        self.served = 0
+        self.crashed = False
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "CacheReplica":
+        if self._thread is None or not self._thread.is_alive():
+            self._running = True
+            self._thread = threading.Thread(target=self._serve_loop,
+                                            name=f"replica-{self.name}",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=self.poll * 10)
+            self._thread = None
+
+    def crash(self) -> None:
+        """Stop answering (requests are silently swallowed) without
+        tearing down the thread — the ``cache.replica:crash`` behavior."""
+        self.crashed = True
+
+    def revive(self) -> None:
+        self.crashed = False
+
+    # -------------------------------------------------------------- serving
+
+    def _serve_loop(self) -> None:
+        while self._running:
+            got = self.endpoint.recv(self.poll)
+            if got is None:
+                continue
+            src, payload = got
+            if self.crashed:
+                continue
+            self._handle(src, payload)
+
+    def _handle(self, src: str, payload: bytes) -> None:
+        spec = _faults.maybe_fault("cache.replica")
+        if spec is not None and spec.kind == "crash":
+            self.crashed = True
+            return
+        try:
+            msg = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return
+        if not isinstance(msg, dict):
+            return
+        rid = msg.get("rid")
+        op = msg.get("op")
+        reply: dict = {"rid": rid, "ok": True}
+        if op == "get":
+            reply["entry"] = self.store.get(msg.get("digest", ""))
+        elif op == "put":
+            reply["stored"] = self.store.resolve_put(msg.get("entry"))
+        elif op == "root":
+            reply["root"] = self.store.root()
+        elif op == "shards":
+            reply["shards"] = self.store.shard_hashes()
+        elif op == "leaves":
+            reply["leaves"] = self.store.leaves(msg.get("prefix", ""))
+        elif op == "pull":
+            digests = msg.get("digests") or []
+            reply["entries"] = [e for e in (self.store.get(d)
+                                            for d in digests)
+                                if e is not None]
+        elif op == "push":
+            entries = msg.get("entries") or []
+            reply["stored"] = sum(1 for e in entries
+                                  if self.store.resolve_put(e))
+        else:
+            reply = {"rid": rid, "ok": False, "error": f"unknown op {op!r}"}
+        self.served += 1
+        self.endpoint.send(src, json.dumps(reply).encode("utf-8"))
+
+    # --------------------------------------------------------------- seeding
+
+    def seed(self, entries: Iterable[dict]) -> int:
+        """Load unsealed entries (e.g. a disk cache scan); count stored."""
+        stored = 0
+        for entry in entries:
+            if self.store.resolve_put(seal_entry(entry)):
+                stored += 1
+        return stored
+
+    # ---------------------------------------------------------- anti-entropy
+
+    def sync_with(self, peer_name: str,
+                  client: Optional[ReplicaClient] = None) -> dict:
+        """One anti-entropy round against ``peer_name``; transfer counts.
+
+        Root exchange first — matching roots cost one datagram and ship
+        nothing.  Otherwise the peer's 256 shard hashes localize the
+        difference, each differing shard's leaf list is fetched, and
+        entries are pulled/pushed for exactly the digests that are
+        missing or conflicting.  Both sides apply the same
+        :meth:`ReplicaStore.resolve_put` rule, so conflicting digests
+        are shipped in both directions and each side keeps the winner —
+        one round makes the two stores (and hence roots) identical.
+        """
+        if client is None:
+            client = ReplicaClient(self.network, peer_name,
+                                   f"{self.name}#sync")
+        counts = {"pulled": 0, "pushed": 0, "shards_walked": 0,
+                  "quarantined": 0, "reachable": True, "in_sync": False}
+        reply = client.call("root")
+        if reply is None:
+            counts["reachable"] = False
+            return counts
+        if reply.get("root") == self.store.root():
+            counts["in_sync"] = True
+            return counts
+        reply = client.call("shards")
+        if reply is None or not isinstance(reply.get("shards"), list):
+            counts["reachable"] = False
+            return counts
+        prefixes = diff_shards(self.store.shard_hashes(), reply["shards"])
+        quarantined0 = self.store.quarantined
+        for prefix in prefixes:
+            counts["shards_walked"] += 1
+            leaf_reply = client.call("leaves", prefix=prefix)
+            if leaf_reply is None:
+                counts["reachable"] = False
+                break
+            theirs = leaf_reply.get("leaves") or {}
+            mine = self.store.leaves(prefix)
+            to_pull = [d for d in sorted(theirs)
+                       if theirs[d] != mine.get(d)]
+            to_push = [d for d in sorted(mine)
+                       if mine[d] != theirs.get(d)]
+            if to_pull:
+                pull_reply = client.call("pull", digests=to_pull)
+                if pull_reply is None:
+                    counts["reachable"] = False
+                    break
+                for entry in pull_reply.get("entries") or []:
+                    if self.store.resolve_put(entry):
+                        counts["pulled"] += 1
+            if to_push:
+                entries = [e for e in (self.store.get(d) for d in to_push)
+                           if e is not None]
+                push_reply = client.call("push", entries=entries)
+                if push_reply is None:
+                    counts["reachable"] = False
+                    break
+                counts["pushed"] += int(push_reply.get("stored") or 0)
+        counts["quarantined"] = self.store.quarantined - quarantined0
+        # ``in_sync`` stays False here even on success: it reports the
+        # *entry* state (roots matched, nothing shipped), so a second
+        # round observing it proves convergence.
+        return counts
+
+    def __repr__(self) -> str:
+        return (f"<CacheReplica {self.name} entries={len(self.store)} "
+                f"served={self.served}"
+                f"{' CRASHED' if self.crashed else ''}>")

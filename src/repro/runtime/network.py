@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from collections import deque
 from typing import Optional
 
@@ -31,12 +32,24 @@ class Endpoint:
 
     def recv(self, timeout: Optional[float] = None
              ) -> Optional[tuple[str, bytes]]:
-        """(source, payload) or None on timeout."""
+        """(source, payload) or None on timeout.
+
+        Waits in a deadline loop: a spurious (or stolen) condition
+        wakeup re-waits for the *remaining* time instead of returning
+        None early, so ``timeout`` is a real lower bound on how long an
+        empty recv blocks.
+        """
         with self._cv:
-            if not self._queue:
-                self._cv.wait(timeout)
-            if not self._queue:
-                return None
+            if timeout is None:
+                while not self._queue:
+                    self._cv.wait()
+            else:
+                deadline = time.monotonic() + timeout
+                while not self._queue:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cv.wait(remaining)
             return self._queue.popleft()
 
     def try_recv(self) -> Optional[tuple[str, bytes]]:
@@ -96,7 +109,12 @@ class Network:
             if self._rng.random() < self.dup_rate:
                 copies = 2
                 self.stats["duplicated"] += 1
+            # Count deliveries under the same lock hold that decided
+            # them: re-acquiring per copy let a concurrent deliver
+            # interleave between enqueue and count, transiently
+            # under-reporting, and made delivered/duplicated drift
+            # observable.  Every copy of a duplicated datagram counts
+            # as delivered, always consistently with `duplicated`.
+            self.stats["delivered"] += copies
         for _ in range(copies):
             target._enqueue(src, payload)
-            with self._lock:
-                self.stats["delivered"] += 1

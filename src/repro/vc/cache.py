@@ -1,151 +1,14 @@
-"""Content-addressed on-disk proof cache.
+"""Compatibility shim: the proof cache moved to :mod:`repro.cache`.
 
-Entries are keyed by the sha256 digest computed in
-:func:`repro.smt.fingerprint.obligation_digest` — the canonical SMT-LIB2
-text of the full query (context axioms + path assumptions + negated
-goal), the :class:`~repro.smt.solver.SolverConfig` knobs, and the
-discharge strategy.  Any change to a postcondition, a reachable spec
-function, or a solver knob changes the digest, so invalidation is
-automatic: the stale entry is simply never addressed again.
-
-Writes are atomic (temp file + ``os.replace``) so parallel workers can
-share one cache directory without torn entries; corrupt or truncated
-entries are detected at lookup, dropped, and rewritten after re-solving.
+The flat on-disk store became the *disk tier* of the fault-tolerant
+tiered cache (``repro.cache.store.ProofCache`` under
+``repro.cache.tiers.TieredProofCache``).  Existing importers of
+``repro.vc.cache`` keep working through this re-export.
 """
 
-from __future__ import annotations
+from ..cache.store import (  # noqa: F401
+    CACHE_DIR_ENV, DEFAULT_DIRNAME, _VALID_STATUS, ProofCache,
+    entry_checksum, make_entry, validate_entry)
 
-import json
-import os
-import tempfile
-from typing import Optional
-
-from ..api import CACHE_DIR_ENV
-from ..resilience import faults as _faults
-from ..resilience.faults import InjectedCorruption, InjectedIOError
-from .errors import FAILED, PROVED, TIMEOUT
-
-DEFAULT_DIRNAME = ".pv_cache"
-
-# RESOURCE_OUT (and anything else transient) is deliberately absent: a
-# budget-exhausted verdict must never be replayed from the cache.
-_VALID_STATUS = (PROVED, FAILED, TIMEOUT)
-
-
-class ProofCache:
-    """One cache directory plus hit/miss/store/corruption counters."""
-
-    def __init__(self, root: str):
-        self.root = os.path.abspath(root)
-        self.hits = 0
-        self.misses = 0
-        self.stores = 0
-        self.corrupt = 0
-
-    @classmethod
-    def from_env(cls) -> Optional["ProofCache"]:
-        """The cache named by ``$REPRO_CACHE_DIR``, or None if unset.
-
-        Environment parsing is centralized in
-        :meth:`repro.api.VerifyConfig.from_env`; this shim just asks it.
-        """
-        from ..api import VerifyConfig
-        root = VerifyConfig.from_env().cache_dir
-        return cls(root) if root else None
-
-    def _path(self, digest: str) -> str:
-        return os.path.join(self.root, digest[:2], f"{digest}.json")
-
-    def lookup(self, digest: str) -> Optional[dict]:
-        """Return the stored entry for ``digest``, or None on miss.
-
-        A malformed entry (truncated write, wrong digest, bogus status)
-        counts as a miss: it is deleted so the fresh verdict can be
-        rewritten cleanly.
-        """
-        path = self._path(digest)
-        try:
-            spec = _faults.maybe_fault("cache.lookup")
-            if spec is not None:
-                if spec.kind == "io":
-                    raise InjectedIOError("cache.lookup")
-                raise InjectedCorruption("cache.lookup")
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-            if (not isinstance(entry, dict)
-                    or entry.get("digest") != digest
-                    or entry.get("status") not in _VALID_STATUS
-                    or not isinstance(entry.get("query_bytes", 0), int)
-                    or not isinstance(entry.get("stats", {}), dict)
-                    or not isinstance(entry.get("diag") or {}, dict)):
-                raise ValueError("malformed cache entry")
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (ValueError, OSError, UnicodeDecodeError):
-            self.corrupt += 1
-            self.misses += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return entry
-
-    def store(self, digest: str, status: str, stats: Optional[dict] = None,
-              query_bytes: int = 0, label: str = "",
-              diag: Optional[dict] = None,
-              kind: Optional[str] = None) -> None:
-        """Persist a verdict (atomic; best-effort on filesystem errors).
-
-        ``diag`` is the serialized diagnostic payload for non-PROVED
-        verdicts, so cache-warm failures replay the same counterexample
-        /split/profile report without re-solving.  ``kind`` marks
-        non-solver provenance (``STATIC_PROVED`` for verdicts from the
-        abstract-interpretation triage tier); the scheduler gates replay
-        of kinded entries on the tier being enabled.
-        """
-        if status not in _VALID_STATUS:
-            return
-        path = self._path(digest)
-        entry = {"digest": digest, "status": status,
-                 "query_bytes": int(query_bytes),
-                 "stats": stats or {}, "label": label}
-        if diag is not None:
-            entry["diag"] = diag
-        if kind is not None:
-            entry["kind"] = kind
-        try:
-            spec = _faults.maybe_fault("cache.store")
-            if spec is not None:
-                raise InjectedIOError("cache.store")
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                       suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(entry, fh)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return
-        self.stores += 1
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    def snapshot(self) -> dict:
-        return {"cache_hits": self.hits, "cache_misses": self.misses,
-                "cache_stores": self.stores, "cache_corrupt": self.corrupt}
-
-    def __repr__(self) -> str:
-        return (f"<ProofCache {self.root}: {self.hits} hits, "
-                f"{self.misses} misses>")
+__all__ = ["CACHE_DIR_ENV", "DEFAULT_DIRNAME", "ProofCache",
+           "entry_checksum", "make_entry", "validate_entry"]

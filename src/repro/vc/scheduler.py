@@ -287,7 +287,9 @@ class Scheduler:
         env = VerifyConfig.from_env()
         self.jobs = max(1, int(jobs)) if jobs is not None else env.jobs
         if cache is None:
-            cache = ProofCache.from_env()
+            # Env default: tiered when $REPRO_CACHE_TIERS asks for it.
+            from ..cache.tiers import cache_from_env
+            cache = cache_from_env()
         elif cache is False:
             cache = None
         elif isinstance(cache, str):
@@ -366,6 +368,10 @@ class Scheduler:
         t0 = time.perf_counter()
         hits0, misses0 = ((self.cache.hits, self.cache.misses)
                           if self.cache is not None else (0, 0))
+        # A tiered cache additionally breaks hits down per tier; diff
+        # its counters around the run like hits/misses below.
+        tier_snap0 = (self.cache.tier_snapshot()
+                      if hasattr(self.cache, "tier_snapshot") else None)
         skips0 = (self._delta_cache.skips
                   if self._delta_cache is not None else 0)
         result = ModuleResult(gen.module.name)
@@ -474,6 +480,11 @@ class Scheduler:
         if self.cache is not None:
             self.stats.cache_hits += self.cache.hits - hits0
             self.stats.cache_misses += self.cache.misses - misses0
+            if tier_snap0 is not None:
+                for key, value in self.cache.tier_snapshot().items():
+                    setattr(self.stats, key,
+                            getattr(self.stats, key, 0)
+                            + value - tier_snap0.get(key, 0))
         for plan in plans:
             plan.result.seconds = plan.gen_seconds + sum(
                 o.seconds for o in plan.result.obligations)

@@ -1,6 +1,7 @@
 """Tests for the runtime substrates: CRC, pmem, network, DES scheduler."""
 
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -124,6 +125,66 @@ class TestNetwork:
             t.join()
         got = {dst.recv(timeout=1.0)[1] for _ in range(8)}
         assert len(got) == 8
+
+    def test_recv_survives_spurious_wakeup(self):
+        # A notify with an empty queue must re-wait for the remaining
+        # time, not return None early — the message sent after several
+        # spurious pokes is still received within the original timeout.
+        net = Network()
+        a, b = net.endpoint("a"), net.endpoint("b")
+
+        def poke_then_send():
+            for _ in range(5):
+                with b._cv:
+                    b._cv.notify_all()      # queue still empty
+                time.sleep(0.01)
+            a.send("b", b"real")
+
+        t = threading.Thread(target=poke_then_send)
+        t.start()
+        got = b.recv(timeout=2.0)
+        t.join()
+        assert got == ("a", b"real")
+
+    def test_recv_timeout_is_a_lower_bound(self):
+        net = Network()
+        b = net.endpoint("b")
+        stop = threading.Event()
+
+        def poke():
+            while not stop.is_set():
+                with b._cv:
+                    b._cv.notify_all()
+                time.sleep(0.005)
+
+        t = threading.Thread(target=poke)
+        t.start()
+        t0 = time.monotonic()
+        try:
+            assert b.recv(timeout=0.1) is None
+            assert time.monotonic() - t0 >= 0.1
+        finally:
+            stop.set()
+            t.join()
+
+    def test_duplication_accounting_consistent_under_concurrency(self):
+        # delivered is counted under the same lock hold that decided the
+        # copy count, so it can never transiently under-report relative
+        # to duplicated, even with racing senders.
+        net = Network(dup_rate=1.0)
+        dst = net.endpoint("dst")
+        n = 16
+        senders = [threading.Thread(
+            target=lambda i=i: net.endpoint(f"s{i}").send("dst", bytes([i])))
+            for i in range(n)]
+        for t in senders:
+            t.start()
+        for t in senders:
+            t.join()
+        assert net.stats["sent"] == n
+        assert net.stats["duplicated"] == n
+        assert net.stats["delivered"] == 2 * n
+        assert dst.pending() == 2 * n
 
 
 class TestSimulator:
